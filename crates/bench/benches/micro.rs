@@ -1,0 +1,129 @@
+//! Criterion micro-benchmarks of the building blocks: call codec, ring
+//! entry slots, summarization, coordination analysis, and the raw
+//! operational semantics.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use hamband_core::abstract_sem::AbstractWrdt;
+use hamband_core::analysis::{validate, AnalysisConfig};
+use hamband_core::counts::DepMap;
+use hamband_core::demo::Account;
+use hamband_core::ids::{Pid, Rid};
+use hamband_core::object::ObjectSpec;
+use hamband_core::rdma_sem::RdmaWrdt;
+use hamband_core::wire::Wire;
+use hamband_runtime::codec::{Entry, SummarySlot};
+use hamband_types::counter::CounterUpdate;
+use hamband_types::gset::GSetUpdate;
+use hamband_types::{Counter, GSet};
+
+fn bench_codec(c: &mut Criterion) {
+    let entry = Entry {
+        rid: Rid::new(Pid(2), 12345),
+        update: Account::withdraw(40),
+        deps: DepMap::from_entries([(Pid(0), hamband_core::ids::MethodId(0), 3)]),
+    };
+    c.bench_function("codec/entry_encode", |b| {
+        b.iter(|| std::hint::black_box(entry.to_slot(7, 267)));
+    });
+    let slot = entry.to_slot(7, 267);
+    c.bench_function("codec/entry_decode", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                Entry::<hamband_core::demo::AccountUpdate>::from_slot(&slot, 7).unwrap(),
+            )
+        });
+    });
+    let summary = SummarySlot {
+        version: 9,
+        counts: vec![9],
+        summary: Some(GSetUpdate::AddAll((0..64).collect())),
+    };
+    c.bench_function("codec/summary_encode_64_elems", |b| {
+        b.iter(|| std::hint::black_box(summary.to_slot(4096)));
+    });
+    let sbytes = summary.to_slot(4096);
+    c.bench_function("codec/summary_decode_64_elems", |b| {
+        b.iter(|| std::hint::black_box(SummarySlot::<GSetUpdate>::from_slot(&sbytes, 1).unwrap()));
+    });
+    let u = CounterUpdate::Add(-123456);
+    c.bench_function("codec/counter_update_roundtrip", |b| {
+        b.iter(|| {
+            let bytes = u.to_bytes();
+            std::hint::black_box(CounterUpdate::from_bytes(&bytes).unwrap())
+        });
+    });
+}
+
+fn bench_summarize(c: &mut Criterion) {
+    let g = GSet::default();
+    c.bench_function("summarize/gset_fold_256", |b| {
+        b.iter_batched(
+            || {
+                (0..256)
+                    .map(|i| GSetUpdate::AddAll(vec![i, i + 1, i + 2]))
+                    .collect::<Vec<_>>()
+            },
+            |calls| {
+                let mut acc = calls[0].clone();
+                for call in &calls[1..] {
+                    acc = g.summarize(&acc, call).unwrap();
+                }
+                std::hint::black_box(acc)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    let cnt = Counter::default();
+    c.bench_function("summarize/counter_fold_256", |b| {
+        b.iter(|| {
+            let mut acc = CounterUpdate::Add(0);
+            for i in 0..256 {
+                acc = cnt.summarize(&acc, &CounterUpdate::Add(i)).unwrap();
+            }
+            std::hint::black_box(acc)
+        });
+    });
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let acc = Account::new(20);
+    let coord = acc.coord_spec();
+    let cfg = AnalysisConfig { seed: 7, state_samples: 16, call_samples: 4 };
+    c.bench_function("analysis/validate_account_small", |b| {
+        b.iter(|| std::hint::black_box(validate(&acc, &coord, &cfg).is_valid()));
+    });
+}
+
+fn bench_semantics(c: &mut Criterion) {
+    let acc = Account::new(50);
+    let coord = acc.coord_spec();
+    c.bench_function("semantics/abstract_100_calls_3_nodes", |b| {
+        b.iter(|| {
+            let mut w = AbstractWrdt::new(&acc, &coord, 3);
+            for i in 0..100u64 {
+                w.call((i % 3) as usize, Account::deposit(5)).unwrap();
+            }
+            w.propagate_all();
+            std::hint::black_box(w.check_convergence())
+        });
+    });
+    c.bench_function("semantics/rdma_100_calls_3_nodes", |b| {
+        b.iter(|| {
+            let mut k = RdmaWrdt::new(&acc, &coord, 3);
+            for i in 0..100u64 {
+                k.reduce((i % 3) as usize, Account::deposit(5)).unwrap();
+            }
+            k.conf(0, Account::withdraw(100)).unwrap();
+            k.drain();
+            std::hint::black_box(k.check_convergence())
+        });
+    });
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(20);
+    targets = bench_codec, bench_summarize, bench_analysis, bench_semantics
+);
+criterion_main!(micro);

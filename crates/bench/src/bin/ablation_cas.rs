@@ -1,0 +1,128 @@
+//! Ablation: single-writer ring appends vs CAS-reserved shared-buffer
+//! appends.
+//!
+//! §2 of the paper: "Sharing buffers would require synchronization
+//! across processes. RDMA does provide compare-and-swap operations;
+//! however, they are more expensive than reads and writes and we avoid
+//! them with a single-writer design." This binary quantifies that
+//! choice on the simulated fabric: the same number of appends from one
+//! node into another node's buffer, once with plain pipelined writes
+//! (the Hamband design) and once with a CAS to reserve each slot before
+//! writing it (the shared-buffer design).
+
+use rdma_sim::{
+    App, CompletionStatus, Ctx, Event, LatencyModel, NodeId, RegionId, SimDuration, Simulator,
+    VerbKind,
+};
+
+const APPENDS: u64 = 1_000;
+const SLOT: usize = 64;
+
+struct SingleWriter {
+    region: RegionId,
+    sent: u64,
+    done: u64,
+    finished_at: Option<rdma_sim::SimTime>,
+}
+
+impl App for SingleWriter {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if ctx.node().index() == 0 {
+            // Pipelined: post everything; RC FIFO delivers in order.
+            for i in 0..APPENDS {
+                let slot = [(i & 0xff) as u8; SLOT];
+                ctx.post_write(NodeId(1), self.region, (i as usize % 128) * SLOT, &slot);
+                self.sent += 1;
+            }
+        }
+    }
+
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+        if let Event::Completion { status, .. } = event {
+            assert!(status.is_success());
+            self.done += 1;
+            if self.done == APPENDS {
+                self.finished_at = Some(ctx.now());
+            }
+        }
+    }
+}
+
+struct CasWriter {
+    region: RegionId,
+    tail_region: RegionId,
+    reserved: u64,
+    done: u64,
+    finished_at: Option<rdma_sim::SimTime>,
+}
+
+impl CasWriter {
+    fn reserve(&mut self, ctx: &mut Ctx<'_>) {
+        if self.reserved < APPENDS {
+            ctx.post_cas(NodeId(1), self.tail_region, 0, self.reserved, self.reserved + 1);
+        }
+    }
+}
+
+impl App for CasWriter {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if ctx.node().index() == 0 {
+            self.reserve(ctx);
+        }
+    }
+
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+        let Event::Completion { status, kind, .. } = event else { return };
+        assert_eq!(status, CompletionStatus::Success);
+        match kind {
+            VerbKind::CompareAndSwap => {
+                // Slot reserved; write the entry, then reserve the next.
+                let i = self.reserved;
+                self.reserved += 1;
+                let slot = [(i & 0xff) as u8; SLOT];
+                ctx.post_write(NodeId(1), self.region, (i as usize % 128) * SLOT, &slot);
+                self.reserve(ctx);
+            }
+            VerbKind::Write => {
+                self.done += 1;
+                if self.done == APPENDS {
+                    self.finished_at = Some(ctx.now());
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn main() {
+    let single = {
+        let mut sim = Simulator::new(2, LatencyModel::default(), 1);
+        let region = sim.add_region_all(128 * SLOT);
+        sim.set_apps(|_| SingleWriter { region, sent: 0, done: 0, finished_at: None });
+        sim.run_for(SimDuration::millis(100));
+        sim.app(NodeId(0)).finished_at.expect("single-writer run finished")
+    };
+    let cas = {
+        let mut sim = Simulator::new(2, LatencyModel::default(), 1);
+        let region = sim.add_region_all(128 * SLOT);
+        let tail_region = sim.add_region_all(8);
+        sim.set_apps(|_| CasWriter { region, tail_region, reserved: 0, done: 0, finished_at: None });
+        sim.run_for(SimDuration::millis(100));
+        sim.app(NodeId(0)).finished_at.expect("cas run finished")
+    };
+    println!("==== Ablation — single-writer vs CAS-reserved appends ====");
+    println!("  {APPENDS} appends of {SLOT}-byte entries into a remote buffer");
+    println!(
+        "  single-writer (Hamband):   {:>10.1} us total, {:>6.3} us/append",
+        single.as_micros(),
+        single.as_micros() / APPENDS as f64
+    );
+    println!(
+        "  CAS-reserved (shared buf): {:>10.1} us total, {:>6.3} us/append",
+        cas.as_micros(),
+        cas.as_micros() / APPENDS as f64
+    );
+    let slowdown = cas.as_micros() / single.as_micros();
+    println!("  slowdown from CAS coordination: {slowdown:.1}x");
+    assert!(slowdown > 2.0, "single-writer must clearly win");
+}

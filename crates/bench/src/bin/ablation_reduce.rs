@@ -1,0 +1,50 @@
+//! Ablation: summarization (REDUCE) vs remote buffering (FREE) for the
+//! same object.
+//!
+//! DESIGN.md's headline design-choice ablation, and the comparison the
+//! paper itself makes by running GSet both ways across Figs. 8 and 9:
+//! the same grow-only set replicated once through summary slots (one
+//! overwrite per peer, no buffer traversal) and once through the `F`
+//! ring buffers (append + periodic traversal), on identical workloads.
+
+use hamband_runtime::harness::{run_hamband, RunConfig};
+use hamband_runtime::Workload;
+use hamband_types::GSet;
+
+fn main() {
+    let opts = hamband_bench::ExpOptions::from_env();
+    let g = GSet::default();
+    println!("==== Ablation — summarization vs buffering (GSet) ====");
+    println!(
+        "  {:>7}  {:>6}  {:>14}  {:>14}  {:>8}",
+        "updates", "nodes", "reduced t", "buffered t", "gain"
+    );
+    let mut gains = Vec::new();
+    for ratio in [0.25, 0.15, 0.05] {
+        for n in [3usize, 5, 7] {
+            let rc = RunConfig::new(n, Workload::new(opts.ops, ratio).with_seed(opts.seed));
+            let red = run_hamband(&g, &g.coord_spec(), &rc, "hamband-reduce");
+            let buf = run_hamband(&g, &g.coord_spec_buffered(), &rc, "hamband-buffer");
+            assert!(red.converged && buf.converged);
+            let gain = red.throughput_ops_per_us / buf.throughput_ops_per_us.max(1e-9);
+            gains.push(gain);
+            println!(
+                "  {:>6}%  {:>6}  {:>14.2}  {:>14.2}  {:>7.2}x",
+                (ratio * 100.0) as u32,
+                n,
+                red.throughput_ops_per_us,
+                buf.throughput_ops_per_us,
+                gain
+            );
+        }
+    }
+    let gmean =
+        (gains.iter().map(|g| g.ln()).sum::<f64>() / gains.len() as f64).exp();
+    println!("  geometric-mean gain from summarization: {gmean:.2}x");
+    println!(
+        "  (the paper observes the same direction: \"the gains for reducible\n   \
+         methods were higher since they do not need remote iteration and\n   \
+         application of the buffered calls\", §5)"
+    );
+    assert!(gmean >= 1.0, "summarization must not lose to buffering");
+}

@@ -1,0 +1,33 @@
+//! Regenerate every figure of the Hamband paper's evaluation plus the
+//! headline summary. Scale per-point operations with HAMBAND_OPS.
+
+fn main() {
+    let opts = hamband_bench::ExpOptions::from_env();
+    let figs = [
+        hamband_bench::fig8(&opts),
+        hamband_bench::fig9(&opts),
+        hamband_bench::fig10(&opts),
+        hamband_bench::fig11(&opts),
+        hamband_bench::fig12(&opts),
+        hamband_bench::fig13(&opts),
+        hamband_bench::headline(&opts),
+    ];
+    let mut failures = 0;
+    for f in &figs {
+        println!("{f}");
+        if !f.all_hold() {
+            failures += 1;
+        }
+    }
+    println!("==== summary ====");
+    for f in &figs {
+        println!(
+            "  [{}] {}",
+            if f.all_hold() { "ok" } else { "!!" },
+            f.name
+        );
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerate fig10 of the Hamband paper. Scale with HAMBAND_OPS.
+
+fn main() {
+    let opts = hamband_bench::ExpOptions::from_env();
+    let outcome = hamband_bench::fig10(&opts);
+    println!("{outcome}");
+    if !outcome.all_hold() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerate headline of the Hamband paper. Scale with HAMBAND_OPS.
+
+fn main() {
+    let opts = hamband_bench::ExpOptions::from_env();
+    let outcome = hamband_bench::headline(&opts);
+    println!("{outcome}");
+    if !outcome.all_hold() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,167 @@
+//! Small-scope model checking from the command line: exhaustively
+//! verify the paper's lemmas over all interleavings of small scripted
+//! executions, for every shipped data type.
+//!
+//! ```sh
+//! cargo run --release -p hamband-bench --bin model_check
+//! ```
+
+use hamband_core::coord::CoordSpec;
+use hamband_core::explore::{explore_abstract, explore_rdma, ExploreConfig, ExploreReport};
+use hamband_core::object::ObjectSpec;
+use hamband_types::bank::BankUpdate;
+use hamband_types::cart::CartUpdate;
+use hamband_types::counter::CounterUpdate;
+use hamband_types::courseware::CoursewareUpdate;
+use hamband_types::gset::GSetUpdate;
+use hamband_types::movie::MovieUpdate;
+use hamband_types::orset::OrSetUpdate;
+use hamband_types::project::ProjectUpdate;
+use hamband_types::{Bank, Cart, Counter, Courseware, GSet, Movie, OrSet, Project};
+
+fn run<O: ObjectSpec>(name: &str, spec: &O, coord: &CoordSpec, scripts: Vec<Vec<O::Update>>) {
+    let cfg = ExploreConfig { max_states: 400_000 };
+    let abs: ExploreReport = match explore_abstract(spec, coord, &scripts, &cfg) {
+        Ok(r) => r,
+        Err(v) => {
+            eprintln!("  {name:<14} ABSTRACT VIOLATION: {v}");
+            std::process::exit(1);
+        }
+    };
+    let conc: ExploreReport = match explore_rdma(spec, coord, &scripts, &cfg) {
+        Ok(r) => r,
+        Err(v) => {
+            eprintln!("  {name:<14} CONCRETE VIOLATION: {v}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "  {name:<14} abstract: {:>7} states ({}) | rdma: {:>7} states ({}) — lemmas hold",
+        abs.states,
+        if abs.exhaustive { "exhaustive" } else { "bounded" },
+        conc.states,
+        if conc.exhaustive { "exhaustive" } else { "bounded" },
+    );
+}
+
+fn main() {
+    println!("==== small-scope model checking (Lemmas 1-3 over all interleavings) ====");
+    {
+        let c = Counter::default();
+        run(
+            "counter",
+            &c,
+            &c.coord_spec(),
+            vec![
+                vec![CounterUpdate::Add(3), CounterUpdate::Add(-1)],
+                vec![CounterUpdate::Add(7)],
+                vec![CounterUpdate::Add(-5)],
+            ],
+        );
+    }
+    {
+        let g = GSet::default();
+        run(
+            "gset",
+            &g,
+            &g.coord_spec(),
+            vec![
+                vec![GSetUpdate::AddAll(vec![1]), GSetUpdate::AddAll(vec![2, 3])],
+                vec![GSetUpdate::AddAll(vec![3, 4])],
+            ],
+        );
+        run(
+            "gset-buffered",
+            &g,
+            &g.coord_spec_buffered(),
+            vec![
+                vec![GSetUpdate::AddAll(vec![1]), GSetUpdate::AddAll(vec![2, 3])],
+                vec![GSetUpdate::AddAll(vec![3, 4])],
+            ],
+        );
+    }
+    {
+        let o = OrSet::default();
+        run(
+            "orset",
+            &o,
+            &o.coord_spec(),
+            vec![
+                vec![
+                    OrSetUpdate::Add { element: 1, tag: (0, 0) },
+                    OrSetUpdate::Remove { element: 1, tags: vec![(0, 0)] },
+                ],
+                vec![OrSetUpdate::Add { element: 1, tag: (1, 0) }],
+            ],
+        );
+    }
+    {
+        let cart = Cart::default();
+        run(
+            "cart",
+            &cart,
+            &cart.coord_spec(),
+            vec![
+                vec![
+                    CartUpdate::Add { item: 1, qty: 2 },
+                    CartUpdate::Remove { item: 1, qty: 1 },
+                ],
+                vec![CartUpdate::Add { item: 1, qty: 3 }],
+            ],
+        );
+    }
+    {
+        let bank = Bank::default();
+        run(
+            "bank",
+            &bank,
+            &bank.coord_spec(),
+            vec![
+                vec![
+                    BankUpdate::OpenAccounts(vec![4]),
+                    BankUpdate::Deposit(4, 10),
+                    BankUpdate::Withdraw(4, 6),
+                ],
+                vec![BankUpdate::Deposit(4, 3)],
+            ],
+        );
+    }
+    {
+        let p = Project::default();
+        run(
+            "project",
+            &p,
+            &p.coord_spec(),
+            vec![
+                vec![ProjectUpdate::AddProject(1), ProjectUpdate::WorksOn(7, 1)],
+                vec![ProjectUpdate::AddEmployees(vec![7])],
+            ],
+        );
+    }
+    {
+        let m = Movie::default();
+        run(
+            "movie",
+            &m,
+            &m.coord_spec(),
+            vec![
+                vec![MovieUpdate::AddCustomer(1), MovieUpdate::AddMovie(9)],
+                vec![MovieUpdate::DeleteCustomer(1)],
+                vec![MovieUpdate::DeleteMovie(9)],
+            ],
+        );
+    }
+    {
+        let cw = Courseware::default();
+        run(
+            "courseware",
+            &cw,
+            &cw.coord_spec(),
+            vec![
+                vec![CoursewareUpdate::AddCourse(1), CoursewareUpdate::Enroll(7, 1)],
+                vec![CoursewareUpdate::RegisterStudents(vec![7])],
+            ],
+        );
+    }
+    println!("all type families verified");
+}

@@ -1,0 +1,419 @@
+//! Method-level coordination relations and the three method categories
+//! of §3.3.
+//!
+//! A [`CoordSpec`] declares, per object class:
+//!
+//! * the **conflict** relation between methods (symmetric) — inducing the
+//!   conflict graph whose connected components are the *synchronization
+//!   groups*;
+//! * the **dependency** relation `Dep(u)` — which methods a method's
+//!   calls may depend on;
+//! * the **summarization groups** — sets of methods whose calls are
+//!   closed under [`crate::object::ObjectSpec::summarize`].
+//!
+//! From these it derives each method's [`MethodCategory`]:
+//!
+//! * **Reducible** — conflict-free, dependence-free, and summarizable;
+//!   propagated as a single remotely written summary call (rule REDUCE).
+//! * **Irreducible conflict-free** — conflict-free but dependent or not
+//!   summarizable; propagated through the per-source `F` buffers (rule
+//!   FREE).
+//! * **Conflicting** — member of a synchronization group; ordered by the
+//!   group's leader into the `L` buffers (rule CONF).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::graph::UndirectedGraph;
+use crate::ids::{GroupId, MethodId, Pid};
+
+/// The category of a method (§3.3), derived from a [`CoordSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MethodCategory {
+    /// Conflict-free, dependence-free, and summarizable: propagated by a
+    /// single remote write of the updated summary (rule REDUCE).
+    Reducible {
+        /// The summarization group the method belongs to.
+        sum_group: GroupId,
+    },
+    /// Conflict-free but dependent or not summarizable: propagated
+    /// through the conflict-free buffers `F` (rule FREE).
+    IrreducibleFree,
+    /// Conflicting: ordered by the leader of its synchronization group
+    /// into the conflicting buffers `L` (rule CONF).
+    Conflicting {
+        /// The synchronization group (connected component of the
+        /// conflict graph) the method belongs to.
+        sync_group: GroupId,
+    },
+}
+
+impl fmt::Display for MethodCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MethodCategory::Reducible { sum_group } => write!(f, "reducible({sum_group})"),
+            MethodCategory::IrreducibleFree => write!(f, "irreducible conflict-free"),
+            MethodCategory::Conflicting { sync_group } => write!(f, "conflicting({sync_group})"),
+        }
+    }
+}
+
+/// Declared method-level coordination relations of an object class, plus
+/// everything derived from them (conflict graph, synchronization groups,
+/// categories, leader assignment).
+///
+/// Build one with [`CoordSpecBuilder`]:
+///
+/// ```
+/// use hamband_core::coord::CoordSpec;
+/// use hamband_core::ids::MethodId;
+///
+/// // The bank account: methods 0 = deposit, 1 = withdraw.
+/// let coord = CoordSpec::builder(2)
+///     .conflict(1, 1)          // withdraw 𝒫-conflicts with withdraw
+///     .depends(1, 0)           // withdraw depends on deposit
+///     .summarization_group([0]) // deposits summarize
+///     .build();
+/// assert!(coord.category(MethodId(0)).is_reducible());
+/// assert!(coord.category(MethodId(1)).is_conflicting());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoordSpec {
+    n_methods: usize,
+    conflicts: BTreeSet<(usize, usize)>,
+    depends: Vec<Vec<MethodId>>,
+    sum_group_of: Vec<Option<GroupId>>,
+    sum_groups: Vec<Vec<MethodId>>,
+    sync_group_of: Vec<Option<GroupId>>,
+    sync_groups: Vec<Vec<MethodId>>,
+    categories: Vec<MethodCategory>,
+}
+
+impl MethodCategory {
+    /// Whether this is the reducible category.
+    pub fn is_reducible(self) -> bool {
+        matches!(self, MethodCategory::Reducible { .. })
+    }
+
+    /// Whether this is the irreducible conflict-free category.
+    pub fn is_irreducible_free(self) -> bool {
+        matches!(self, MethodCategory::IrreducibleFree)
+    }
+
+    /// Whether this is the conflicting category.
+    pub fn is_conflicting(self) -> bool {
+        matches!(self, MethodCategory::Conflicting { .. })
+    }
+}
+
+impl CoordSpec {
+    /// Start building a specification for an object with `n_methods`
+    /// update methods.
+    pub fn builder(n_methods: usize) -> CoordSpecBuilder {
+        CoordSpecBuilder {
+            n_methods,
+            conflicts: BTreeSet::new(),
+            depends: vec![BTreeSet::new(); n_methods],
+            sum_groups: Vec::new(),
+        }
+    }
+
+    /// Number of update methods covered.
+    pub fn method_count(&self) -> usize {
+        self.n_methods
+    }
+
+    /// Whether methods `a` and `b` conflict (symmetric).
+    pub fn methods_conflict(&self, a: MethodId, b: MethodId) -> bool {
+        let (x, y) = if a.index() <= b.index() { (a.index(), b.index()) } else { (b.index(), a.index()) };
+        self.conflicts.contains(&(x, y))
+    }
+
+    /// `Dep(u)`: the methods `u` is dependent on, sorted ascending.
+    pub fn dependencies(&self, u: MethodId) -> &[MethodId] {
+        &self.depends[u.index()]
+    }
+
+    /// Whether `u` is dependence-free (`Dep(u) = ∅`).
+    pub fn is_dependence_free(&self, u: MethodId) -> bool {
+        self.depends[u.index()].is_empty()
+    }
+
+    /// `SumGroup(u)`: the summarization group of `u`, or `None` (⊥).
+    pub fn sum_group(&self, u: MethodId) -> Option<GroupId> {
+        self.sum_group_of[u.index()]
+    }
+
+    /// `SyncGroup(u)`: the synchronization group of `u`, or `None` (⊥)
+    /// if `u` is conflict-free.
+    pub fn sync_group(&self, u: MethodId) -> Option<GroupId> {
+        self.sync_group_of[u.index()]
+    }
+
+    /// The derived category of method `u`.
+    pub fn category(&self, u: MethodId) -> MethodCategory {
+        self.categories[u.index()]
+    }
+
+    /// All synchronization groups (connected components of the conflict
+    /// graph), each a sorted list of methods.
+    pub fn sync_groups(&self) -> &[Vec<MethodId>] {
+        &self.sync_groups
+    }
+
+    /// All summarization groups, each a sorted list of methods.
+    pub fn sum_groups(&self) -> &[Vec<MethodId>] {
+        &self.sum_groups
+    }
+
+    /// Default leader assignment: synchronization group `g` is led by
+    /// process `g mod n`, spreading groups across the cluster
+    /// round-robin (this is what gives the Movie schema its two leaders
+    /// in Fig. 10).
+    pub fn default_leaders(&self, processes: usize) -> Vec<Pid> {
+        assert!(processes > 0, "cluster must be non-empty");
+        (0..self.sync_groups.len()).map(|g| Pid(g % processes)).collect()
+    }
+
+    /// Methods in each category, for reporting.
+    pub fn category_summary(&self) -> (Vec<MethodId>, Vec<MethodId>, Vec<MethodId>) {
+        let mut red = Vec::new();
+        let mut free = Vec::new();
+        let mut conf = Vec::new();
+        for m in 0..self.n_methods {
+            match self.categories[m] {
+                MethodCategory::Reducible { .. } => red.push(MethodId(m)),
+                MethodCategory::IrreducibleFree => free.push(MethodId(m)),
+                MethodCategory::Conflicting { .. } => conf.push(MethodId(m)),
+            }
+        }
+        (red, free, conf)
+    }
+}
+
+/// Builder for [`CoordSpec`].
+#[derive(Debug, Clone)]
+pub struct CoordSpecBuilder {
+    n_methods: usize,
+    conflicts: BTreeSet<(usize, usize)>,
+    depends: Vec<BTreeSet<usize>>,
+    sum_groups: Vec<BTreeSet<usize>>,
+}
+
+impl CoordSpecBuilder {
+    /// Declare that methods `a` and `b` conflict (symmetric; `a == b`
+    /// declares a self-conflict such as withdraw/withdraw).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a method index is out of range.
+    pub fn conflict(mut self, a: usize, b: usize) -> Self {
+        assert!(a < self.n_methods && b < self.n_methods, "method out of range");
+        let (x, y) = if a <= b { (a, b) } else { (b, a) };
+        self.conflicts.insert((x, y));
+        self
+    }
+
+    /// Declare that method `dependent` is dependent on method `on`
+    /// (`on ∈ Dep(dependent)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a method index is out of range.
+    pub fn depends(mut self, dependent: usize, on: usize) -> Self {
+        assert!(dependent < self.n_methods && on < self.n_methods, "method out of range");
+        self.depends[dependent].insert(on);
+        self
+    }
+
+    /// Declare a summarization group: a set of methods whose calls are
+    /// closed under summarization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a method index is out of range or already belongs to a
+    /// summarization group.
+    pub fn summarization_group(mut self, methods: impl IntoIterator<Item = usize>) -> Self {
+        let set: BTreeSet<usize> = methods.into_iter().collect();
+        for &m in &set {
+            assert!(m < self.n_methods, "method out of range");
+            assert!(
+                !self.sum_groups.iter().any(|g| g.contains(&m)),
+                "method already in a summarization group"
+            );
+        }
+        self.sum_groups.push(set);
+        self
+    }
+
+    /// Finish building, deriving synchronization groups and categories.
+    pub fn build(self) -> CoordSpec {
+        let n = self.n_methods;
+        let mut graph = UndirectedGraph::new(n);
+        for &(a, b) in &self.conflicts {
+            graph.add_edge(a, b);
+        }
+        let comps = graph.components_with_edges();
+        let mut sync_group_of = vec![None; n];
+        let mut sync_groups = Vec::new();
+        for (gi, comp) in comps.iter().enumerate() {
+            for &m in comp {
+                sync_group_of[m] = Some(GroupId(gi));
+            }
+            sync_groups.push(comp.iter().map(|&m| MethodId(m)).collect());
+        }
+
+        let mut sum_group_of = vec![None; n];
+        let mut sum_groups = Vec::new();
+        for (gi, grp) in self.sum_groups.iter().enumerate() {
+            for &m in grp {
+                sum_group_of[m] = Some(GroupId(gi));
+            }
+            sum_groups.push(grp.iter().map(|&m| MethodId(m)).collect());
+        }
+
+        let depends: Vec<Vec<MethodId>> = self
+            .depends
+            .iter()
+            .map(|set| set.iter().map(|&m| MethodId(m)).collect())
+            .collect();
+
+        let categories = (0..n)
+            .map(|m| match sync_group_of[m] {
+                Some(g) => MethodCategory::Conflicting { sync_group: g },
+                None => match (depends[m].is_empty(), sum_group_of[m]) {
+                    (true, Some(g)) => MethodCategory::Reducible { sum_group: g },
+                    _ => MethodCategory::IrreducibleFree,
+                },
+            })
+            .collect();
+
+        CoordSpec {
+            n_methods: n,
+            conflicts: self.conflicts,
+            depends,
+            sum_group_of,
+            sum_groups,
+            sync_group_of,
+            sync_groups,
+            categories,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn account_coord() -> CoordSpec {
+        // 0 = deposit, 1 = withdraw.
+        CoordSpec::builder(2)
+            .conflict(1, 1)
+            .depends(1, 0)
+            .summarization_group([0])
+            .build()
+    }
+
+    #[test]
+    fn account_categories() {
+        let c = account_coord();
+        assert_eq!(
+            c.category(MethodId(0)),
+            MethodCategory::Reducible { sum_group: GroupId(0) }
+        );
+        assert_eq!(
+            c.category(MethodId(1)),
+            MethodCategory::Conflicting { sync_group: GroupId(0) }
+        );
+        assert!(c.category(MethodId(0)).is_reducible());
+        assert!(!c.category(MethodId(0)).is_conflicting());
+        assert!(c.category(MethodId(1)).is_conflicting());
+    }
+
+    #[test]
+    fn account_relations() {
+        let c = account_coord();
+        assert!(c.methods_conflict(MethodId(1), MethodId(1)));
+        assert!(!c.methods_conflict(MethodId(0), MethodId(1)));
+        assert_eq!(c.dependencies(MethodId(1)), &[MethodId(0)]);
+        assert!(c.is_dependence_free(MethodId(0)));
+        assert!(!c.is_dependence_free(MethodId(1)));
+        assert_eq!(c.sync_groups().len(), 1);
+        assert_eq!(c.sum_groups(), &[vec![MethodId(0)]]);
+    }
+
+    #[test]
+    fn dependent_summarizable_method_is_irreducible() {
+        // A method that is summarizable but dependent must not be
+        // reducible (§2 "Method categories").
+        let c = CoordSpec::builder(2)
+            .depends(0, 1)
+            .summarization_group([0])
+            .build();
+        assert_eq!(c.category(MethodId(0)), MethodCategory::IrreducibleFree);
+        assert_eq!(c.category(MethodId(1)), MethodCategory::IrreducibleFree);
+    }
+
+    #[test]
+    fn unsummarizable_free_method_is_irreducible() {
+        let c = CoordSpec::builder(1).build();
+        assert_eq!(c.category(MethodId(0)), MethodCategory::IrreducibleFree);
+        assert!(c.category(MethodId(0)).is_irreducible_free());
+    }
+
+    #[test]
+    fn movie_schema_has_two_sync_groups_and_two_leaders() {
+        // 0 = addCustomer, 1 = deleteCustomer, 2 = addMovie, 3 = deleteMovie.
+        let c = CoordSpec::builder(4)
+            .conflict(0, 1)
+            .conflict(1, 1)
+            .conflict(2, 3)
+            .conflict(3, 3)
+            .build();
+        assert_eq!(c.sync_groups().len(), 2);
+        assert_eq!(c.sync_group(MethodId(0)), Some(GroupId(0)));
+        assert_eq!(c.sync_group(MethodId(3)), Some(GroupId(1)));
+        let leaders = c.default_leaders(4);
+        assert_eq!(leaders, vec![Pid(0), Pid(1)]);
+    }
+
+    #[test]
+    fn conflict_chain_merges_groups() {
+        let c = CoordSpec::builder(3).conflict(0, 1).conflict(1, 2).build();
+        assert_eq!(c.sync_groups().len(), 1);
+        assert_eq!(c.sync_groups()[0], vec![MethodId(0), MethodId(1), MethodId(2)]);
+    }
+
+    #[test]
+    fn category_summary_partitions_methods() {
+        let c = account_coord();
+        let (red, free, conf) = c.category_summary();
+        assert_eq!(red, vec![MethodId(0)]);
+        assert!(free.is_empty());
+        assert_eq!(conf, vec![MethodId(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "method already in a summarization group")]
+    fn duplicate_sum_group_membership_panics() {
+        let _ = CoordSpec::builder(2)
+            .summarization_group([0])
+            .summarization_group([0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "method out of range")]
+    fn out_of_range_conflict_panics() {
+        let _ = CoordSpec::builder(1).conflict(0, 1);
+    }
+
+    #[test]
+    fn leaders_round_robin() {
+        let c = CoordSpec::builder(6)
+            .conflict(0, 0)
+            .conflict(1, 1)
+            .conflict(2, 2)
+            .build();
+        assert_eq!(c.default_leaders(2), vec![Pid(0), Pid(1), Pid(0)]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Small undirected-graph utilities: the conflict graph and its
+//! connected components (synchronization groups).
+//!
+//! §3.3 of the paper: "The conflict relation on methods induces an
+//! undirected graph that we call the conflict graph. The synchronization
+//! group of a method is the connected component of the method in the
+//! conflict graph."
+
+/// An undirected graph over `n` densely numbered vertices.
+///
+/// ```
+/// use hamband_core::graph::UndirectedGraph;
+/// let mut g = UndirectedGraph::new(4);
+/// g.add_edge(0, 1);
+/// g.add_edge(2, 2); // self-loop (e.g. withdraw conflicts with itself)
+/// let comps = g.components_with_edges();
+/// assert_eq!(comps, vec![vec![0, 1], vec![2]]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UndirectedGraph {
+    n: usize,
+    adj: Vec<Vec<usize>>,
+    /// Vertices that carry at least one edge (including self-loops).
+    touched: Vec<bool>,
+    /// Vertices with a self-loop.
+    looped: Vec<bool>,
+}
+
+impl UndirectedGraph {
+    /// An edgeless graph over `n` vertices.
+    pub fn new(n: usize) -> Self {
+        UndirectedGraph {
+            n,
+            adj: vec![Vec::new(); n],
+            touched: vec![false; n],
+            looped: vec![false; n],
+        }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Add the undirected edge `{a, b}`. Self-loops (`a == b`) are
+    /// allowed and mark the vertex as conflicting with itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range.
+    pub fn add_edge(&mut self, a: usize, b: usize) {
+        assert!(a < self.n && b < self.n, "vertex out of range");
+        self.touched[a] = true;
+        self.touched[b] = true;
+        if a == b {
+            self.looped[a] = true;
+        } else if !self.adj[a].contains(&b) {
+            self.adj[a].push(b);
+            self.adj[b].push(a);
+        }
+    }
+
+    /// Whether vertex `v` carries at least one edge (possibly a
+    /// self-loop). In conflict-graph terms: whether the method is
+    /// *conflicting*.
+    pub fn has_edges(&self, v: usize) -> bool {
+        self.touched[v]
+    }
+
+    /// Whether `a` and `b` are adjacent (self-loops count as adjacency
+    /// of a vertex with itself).
+    pub fn adjacent(&self, a: usize, b: usize) -> bool {
+        if a == b {
+            self.looped[a]
+        } else {
+            self.adj[a].contains(&b)
+        }
+    }
+
+    /// The connected components restricted to vertices that carry at
+    /// least one edge, each sorted ascending, ordered by their smallest
+    /// vertex. These are exactly the paper's synchronization groups.
+    pub fn components_with_edges(&self) -> Vec<Vec<usize>> {
+        let mut seen = vec![false; self.n];
+        let mut comps = Vec::new();
+        for start in 0..self.n {
+            if seen[start] || !self.touched[start] {
+                continue;
+            }
+            let mut comp = Vec::new();
+            let mut stack = vec![start];
+            seen[start] = true;
+            while let Some(v) = stack.pop() {
+                comp.push(v);
+                for &w in &self.adj[v] {
+                    if !seen[w] {
+                        seen[w] = true;
+                        stack.push(w);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            comps.push(comp);
+        }
+        comps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        let g = UndirectedGraph::new(5);
+        assert!(g.components_with_edges().is_empty());
+        assert_eq!(g.len(), 5);
+        assert!(!g.is_empty());
+        assert!(UndirectedGraph::new(0).is_empty());
+    }
+
+    #[test]
+    fn self_loop_forms_singleton_component() {
+        // The bank account: withdraw conflicts with itself, deposit free.
+        let mut g = UndirectedGraph::new(2);
+        g.add_edge(1, 1);
+        assert!(g.has_edges(1));
+        assert!(!g.has_edges(0));
+        assert_eq!(g.components_with_edges(), vec![vec![1]]);
+    }
+
+    #[test]
+    fn chain_is_one_component() {
+        let mut g = UndirectedGraph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(3, 4);
+        assert_eq!(g.components_with_edges(), vec![vec![0, 1, 2], vec![3, 4]]);
+    }
+
+    #[test]
+    fn duplicate_edges_are_idempotent() {
+        let mut g = UndirectedGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        g.add_edge(0, 1);
+        assert_eq!(g.components_with_edges(), vec![vec![0, 1]]);
+        assert!(g.adjacent(0, 1));
+        assert!(g.adjacent(1, 0));
+        assert!(!g.adjacent(0, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "vertex out of range")]
+    fn out_of_range_edge_panics() {
+        let mut g = UndirectedGraph::new(2);
+        g.add_edge(0, 2);
+    }
+
+    #[test]
+    fn two_sync_groups_like_movie_schema() {
+        // Movie: {addCustomer, deleteCustomer} and {addMovie, deleteMovie}.
+        let mut g = UndirectedGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 1);
+        g.add_edge(2, 3);
+        g.add_edge(3, 3);
+        assert_eq!(g.components_with_edges(), vec![vec![0, 1], vec![2, 3]]);
+    }
+}

@@ -1,0 +1,190 @@
+//! The object data type model of Fig. 3: ⟨Σ, I, ū:=d̄, q̄:=d̄⟩.
+//!
+//! A *class* defines a state type `Σ`, an integrity invariant `I` over
+//! states, executable update methods `u` (state → state) and query
+//! methods `q` (state → value). [`ObjectSpec`] captures exactly this
+//! tuple; every replicated data type shipped with Hamband implements it.
+
+use rand::rngs::StdRng;
+
+use crate::ids::MethodId;
+
+/// A class of replicated objects: ⟨Σ, I, ū:=d̄, q̄:=d̄⟩ (Fig. 3).
+///
+/// * `State` is the state type `Σ`.
+/// * `Update` is the type of update calls `u(v)` — typically an enum
+///   with one variant per update method, carrying the argument `v`.
+/// * `Query`/`Reply` are query calls `q(v)` and their return values.
+///
+/// The executable definitions:
+///
+/// * [`initial`](ObjectSpec::initial) — the initial state `σ₀`, which
+///   must satisfy the invariant.
+/// * [`invariant`](ObjectSpec::invariant) — the integrity predicate `I`.
+/// * [`apply`](ObjectSpec::apply) — the update definition
+///   `d = λx, σ. e` (total: callers gate on permissibility separately).
+/// * [`query`](ObjectSpec::query) — the query definition.
+/// * [`summarize`](ObjectSpec::summarize) — the partial summarization
+///   function of §3.3: `Summarize(c, c') = c''` with
+///   `c' ∘ c = c''` when both calls belong to a summarization group.
+///
+/// # Example
+///
+/// The paper's bank account (Fig. 1) is shipped as
+/// [`crate::demo::Account`]; see its source for a complete
+/// implementation of this trait.
+pub trait ObjectSpec {
+    /// The object state `Σ`.
+    type State: Clone + PartialEq + std::fmt::Debug;
+    /// An update call `u(v)`: the method together with its argument.
+    type Update: Clone + PartialEq + std::fmt::Debug;
+    /// A query call `q(v)`.
+    type Query: Clone + std::fmt::Debug;
+    /// A query return value.
+    type Reply: Clone + PartialEq + std::fmt::Debug;
+
+    /// Human-readable class name (for reports and error messages).
+    fn name(&self) -> &str;
+
+    /// The initial state `σ₀`. Must satisfy [`invariant`](Self::invariant).
+    fn initial(&self) -> Self::State;
+
+    /// The integrity predicate `I` of the class.
+    fn invariant(&self, state: &Self::State) -> bool;
+
+    /// Execute the update call, producing the post-state.
+    ///
+    /// `apply` must be a *total function of its arguments*: callers are
+    /// responsible for checking permissibility
+    /// (`I(apply(state, call))`) before committing the result.
+    fn apply(&self, state: &Self::State, call: &Self::Update) -> Self::State;
+
+    /// Execute a query call against a state.
+    fn query(&self, state: &Self::State, query: &Self::Query) -> Self::Reply;
+
+    /// The update method names, in dense [`MethodId`] order.
+    fn method_names(&self) -> Vec<&'static str>;
+
+    /// The method a call belongs to.
+    fn method_of(&self, call: &Self::Update) -> MethodId;
+
+    /// Summarize two calls of a summarization group (§3.3):
+    /// returns `c''` with `second ∘ first = c''`, or `None` if the calls
+    /// do not summarize.
+    ///
+    /// The default declares nothing summarizable.
+    fn summarize(&self, first: &Self::Update, second: &Self::Update) -> Option<Self::Update> {
+        let _ = (first, second);
+        None
+    }
+
+    /// Execute the update call in place. Semantically identical to
+    /// [`apply`](Self::apply); override for states where cloning is
+    /// expensive (large sets/maps). The runtime uses this on its hot
+    /// path; the semantics and checkers use the pure `apply`.
+    fn apply_mut(&self, state: &mut Self::State, call: &Self::Update) {
+        *state = self.apply(state, call);
+    }
+
+    /// Whether re-applying a *newer version* of a summary call on top of
+    /// a state that already includes an older version yields the same
+    /// state as applying only the newer version.
+    ///
+    /// Holds for idempotent, growing summaries (set-union `add_all`,
+    /// last-writer-wins `max`), not for accumulating ones (counter
+    /// `add`, account `deposit`). When `true`, replicas maintain their
+    /// query view incrementally as summary slots advance; when `false`,
+    /// they recompute the view from the stored state and the latest
+    /// summaries.
+    fn summaries_monotone(&self) -> bool {
+        false
+    }
+
+    /// Number of update methods.
+    fn method_count(&self) -> usize {
+        self.method_names().len()
+    }
+
+    /// Permissibility `𝒫(σ, c)` (§3.2): the invariant holds in the
+    /// post-state of the call.
+    fn permissible(&self, state: &Self::State, call: &Self::Update) -> bool {
+        self.invariant(&self.apply(state, call))
+    }
+}
+
+/// Random generation of states and calls, used by the bounded relation
+/// checker in [`crate::analysis`] and by property tests.
+///
+/// The paper assumes the conflict and dependency relations are given by
+/// an upstream analysis (Hamsaz-style); this trait supplies the sampling
+/// oracle our bounded checker uses to *validate* a declared
+/// [`crate::coord::CoordSpec`] against the executable definitions.
+pub trait SpecSampler: ObjectSpec {
+    /// Sample a reachable-looking state satisfying the invariant.
+    fn sample_state(&self, rng: &mut StdRng) -> Self::State;
+
+    /// Sample an update call on the given method.
+    fn sample_update_of(&self, method: MethodId, rng: &mut StdRng) -> Self::Update;
+
+    /// Sample an update call on any method.
+    fn sample_update(&self, rng: &mut StdRng) -> Self::Update {
+        use rand::Rng;
+        let m = rng.gen_range(0..self.method_count());
+        self.sample_update_of(MethodId(m), rng)
+    }
+}
+
+/// Everything a workload driver needs from an object class, beyond the
+/// state-oblivious sampling of [`SpecSampler`]:
+///
+/// * query sampling (the evaluation mixes update and query calls);
+/// * *state-aware* update generation — e.g. an OR-set `remove` must
+///   target observed elements, a courseware `enroll` must reference a
+///   registered student. The default delegates to the oblivious
+///   sampler, which suffices for context-free types like counters.
+pub trait WorkloadSupport: SpecSampler {
+    /// Sample a query call.
+    fn sample_query(&self, rng: &mut StdRng) -> Self::Query;
+
+    /// Generate an update call on `method` appropriate for `state`.
+    ///
+    /// `node` and `seq` give the issuing replica and a per-node counter,
+    /// letting generators mint collision-free identifiers (e.g. OR-set
+    /// tags). Return `None` when no sensible call exists in this state
+    /// (e.g. removing from an empty set); the driver will pick another
+    /// method.
+    fn gen_update(
+        &self,
+        state: &Self::State,
+        node: usize,
+        seq: u64,
+        method: MethodId,
+        rng: &mut StdRng,
+    ) -> Option<Self::Update> {
+        let _ = (state, node, seq);
+        Some(self.sample_update_of(method, rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demo::Account;
+
+    #[test]
+    fn permissible_default_matches_invariant_on_post_state() {
+        let acc = Account::new(2);
+        let s = acc.initial();
+        assert!(acc.permissible(&s, &Account::deposit(5)));
+        assert!(!acc.permissible(&s, &Account::withdraw(1)));
+        let s2 = acc.apply(&s, &Account::deposit(5));
+        assert!(acc.permissible(&s2, &Account::withdraw(5)));
+        assert!(!acc.permissible(&s2, &Account::withdraw(6)));
+    }
+
+    #[test]
+    fn method_count_matches_names() {
+        let acc = Account::new(2);
+        assert_eq!(acc.method_count(), acc.method_names().len());
+    }
+}

@@ -1,0 +1,76 @@
+//! Labels and traces (Fig. 3).
+//!
+//! A label `ℓ` records an externally visible step: a call request
+//! `(p, u(v)_r)` or a query `(p, q(v))`. A trace `τ` is a sequence of
+//! labels. The refinement theorem (Lemma 3) is stated over traces: every
+//! trace of the concrete RDMA semantics is a trace of the abstract WRDT
+//! semantics; [`crate::refinement`] checks this executably, which is why
+//! our labels additionally record propagation steps.
+
+use crate::ids::{Pid, Rid};
+
+/// One step of an execution, recorded by the executable semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Label<U> {
+    /// An update call `u(v)` issued (and locally applied) at `process`.
+    Call {
+        /// The issuing process.
+        process: Pid,
+        /// The unique request identifier assigned to the call.
+        rid: Rid,
+        /// The call itself.
+        update: U,
+    },
+    /// The call `rid` propagated to (applied at) `process`.
+    Prop {
+        /// The receiving process.
+        process: Pid,
+        /// The propagated call.
+        rid: Rid,
+    },
+    /// A query executed at `process`.
+    Query {
+        /// The queried process.
+        process: Pid,
+    },
+}
+
+impl<U> Label<U> {
+    /// The process this label is anchored at.
+    pub fn process(&self) -> Pid {
+        match *self {
+            Label::Call { process, .. }
+            | Label::Prop { process, .. }
+            | Label::Query { process } => process,
+        }
+    }
+
+    /// The request identifier, for call and propagation labels.
+    pub fn rid(&self) -> Option<Rid> {
+        match *self {
+            Label::Call { rid, .. } | Label::Prop { rid, .. } => Some(rid),
+            Label::Query { .. } => None,
+        }
+    }
+}
+
+/// A recorded execution trace.
+pub type Trace<U> = Vec<Label<U>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_accessors() {
+        let call: Label<u32> = Label::Call { process: Pid(1), rid: Rid::new(Pid(1), 0), update: 7 };
+        let prop: Label<u32> = Label::Prop { process: Pid(2), rid: Rid::new(Pid(1), 0) };
+        let query: Label<u32> = Label::Query { process: Pid(0) };
+        assert_eq!(call.process(), Pid(1));
+        assert_eq!(prop.process(), Pid(2));
+        assert_eq!(query.process(), Pid(0));
+        assert_eq!(call.rid(), Some(Rid::new(Pid(1), 0)));
+        assert_eq!(prop.rid(), Some(Rid::new(Pid(1), 0)));
+        assert_eq!(query.rid(), None);
+    }
+}

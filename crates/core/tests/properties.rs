@@ -1,0 +1,180 @@
+//! Property tests: the paper's guarantees under random schedules.
+//!
+//! * Lemma 1 (integrity) and Lemma 2 (convergence) hold along every
+//!   random abstract execution.
+//! * Lemma 3 (refinement): every random concrete (RDMA) execution's
+//!   trace replays in the abstract semantics.
+//! * The checked semantics never lets an ill-coordinated step through:
+//!   whatever interleaving is attempted, rejected steps leave the state
+//!   unchanged and accepted steps preserve the invariants.
+
+use hamband_core::abstract_sem::AbstractWrdt;
+use hamband_core::demo::Account;
+use hamband_core::ids::{GroupId, Pid};
+use hamband_core::rdma_sem::RdmaWrdt;
+use hamband_core::refinement::{replay, replay_and_check};
+use proptest::prelude::*;
+
+/// A random action against the abstract semantics.
+#[derive(Debug, Clone)]
+enum AbsOp {
+    Deposit { node: usize, amount: u64 },
+    Withdraw { node: usize, amount: u64 },
+    Propagate { node: usize, pick: usize },
+}
+
+fn abs_op() -> impl Strategy<Value = AbsOp> {
+    prop_oneof![
+        (0..3usize, 1..30u64).prop_map(|(node, amount)| AbsOp::Deposit { node, amount }),
+        (0..3usize, 1..30u64).prop_map(|(node, amount)| AbsOp::Withdraw { node, amount }),
+        (0..3usize, 0..64usize).prop_map(|(node, pick)| AbsOp::Propagate { node, pick }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lemmas 1 and 2 along arbitrary interleavings of calls and
+    /// propagations, with rejected steps exercised freely.
+    #[test]
+    fn abstract_integrity_and_convergence(ops in prop::collection::vec(abs_op(), 1..120)) {
+        let account = Account::new(50);
+        let coord = account.coord_spec();
+        let mut w = AbstractWrdt::new(&account, &coord, 3);
+        for op in ops {
+            match op {
+                AbsOp::Deposit { node, amount } => {
+                    let _ = w.call(node, Account::deposit(amount));
+                }
+                AbsOp::Withdraw { node, amount } => {
+                    let _ = w.call(node, Account::withdraw(amount));
+                }
+                AbsOp::Propagate { node, pick } => {
+                    let enabled = w.enabled_propagations(Pid(node));
+                    if !enabled.is_empty() {
+                        let rid = enabled[pick % enabled.len()];
+                        w.propagate_rid(node, rid).expect("enabled propagation succeeds");
+                    }
+                }
+            }
+            prop_assert!(w.check_integrity(), "integrity violated mid-run");
+            prop_assert!(w.check_convergence(), "convergence violated mid-run");
+        }
+        // Drain all propagations: full convergence.
+        w.propagate_all();
+        prop_assert!(w.fully_propagated());
+        prop_assert!(w.check_convergence());
+        let s0 = *w.state(Pid(0));
+        prop_assert_eq!(*w.state(Pid(1)), s0);
+        prop_assert_eq!(*w.state(Pid(2)), s0);
+    }
+}
+
+/// A random action against the concrete RDMA semantics.
+#[derive(Debug, Clone)]
+enum ConcOp {
+    Reduce { node: usize, amount: u64 },
+    Conf { amount: u64 },
+    FreeApp { node: usize, src: usize },
+    ConfApp { node: usize },
+}
+
+fn conc_op() -> impl Strategy<Value = ConcOp> {
+    prop_oneof![
+        (0..3usize, 1..30u64).prop_map(|(node, amount)| ConcOp::Reduce { node, amount }),
+        (1..30u64).prop_map(|amount| ConcOp::Conf { amount }),
+        (0..3usize, 0..3usize).prop_map(|(node, src)| ConcOp::FreeApp { node, src }),
+        (0..3usize).prop_map(|node| ConcOp::ConfApp { node }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lemma 3: every concrete trace replays abstractly, and the
+    /// corollaries (integrity, convergence) hold throughout.
+    #[test]
+    fn concrete_runs_refine(ops in prop::collection::vec(conc_op(), 1..120)) {
+        let account = Account::new(50);
+        let coord = account.coord_spec();
+        let mut k = RdmaWrdt::new(&account, &coord, 3);
+        for op in ops {
+            match op {
+                ConcOp::Reduce { node, amount } => {
+                    let _ = k.reduce(node, Account::deposit(amount));
+                }
+                ConcOp::Conf { amount } => {
+                    // The leader of the withdraw group is process 0.
+                    let _ = k.conf(0, Account::withdraw(amount));
+                }
+                ConcOp::FreeApp { node, src } => {
+                    let _ = k.free_app(Pid(node), Pid(src));
+                }
+                ConcOp::ConfApp { node } => {
+                    let _ = k.conf_app(Pid(node), GroupId(0));
+                }
+            }
+            prop_assert!(k.check_integrity(), "concrete integrity violated");
+        }
+        // Refinement of the partial trace.
+        let w = replay(&account, &coord, 3, k.trace()).expect("refinement holds");
+        prop_assert!(w.check_integrity());
+        // Drain and check convergence plus state agreement with the
+        // abstract replay.
+        k.drain();
+        prop_assert!(k.buffers_empty());
+        prop_assert!(k.check_convergence());
+        let w = replay_and_check(&account, &coord, 3, k.trace()).expect("refinement + lemmas");
+        for p in 0..3 {
+            prop_assert_eq!(*w.state(Pid(p)), k.current_state(Pid(p)),
+                "abstract and concrete states agree at p{}", p);
+        }
+    }
+
+    /// Permissibility is never bypassed: whatever the schedule, no
+    /// replica's balance ever goes negative, and rejected calls leave
+    /// state untouched.
+    #[test]
+    fn rejected_calls_have_no_effect(amounts in prop::collection::vec(1..40u64, 1..40)) {
+        let account = Account::new(50);
+        let coord = account.coord_spec();
+        let mut k = RdmaWrdt::new(&account, &coord, 2);
+        let mut expected: i128 = 0;
+        for (i, a) in amounts.iter().enumerate() {
+            if i % 2 == 0 {
+                k.reduce(0, Account::deposit(*a)).unwrap();
+                expected += i128::from(*a);
+            } else {
+                let before = k.current_state(Pid(0));
+                match k.conf(0, Account::withdraw(*a)) {
+                    Ok(_) => expected -= i128::from(*a),
+                    Err(_) => prop_assert_eq!(k.current_state(Pid(0)), before),
+                }
+            }
+            prop_assert!(expected >= 0);
+            prop_assert_eq!(k.current_state(Pid(0)), expected);
+        }
+    }
+}
+
+/// Deterministic cross-check: the concrete semantics agrees with a
+/// sequential reference when fully drained.
+#[test]
+fn concrete_matches_sequential_reference() {
+    let account = Account::new(50);
+    let coord = account.coord_spec();
+    let mut k = RdmaWrdt::new(&account, &coord, 4);
+    let mut reference: i128 = 0;
+    for i in 1..=20u64 {
+        k.reduce((i % 4) as usize, Account::deposit(i)).unwrap();
+        reference += i128::from(i);
+    }
+    for i in 1..=5u64 {
+        k.conf(0, Account::withdraw(i)).unwrap();
+        reference -= i128::from(i);
+    }
+    k.drain();
+    for p in 0..4 {
+        assert_eq!(k.current_state(Pid(p)), reference);
+    }
+}

@@ -1,0 +1,553 @@
+//! The fabric: registered memory, clocks, the event queue, and the
+//! [`Ctx`] handle through which node applications drive verbs.
+//!
+//! The fabric models the resources the protocols contend on:
+//!
+//! * a **CPU clock** per node — event handlers and verb posting charge
+//!   it; event delivery waits for it (this is what makes two-sided
+//!   receive paths expensive and one-sided writes free for the target);
+//! * a **NIC transmit clock** per node — each posted verb serializes
+//!   through it, bounding a node's injection rate;
+//! * a **FIFO channel clock** per (issuer, target) pair — Reliable
+//!   Connection QPs deliver one-sided operations in posting order, which
+//!   the single-writer ring buffers of §4 rely on;
+//! * **registered memory regions** with per-source write permissions —
+//!   the primitive Mu-style leader change is built on.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::fault::Fault;
+use crate::latency::LatencyModel;
+use crate::stats::Stats;
+use crate::time::{SimDuration, SimTime};
+use crate::verbs::{
+    CompletionStatus, Event, NodeId, RegionId, TimerId, WrId,
+};
+
+/// A registered memory region.
+#[derive(Debug, Clone)]
+pub(crate) struct Region {
+    pub(crate) bytes: Vec<u8>,
+    /// Per-source write permission (the owner itself is always allowed).
+    pub(crate) write_allowed: Vec<bool>,
+}
+
+#[derive(Debug)]
+pub(crate) struct NodeFabric {
+    pub(crate) regions: Vec<Region>,
+    /// CPU availability: events are handled no earlier than this.
+    pub(crate) cpu_free: SimTime,
+    /// NIC transmit availability.
+    pub(crate) nic_free: SimTime,
+    pub(crate) crashed: bool,
+    /// Writes landing at this node are torn in two (fault mode).
+    pub(crate) torn_writes: bool,
+    pub(crate) next_wr: u64,
+    pub(crate) next_timer: u64,
+    pub(crate) cancelled: HashSet<TimerId>,
+    /// Timers that fire even while the node's (application) CPU is
+    /// busy — modelling dedicated threads such as the paper's
+    /// heartbeat thread on a multi-core node.
+    pub(crate) isolated: HashSet<TimerId>,
+}
+
+/// Internal queue actions.
+#[derive(Debug)]
+pub(crate) enum Action {
+    Deliver {
+        node: NodeId,
+        event: Event,
+    },
+    Land {
+        issuer: NodeId,
+        wr: WrId,
+        target: NodeId,
+        region: RegionId,
+        offset: usize,
+        bytes: Bytes,
+        /// Whether to notify the issuer on landing (false for the first
+        /// half of a torn write).
+        notify: bool,
+    },
+    ReadAt {
+        issuer: NodeId,
+        wr: WrId,
+        target: NodeId,
+        region: RegionId,
+        offset: usize,
+        len: usize,
+        return_delay: SimDuration,
+    },
+    CasAt {
+        issuer: NodeId,
+        wr: WrId,
+        target: NodeId,
+        region: RegionId,
+        offset: usize,
+        expected: u64,
+        swap: u64,
+        return_delay: SimDuration,
+    },
+    InjectFault(Fault),
+}
+
+#[derive(Debug)]
+pub(crate) struct QueueEntry {
+    pub(crate) time: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) action: Action,
+}
+
+impl PartialEq for QueueEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for QueueEntry {}
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// The shared fabric state (everything except the applications).
+#[derive(Debug)]
+pub struct Fabric {
+    pub(crate) now: SimTime,
+    pub(crate) queue: BinaryHeap<Reverse<QueueEntry>>,
+    pub(crate) seq: u64,
+    pub(crate) nodes: Vec<NodeFabric>,
+    pub(crate) latency: LatencyModel,
+    pub(crate) rng: StdRng,
+    pub(crate) stats: Stats,
+    /// FIFO landing clock per (issuer, target) pair of one-sided verbs.
+    pub(crate) chan_free: Vec<Vec<SimTime>>,
+    /// FIFO delivery clock per (issuer, target) pair of messages.
+    pub(crate) msg_chan_free: Vec<Vec<SimTime>>,
+}
+
+impl Fabric {
+    pub(crate) fn new(n: usize, latency: LatencyModel, seed: u64) -> Self {
+        assert!(n > 0, "cluster must be non-empty");
+        Fabric {
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            nodes: (0..n)
+                .map(|_| NodeFabric {
+                    regions: Vec::new(),
+                    cpu_free: SimTime::ZERO,
+                    nic_free: SimTime::ZERO,
+                    crashed: false,
+                    torn_writes: false,
+                    next_wr: 0,
+                    next_timer: 0,
+                    cancelled: HashSet::new(),
+                    isolated: HashSet::new(),
+                })
+                .collect(),
+            latency,
+            rng: StdRng::seed_from_u64(seed),
+            stats: Stats::new(n),
+            chan_free: vec![vec![SimTime::ZERO; n]; n],
+            msg_chan_free: vec![vec![SimTime::ZERO; n]; n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the cluster is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Traffic statistics so far.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    pub(crate) fn push(&mut self, time: SimTime, action: Action) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(QueueEntry { time, seq, action }));
+    }
+
+    /// Re-enqueue a deferred event *keeping its original sequence
+    /// number*, so that a postponed delivery cannot be overtaken at the
+    /// same timestamp by a logically later event that still carries a
+    /// lower sequence number (per-channel FIFO would silently break
+    /// otherwise).
+    pub(crate) fn push_with_seq(&mut self, time: SimTime, seq: u64, action: Action) {
+        self.queue.push(Reverse(QueueEntry { time, seq, action }));
+    }
+
+    pub(crate) fn mint_wr(&mut self, node: NodeId) -> WrId {
+        let nf = &mut self.nodes[node.index()];
+        let wr = WrId(nf.next_wr);
+        nf.next_wr += 1;
+        wr
+    }
+
+    /// Charge CPU time to a node starting no earlier than `now`.
+    pub(crate) fn charge_cpu(&mut self, node: NodeId, cost: SimDuration) -> SimTime {
+        let nf = &mut self.nodes[node.index()];
+        let start = nf.cpu_free.max(self.now);
+        nf.cpu_free = start + cost;
+        nf.cpu_free
+    }
+
+    /// Reserve NIC transmit time; returns when the verb leaves the NIC.
+    pub(crate) fn reserve_nic(&mut self, node: NodeId) -> SimTime {
+        let cost = self.latency.nic_tx_cost;
+        let nf = &mut self.nodes[node.index()];
+        let start = nf.nic_free.max(self.now);
+        nf.nic_free = start + cost;
+        nf.nic_free
+    }
+
+    /// FIFO-ordered landing time on the (issuer → target) channel.
+    pub(crate) fn fifo_land(&mut self, issuer: NodeId, target: NodeId, earliest: SimTime) -> SimTime {
+        let slot = &mut self.chan_free[issuer.index()][target.index()];
+        let t = (*slot).max(earliest);
+        *slot = t;
+        t
+    }
+
+    pub(crate) fn fifo_msg(&mut self, issuer: NodeId, target: NodeId, earliest: SimTime) -> SimTime {
+        let slot = &mut self.msg_chan_free[issuer.index()][target.index()];
+        let t = (*slot).max(earliest);
+        *slot = t;
+        t
+    }
+
+    pub(crate) fn check_access(
+        &self,
+        issuer: NodeId,
+        target: NodeId,
+        region: RegionId,
+        offset: usize,
+        len: usize,
+        write: bool,
+    ) -> CompletionStatus {
+        let Some(r) = self.nodes[target.index()].regions.get(region.index()) else {
+            return CompletionStatus::OutOfBounds;
+        };
+        if offset + len > r.bytes.len() {
+            return CompletionStatus::OutOfBounds;
+        }
+        if write && issuer != target && !r.write_allowed[issuer.index()] {
+            return CompletionStatus::AccessDenied;
+        }
+        CompletionStatus::Success
+    }
+}
+
+/// The handle through which a node application interacts with the
+/// fabric during an event callback.
+///
+/// All operations are asynchronous: verbs return a [`WrId`] immediately
+/// and complete later through [`Event::Completion`]. This mirrors how
+/// the real runtime posts to a QP and polls the completion queue.
+pub struct Ctx<'a> {
+    pub(crate) fabric: &'a mut Fabric,
+    pub(crate) node: NodeId,
+}
+
+impl Ctx<'_> {
+    /// The node this context belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.fabric.now
+    }
+
+    /// Cluster size.
+    pub fn cluster_size(&self) -> usize {
+        self.fabric.len()
+    }
+
+    /// The deterministic RNG of the fabric (shared; use for workload
+    /// generation and protocol timeouts).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.fabric.rng
+    }
+
+    /// Charge `cost` of local CPU work (e.g. executing a method body).
+    pub fn consume(&mut self, cost: SimDuration) {
+        self.fabric.charge_cpu(self.node, cost);
+    }
+
+    /// The configured latency model (read-only).
+    pub fn latency(&self) -> &LatencyModel {
+        &self.fabric.latency
+    }
+
+    /// Post a one-sided RDMA WRITE of `data` into
+    /// `(target, region, offset)`.
+    ///
+    /// Completes with [`CompletionStatus::Success`] once the data is
+    /// placed, [`CompletionStatus::AccessDenied`] if write permission
+    /// was revoked, or [`CompletionStatus::OutOfBounds`]. The target's
+    /// CPU is *not* involved. Writes from one node to the same target
+    /// land in posting order (RC FIFO).
+    pub fn post_write(
+        &mut self,
+        target: NodeId,
+        region: RegionId,
+        offset: usize,
+        data: &[u8],
+    ) -> WrId {
+        let wr = self.fabric.mint_wr(self.node);
+        let post_cost = self.fabric.latency.post_cost;
+        self.fabric.charge_cpu(self.node, post_cost);
+        let tx = self.fabric.reserve_nic(self.node);
+        let lat = self.fabric.latency.write_latency(data.len(), &mut self.fabric.rng);
+        let land = self.fabric.fifo_land(self.node, target, tx + lat);
+        self.fabric.stats.writes += 1;
+        self.fabric.stats.one_sided_bytes += data.len() as u64;
+        self.fabric.stats.per_node_ops[self.node.index()] += 1;
+        self.fabric.push(
+            land,
+            Action::Land {
+                issuer: self.node,
+                wr,
+                target,
+                region,
+                offset,
+                bytes: Bytes::copy_from_slice(data),
+                notify: true,
+            },
+        );
+        wr
+    }
+
+    /// Post a one-sided RDMA READ of `len` bytes from
+    /// `(target, region, offset)`. Completes with the fetched bytes.
+    pub fn post_read(
+        &mut self,
+        target: NodeId,
+        region: RegionId,
+        offset: usize,
+        len: usize,
+    ) -> WrId {
+        let wr = self.fabric.mint_wr(self.node);
+        let post_cost = self.fabric.latency.post_cost;
+        self.fabric.charge_cpu(self.node, post_cost);
+        let tx = self.fabric.reserve_nic(self.node);
+        let rtt = self.fabric.latency.read_latency(len, &mut self.fabric.rng);
+        let half = SimDuration::nanos(rtt.as_nanos() / 2);
+        self.fabric.stats.reads += 1;
+        self.fabric.stats.one_sided_bytes += len as u64;
+        self.fabric.stats.per_node_ops[self.node.index()] += 1;
+        self.fabric.push(
+            tx + half,
+            Action::ReadAt {
+                issuer: self.node,
+                wr,
+                target,
+                region,
+                offset,
+                len,
+                return_delay: half,
+            },
+        );
+        wr
+    }
+
+    /// Post a one-sided compare-and-swap on the 8-byte little-endian
+    /// word at `(target, region, offset)`. Completes with the *prior*
+    /// value; the swap happened iff the prior value equals `expected`.
+    pub fn post_cas(
+        &mut self,
+        target: NodeId,
+        region: RegionId,
+        offset: usize,
+        expected: u64,
+        swap: u64,
+    ) -> WrId {
+        let wr = self.fabric.mint_wr(self.node);
+        let post_cost = self.fabric.latency.post_cost;
+        self.fabric.charge_cpu(self.node, post_cost);
+        let tx = self.fabric.reserve_nic(self.node);
+        let rtt = self.fabric.latency.cas_latency(&mut self.fabric.rng);
+        let half = SimDuration::nanos(rtt.as_nanos() / 2);
+        self.fabric.stats.cas += 1;
+        self.fabric.stats.per_node_ops[self.node.index()] += 1;
+        self.fabric.push(
+            tx + half,
+            Action::CasAt {
+                issuer: self.node,
+                wr,
+                target,
+                region,
+                offset,
+                expected,
+                swap,
+                return_delay: half,
+            },
+        );
+        wr
+    }
+
+    /// Send a two-sided message (SEND/RECV through the network stack).
+    /// Costs the receiver CPU time on delivery; per-pair FIFO.
+    pub fn send(&mut self, target: NodeId, payload: Bytes) {
+        let post_cost = self.fabric.latency.post_cost;
+        self.fabric.charge_cpu(self.node, post_cost);
+        let tx = self.fabric.reserve_nic(self.node);
+        let lat = self.fabric.latency.msg_latency(payload.len(), &mut self.fabric.rng);
+        let deliver = self.fabric.fifo_msg(self.node, target, tx + lat);
+        self.fabric.stats.messages += 1;
+        self.fabric.stats.message_bytes += payload.len() as u64;
+        self.fabric.stats.per_node_ops[self.node.index()] += 1;
+        self.fabric.push(
+            deliver,
+            Action::Deliver { node: target, event: Event::Message { from: self.node, payload } },
+        );
+    }
+
+    /// Arm a timer that fires after `delay` with the given tag.
+    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
+        let nf = &mut self.fabric.nodes[self.node.index()];
+        let id = TimerId(nf.next_timer);
+        nf.next_timer += 1;
+        let at = self.fabric.now + delay;
+        self.fabric.push(at, Action::Deliver { node: self.node, event: Event::Timer { id, tag } });
+        id
+    }
+
+    /// Arm a timer that fires *even while the node's CPU is busy* —
+    /// the moral equivalent of a dedicated thread on another core
+    /// (§4's heartbeat thread). Use sparingly: handlers still share
+    /// application state.
+    pub fn set_timer_isolated(&mut self, delay: SimDuration, tag: u64) -> TimerId {
+        let id = self.set_timer(delay, tag);
+        self.fabric.nodes[self.node.index()].isolated.insert(id);
+        id
+    }
+
+    /// Cancel a previously armed timer (no-op if already fired).
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.fabric.nodes[self.node.index()].cancelled.insert(id);
+    }
+
+    /// Read this node's own region memory (free: local access).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region or range is invalid.
+    pub fn local(&self, region: RegionId, offset: usize, len: usize) -> &[u8] {
+        &self.fabric.nodes[self.node.index()].regions[region.index()].bytes[offset..offset + len]
+    }
+
+    /// Write this node's own region memory (free: local access).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region or range is invalid.
+    pub fn local_write(&mut self, region: RegionId, offset: usize, data: &[u8]) {
+        self.fabric.nodes[self.node.index()].regions[region.index()].bytes
+            [offset..offset + data.len()]
+            .copy_from_slice(data);
+    }
+
+    /// Grant or revoke write permission on a local region for a source
+    /// node (local, instantaneous operation by the region owner — the
+    /// QP permission mechanism of Mu).
+    pub fn set_write_permission(&mut self, region: RegionId, source: NodeId, allowed: bool) {
+        self.fabric.nodes[self.node.index()].regions[region.index()].write_allowed
+            [source.index()] = allowed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_orders_by_time_then_seq() {
+        let mut f = Fabric::new(1, LatencyModel::deterministic(), 0);
+        f.push(SimTime(10), Action::InjectFault(Fault::Crash(NodeId(0))));
+        f.push(SimTime(5), Action::InjectFault(Fault::Crash(NodeId(0))));
+        f.push(SimTime(5), Action::InjectFault(Fault::TornWrites(NodeId(0))));
+        let Reverse(e1) = f.queue.pop().unwrap();
+        let Reverse(e2) = f.queue.pop().unwrap();
+        let Reverse(e3) = f.queue.pop().unwrap();
+        assert_eq!(e1.time, SimTime(5));
+        assert!(matches!(e1.action, Action::InjectFault(Fault::Crash(_))));
+        assert_eq!(e2.time, SimTime(5));
+        assert!(matches!(e2.action, Action::InjectFault(Fault::TornWrites(_))));
+        assert_eq!(e3.time, SimTime(10));
+    }
+
+    #[test]
+    fn cpu_charging_accumulates() {
+        let mut f = Fabric::new(1, LatencyModel::deterministic(), 0);
+        let t1 = f.charge_cpu(NodeId(0), SimDuration::nanos(100));
+        let t2 = f.charge_cpu(NodeId(0), SimDuration::nanos(50));
+        assert_eq!(t1, SimTime(100));
+        assert_eq!(t2, SimTime(150));
+    }
+
+    #[test]
+    fn fifo_channel_is_monotonic() {
+        let mut f = Fabric::new(2, LatencyModel::deterministic(), 0);
+        let a = f.fifo_land(NodeId(0), NodeId(1), SimTime(100));
+        let b = f.fifo_land(NodeId(0), NodeId(1), SimTime(50));
+        assert_eq!(a, SimTime(100));
+        assert_eq!(b, SimTime(100), "later post cannot land earlier");
+    }
+
+    #[test]
+    fn access_checks() {
+        let mut f = Fabric::new(2, LatencyModel::deterministic(), 0);
+        f.nodes[1].regions.push(Region { bytes: vec![0; 64], write_allowed: vec![true, true] });
+        assert_eq!(
+            f.check_access(NodeId(0), NodeId(1), RegionId(0), 0, 64, true),
+            CompletionStatus::Success
+        );
+        assert_eq!(
+            f.check_access(NodeId(0), NodeId(1), RegionId(0), 60, 8, true),
+            CompletionStatus::OutOfBounds
+        );
+        assert_eq!(
+            f.check_access(NodeId(0), NodeId(1), RegionId(1), 0, 1, false),
+            CompletionStatus::OutOfBounds
+        );
+        f.nodes[1].regions[0].write_allowed[0] = false;
+        assert_eq!(
+            f.check_access(NodeId(0), NodeId(1), RegionId(0), 0, 8, true),
+            CompletionStatus::AccessDenied
+        );
+        // Reads ignore write permission; owner writes ignore it too.
+        assert_eq!(
+            f.check_access(NodeId(0), NodeId(1), RegionId(0), 0, 8, false),
+            CompletionStatus::Success
+        );
+        assert_eq!(
+            f.check_access(NodeId(1), NodeId(1), RegionId(0), 0, 8, true),
+            CompletionStatus::Success
+        );
+    }
+}

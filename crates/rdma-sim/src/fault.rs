@@ -1,0 +1,103 @@
+//! Fault injection.
+//!
+//! Two levels, matching the paper's evaluation:
+//!
+//! * [`Fault::SuspendHeartbeat`] — the injection §5 actually uses:
+//!   the node's application is told to stop its heartbeat thread, so
+//!   peers *suspect* it while it keeps executing. Delivered to the
+//!   application as an [`crate::verbs::Event::Fault`].
+//! * [`Fault::Crash`] — a full fail-stop: the node's application stops
+//!   executing (no events are delivered, no new verbs are posted).
+//!   Its registered memory remains remotely accessible, as on real
+//!   RDMA hardware where the NIC can serve DMA while the host CPU is
+//!   wedged — which is precisely what makes remote-read recovery of the
+//!   reliable-broadcast backup slot possible.
+//! * [`Fault::TornWrites`] — a fabric-level mode: subsequent one-sided
+//!   writes to the given node land in two halves with a gap, exposing
+//!   readers that do not honor the canary-bit protocol of §4.
+
+use crate::time::SimTime;
+use crate::verbs::NodeId;
+
+/// A fault-plan action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Tell the node's application to suspend its heartbeat.
+    SuspendHeartbeat(NodeId),
+    /// Tell the node's application to resume its heartbeat.
+    ResumeHeartbeat(NodeId),
+    /// Fail-stop the node (memory stays remotely readable/writable).
+    Crash(NodeId),
+    /// From now on, one-sided writes landing at this node are torn in
+    /// two (payload first, last byte later), stressing canary checks.
+    TornWrites(NodeId),
+}
+
+impl Fault {
+    /// The node the fault targets.
+    pub fn target(self) -> NodeId {
+        match self {
+            Fault::SuspendHeartbeat(n)
+            | Fault::ResumeHeartbeat(n)
+            | Fault::Crash(n)
+            | Fault::TornWrites(n) => n,
+        }
+    }
+}
+
+/// A schedule of faults to inject at given virtual times.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    entries: Vec<(SimTime, Fault)>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Schedule `fault` at time `at`.
+    pub fn at(mut self, at: SimTime, fault: Fault) -> Self {
+        self.entries.push((at, fault));
+        self
+    }
+
+    /// The scheduled entries, sorted by time.
+    pub fn entries(&self) -> Vec<(SimTime, Fault)> {
+        let mut v = self.entries.clone();
+        v.sort_by_key(|&(t, _)| t);
+        v
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn plan_sorts_by_time() {
+        let plan = FaultPlan::new()
+            .at(SimTime::ZERO + SimDuration::micros(50), Fault::Crash(NodeId(1)))
+            .at(SimTime::ZERO + SimDuration::micros(10), Fault::SuspendHeartbeat(NodeId(2)));
+        let entries = plan.entries();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].1, Fault::SuspendHeartbeat(NodeId(2)));
+        assert_eq!(entries[1].1, Fault::Crash(NodeId(1)));
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::new().is_empty());
+    }
+
+    #[test]
+    fn fault_targets() {
+        assert_eq!(Fault::Crash(NodeId(3)).target(), NodeId(3));
+        assert_eq!(Fault::TornWrites(NodeId(1)).target(), NodeId(1));
+        assert_eq!(Fault::ResumeHeartbeat(NodeId(0)).target(), NodeId(0));
+    }
+}

@@ -1,0 +1,710 @@
+//! The simulator: node applications plus the event loop.
+
+use std::cmp::Reverse;
+
+use bytes::Bytes;
+
+use crate::fabric::{Action, Ctx, Fabric, Region};
+use crate::fault::{Fault, FaultPlan};
+use crate::latency::LatencyModel;
+use crate::stats::Stats;
+use crate::time::{SimDuration, SimTime};
+use crate::verbs::{AppFault, Event, NodeId, RegionId, VerbKind};
+
+/// A node application: a protocol state machine driven by events.
+///
+/// One instance runs per node. The simulator calls
+/// [`on_start`](App::on_start) once before any event, then
+/// [`on_event`](App::on_event) for each delivered event. Applications
+/// interact with the fabric exclusively through the [`Ctx`] handle.
+pub trait App {
+    /// Called once at simulation start.
+    fn on_start(&mut self, ctx: &mut Ctx<'_>);
+
+    /// Called for every delivered event.
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event);
+}
+
+/// A deterministic discrete-event simulation of an RDMA cluster running
+/// one application instance per node.
+///
+/// ```
+/// use rdma_sim::{App, Ctx, Event, LatencyModel, SimDuration, Simulator};
+///
+/// struct Pinger { region: rdma_sim::RegionId, done: bool }
+/// impl App for Pinger {
+///     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+///         if ctx.node().index() == 0 {
+///             ctx.post_write(rdma_sim::NodeId(1), self.region, 0, b"hi");
+///         }
+///     }
+///     fn on_event(&mut self, _ctx: &mut Ctx<'_>, event: Event) {
+///         if matches!(event, Event::Completion { .. }) {
+///             self.done = true;
+///         }
+///     }
+/// }
+///
+/// let mut sim = Simulator::new(2, LatencyModel::deterministic(), 7);
+/// let region = sim.add_region_all(64);
+/// sim.set_apps(|_| Pinger { region, done: false });
+/// sim.run_for(SimDuration::millis(1));
+/// assert!(sim.app(rdma_sim::NodeId(0)).done);
+/// assert_eq!(&sim.region_bytes(rdma_sim::NodeId(1), region)[..2], b"hi");
+/// ```
+pub struct Simulator<A> {
+    fabric: Fabric,
+    apps: Vec<Option<A>>,
+    started: bool,
+}
+
+impl<A: App> Simulator<A> {
+    /// A simulator for `n` nodes with the given latency model and RNG
+    /// seed. Applications must be installed with [`set_apps`]
+    /// (or [`set_app`]) before running.
+    ///
+    /// [`set_apps`]: Simulator::set_apps
+    /// [`set_app`]: Simulator::set_app
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, latency: LatencyModel, seed: u64) -> Self {
+        Simulator { fabric: Fabric::new(n, latency, seed), apps: (0..n).map(|_| None).collect(), started: false }
+    }
+
+    /// Cluster size.
+    pub fn len(&self) -> usize {
+        self.fabric.len()
+    }
+
+    /// Whether the cluster is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.fabric.is_empty()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.fabric.now()
+    }
+
+    /// Traffic statistics.
+    pub fn stats(&self) -> &Stats {
+        self.fabric.stats()
+    }
+
+    /// Register a region of `size` bytes on `node`, writable by all
+    /// peers until permissions are revoked. Returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after the simulation started.
+    pub fn add_region(&mut self, node: NodeId, size: usize) -> RegionId {
+        assert!(!self.started, "regions must be registered before start");
+        let n = self.fabric.len();
+        let regions = &mut self.fabric.nodes[node.index()].regions;
+        let id = RegionId(regions.len());
+        regions.push(Region { bytes: vec![0; size], write_allowed: vec![true; n] });
+        id
+    }
+
+    /// Register the same-sized region on every node (the common layout
+    /// case); all nodes get the same [`RegionId`].
+    pub fn add_region_all(&mut self, size: usize) -> RegionId {
+        let ids: Vec<RegionId> =
+            (0..self.len()).map(|i| self.add_region(NodeId(i), size)).collect();
+        let first = ids[0];
+        assert!(ids.iter().all(|&i| i == first), "region layout diverged");
+        first
+    }
+
+    /// Install the application for one node.
+    pub fn set_app(&mut self, node: NodeId, app: A) {
+        self.apps[node.index()] = Some(app);
+    }
+
+    /// Install applications for all nodes from a constructor.
+    pub fn set_apps(&mut self, mut make: impl FnMut(NodeId) -> A) {
+        for i in 0..self.len() {
+            self.apps[i] = Some(make(NodeId(i)));
+        }
+    }
+
+    /// Schedule a fault plan.
+    pub fn install_fault_plan(&mut self, plan: &FaultPlan) {
+        for (t, fault) in plan.entries() {
+            self.fabric.push(t, Action::InjectFault(fault));
+        }
+    }
+
+    /// Borrow a node's application.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no application was installed for the node.
+    pub fn app(&self, node: NodeId) -> &A {
+        self.apps[node.index()].as_ref().expect("application installed")
+    }
+
+    /// Mutably borrow a node's application (for drivers injecting work
+    /// between slices of simulation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no application was installed for the node.
+    pub fn app_mut(&mut self, node: NodeId) -> &mut A {
+        self.apps[node.index()].as_mut().expect("application installed")
+    }
+
+    /// Run a closure with a node's application *and* a fabric context,
+    /// letting external drivers issue work on the node's behalf.
+    pub fn with_app_ctx<R>(&mut self, node: NodeId, f: impl FnOnce(&mut A, &mut Ctx<'_>) -> R) -> R {
+        let mut app = self.apps[node.index()].take().expect("application installed");
+        let mut ctx = Ctx { fabric: &mut self.fabric, node };
+        let r = f(&mut app, &mut ctx);
+        self.apps[node.index()] = Some(app);
+        r
+    }
+
+    /// Whether a node has crashed (fail-stop).
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.fabric.nodes[node.index()].crashed
+    }
+
+    /// Inspect a node's region memory (driver/test introspection).
+    pub fn region_bytes(&self, node: NodeId, region: RegionId) -> &[u8] {
+        &self.fabric.nodes[node.index()].regions[region.index()].bytes
+    }
+
+    fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.len() {
+            let mut app = self.apps[i].take().expect("all applications installed");
+            let mut ctx = Ctx { fabric: &mut self.fabric, node: NodeId(i) };
+            app.on_start(&mut ctx);
+            self.apps[i] = Some(app);
+        }
+    }
+
+    /// Process events until the queue is exhausted or virtual time
+    /// exceeds `deadline`. Returns the time reached.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        self.start();
+        while let Some(Reverse(head)) = self.fabric.queue.peek() {
+            if head.time > deadline {
+                self.fabric.now = deadline;
+                return deadline;
+            }
+            let Reverse(entry) = self.fabric.queue.pop().expect("peeked");
+            self.fabric.now = self.fabric.now.max(entry.time);
+            self.dispatch(entry.seq, entry.action);
+        }
+        self.fabric.now = self.fabric.now.max(deadline);
+        deadline
+    }
+
+    /// Run for a span of virtual time from now.
+    pub fn run_for(&mut self, span: SimDuration) -> SimTime {
+        let deadline = self.now() + span;
+        self.run_until(deadline)
+    }
+
+    /// Whether any event is pending.
+    pub fn has_pending(&self) -> bool {
+        !self.fabric.queue.is_empty()
+    }
+
+    fn dispatch(&mut self, seq: u64, action: Action) {
+        match action {
+            Action::Deliver { node, event } => self.deliver(seq, node, event),
+            Action::Land { issuer, wr, target, region, offset, bytes, notify } => {
+                let status = self.fabric.check_access(
+                    issuer,
+                    target,
+                    region,
+                    offset,
+                    bytes.len(),
+                    true,
+                );
+                let mut landed_at = self.fabric.now;
+                if status.is_success() {
+                    if self.fabric.nodes[target.index()].torn_writes && bytes.len() > 1 && notify {
+                        // Tear: all but the last byte now, the last byte
+                        // (where protocols put their canary) later.
+                        let split = bytes.len() - 1;
+                        let r = &mut self.fabric.nodes[target.index()].regions[region.index()];
+                        r.bytes[offset..offset + split].copy_from_slice(&bytes[..split]);
+                        let gap = SimDuration::nanos(400);
+                        landed_at = self.fabric.now + gap;
+                        self.fabric.push(
+                            landed_at,
+                            Action::Land {
+                                issuer,
+                                wr,
+                                target,
+                                region,
+                                offset: offset + split,
+                                bytes: bytes.slice(split..),
+                                notify: false,
+                            },
+                        );
+                        // Completion will be delivered by the tail land.
+                        return;
+                    }
+                    let r = &mut self.fabric.nodes[target.index()].regions[region.index()];
+                    r.bytes[offset..offset + bytes.len()].copy_from_slice(&bytes);
+                }
+                // Torn tail writes carry notify = false and must still
+                // complete the original request; plain writes complete
+                // here directly.
+                let completed_at = landed_at.max(self.fabric.now);
+                self.fabric.push(
+                    completed_at,
+                    Action::Deliver {
+                        node: issuer,
+                        event: Event::Completion {
+                            wr,
+                            kind: VerbKind::Write,
+                            status,
+                            data: None,
+                            completed_at,
+                        },
+                    },
+                );
+            }
+            Action::ReadAt { issuer, wr, target, region, offset, len, return_delay } => {
+                let status = self.fabric.check_access(issuer, target, region, offset, len, false);
+                let data = if status.is_success() {
+                    let r = &self.fabric.nodes[target.index()].regions[region.index()];
+                    Some(Bytes::copy_from_slice(&r.bytes[offset..offset + len]))
+                } else {
+                    None
+                };
+                let at = self.fabric.now + return_delay;
+                self.fabric.push(
+                    at,
+                    Action::Deliver {
+                        node: issuer,
+                        event: Event::Completion {
+                            wr,
+                            kind: VerbKind::Read,
+                            status,
+                            data,
+                            completed_at: self.fabric.now,
+                        },
+                    },
+                );
+            }
+            Action::CasAt { issuer, wr, target, region, offset, expected, swap, return_delay } => {
+                let status = self.fabric.check_access(issuer, target, region, offset, 8, true);
+                let data = if status.is_success() {
+                    let r = &mut self.fabric.nodes[target.index()].regions[region.index()];
+                    let mut word = [0u8; 8];
+                    word.copy_from_slice(&r.bytes[offset..offset + 8]);
+                    let prior = u64::from_le_bytes(word);
+                    if prior == expected {
+                        r.bytes[offset..offset + 8].copy_from_slice(&swap.to_le_bytes());
+                    }
+                    Some(Bytes::copy_from_slice(&prior.to_le_bytes()))
+                } else {
+                    None
+                };
+                let at = self.fabric.now + return_delay;
+                self.fabric.push(
+                    at,
+                    Action::Deliver {
+                        node: issuer,
+                        event: Event::Completion {
+                            wr,
+                            kind: VerbKind::CompareAndSwap,
+                            status,
+                            data,
+                            completed_at: self.fabric.now,
+                        },
+                    },
+                );
+            }
+            Action::InjectFault(fault) => self.inject(fault),
+        }
+    }
+
+    fn deliver(&mut self, seq: u64, node: NodeId, event: Event) {
+        let nf = &self.fabric.nodes[node.index()];
+        if nf.crashed {
+            return;
+        }
+        // Respect the node's CPU availability: if it is busy, the event
+        // waits — keeping its original sequence number so arrival order
+        // is preserved among deferred and fresh events. Isolated timers
+        // (dedicated-thread model) bypass the wait.
+        let bypass = matches!(&event, Event::Timer { id, .. }
+            if nf.isolated.contains(id));
+        if !bypass && nf.cpu_free > self.fabric.now {
+            let at = nf.cpu_free;
+            self.fabric.push_with_seq(at, seq, Action::Deliver { node, event });
+            return;
+        }
+        // Cancelled timers are dropped; fired isolated timers are
+        // forgotten (re-arming issues a fresh id).
+        if let Event::Timer { id, .. } = &event {
+            if self.fabric.nodes[node.index()].cancelled.remove(id) {
+                self.fabric.nodes[node.index()].isolated.remove(id);
+                return;
+            }
+            self.fabric.nodes[node.index()].isolated.remove(id);
+        }
+        // Two-sided receive path costs CPU (the network stack).
+        if matches!(event, Event::Message { .. }) {
+            let cost = self.fabric.latency.recv_cpu_cost;
+            self.fabric.charge_cpu(node, cost);
+        }
+        let mut app = self.apps[node.index()].take().expect("application installed");
+        let mut ctx = Ctx { fabric: &mut self.fabric, node };
+        app.on_event(&mut ctx, event);
+        self.apps[node.index()] = Some(app);
+    }
+
+    fn inject(&mut self, fault: Fault) {
+        match fault {
+            Fault::Crash(n) => {
+                self.fabric.nodes[n.index()].crashed = true;
+            }
+            Fault::TornWrites(n) => {
+                self.fabric.nodes[n.index()].torn_writes = true;
+            }
+            Fault::SuspendHeartbeat(n) => {
+                let seq = self.fabric.seq;
+                self.fabric.seq += 1;
+                self.deliver(seq, n, Event::Fault { kind: AppFault::SuspendHeartbeat });
+            }
+            Fault::ResumeHeartbeat(n) => {
+                let seq = self.fabric.seq;
+                self.fabric.seq += 1;
+                self.deliver(seq, n, Event::Fault { kind: AppFault::ResumeHeartbeat });
+            }
+        }
+    }
+}
+
+impl<A> std::fmt::Debug for Simulator<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("nodes", &self.apps.len())
+            .field("now", &self.fabric.now())
+            .field("pending", &self.fabric.queue.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verbs::CompletionStatus;
+
+    /// Records everything it sees.
+    struct Recorder {
+        #[allow(dead_code)]
+        region: RegionId,
+        completions: Vec<(CompletionStatus, VerbKind)>,
+        messages: Vec<Bytes>,
+        timer_fires: usize,
+        read_data: Option<Bytes>,
+        cas_prior: Option<u64>,
+        heartbeat_suspended: bool,
+    }
+
+    impl Recorder {
+        fn new(region: RegionId) -> Self {
+            Recorder {
+                region,
+                completions: Vec::new(),
+                messages: Vec::new(),
+                timer_fires: 0,
+                read_data: None,
+                cas_prior: None,
+                heartbeat_suspended: false,
+            }
+        }
+    }
+
+    impl App for Recorder {
+        fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+        fn on_event(&mut self, _ctx: &mut Ctx<'_>, event: Event) {
+            match event {
+                Event::Completion { status, kind, data, .. } => {
+                    self.completions.push((status, kind));
+                    match kind {
+                        VerbKind::Read => self.read_data = data,
+                        VerbKind::CompareAndSwap => {
+                            self.cas_prior = data.map(|d| {
+                                let mut w = [0u8; 8];
+                                w.copy_from_slice(&d);
+                                u64::from_le_bytes(w)
+                            })
+                        }
+                        _ => {}
+                    }
+                }
+                Event::Message { payload, .. } => self.messages.push(payload),
+                Event::Timer { .. } => self.timer_fires += 1,
+                Event::Fault { kind: AppFault::SuspendHeartbeat } => {
+                    self.heartbeat_suspended = true
+                }
+                Event::Fault { kind: AppFault::ResumeHeartbeat } => {
+                    self.heartbeat_suspended = false
+                }
+            }
+        }
+    }
+
+    fn two_nodes() -> (Simulator<Recorder>, RegionId) {
+        let mut sim = Simulator::new(2, LatencyModel::deterministic(), 1);
+        let region = sim.add_region_all(256);
+        sim.set_apps(|_| Recorder::new(region));
+        (sim, region)
+    }
+
+    #[test]
+    fn write_lands_and_completes() {
+        let (mut sim, region) = two_nodes();
+        sim.with_app_ctx(NodeId(0), |_, ctx| {
+            ctx.post_write(NodeId(1), region, 4, b"abcd");
+        });
+        sim.run_for(SimDuration::millis(1));
+        assert_eq!(&sim.region_bytes(NodeId(1), region)[4..8], b"abcd");
+        let app = sim.app(NodeId(0));
+        assert_eq!(app.completions, vec![(CompletionStatus::Success, VerbKind::Write)]);
+        // Target CPU untouched: no events delivered to node 1.
+        assert!(sim.app(NodeId(1)).messages.is_empty());
+    }
+
+    #[test]
+    fn write_permission_denied() {
+        let (mut sim, region) = two_nodes();
+        // Revoke node0's write permission on node1's region.
+        sim.with_app_ctx(NodeId(1), |_, ctx| {
+            ctx.set_write_permission(region, NodeId(0), false);
+        });
+        sim.with_app_ctx(NodeId(0), |_, ctx| {
+            ctx.post_write(NodeId(1), region, 0, b"x");
+        });
+        sim.run_for(SimDuration::millis(1));
+        assert_eq!(
+            sim.app(NodeId(0)).completions,
+            vec![(CompletionStatus::AccessDenied, VerbKind::Write)]
+        );
+        assert_eq!(sim.region_bytes(NodeId(1), region)[0], 0);
+    }
+
+    #[test]
+    fn out_of_bounds_write_fails() {
+        let (mut sim, region) = two_nodes();
+        sim.with_app_ctx(NodeId(0), |_, ctx| {
+            ctx.post_write(NodeId(1), region, 250, b"0123456789");
+        });
+        sim.run_for(SimDuration::millis(1));
+        assert_eq!(
+            sim.app(NodeId(0)).completions,
+            vec![(CompletionStatus::OutOfBounds, VerbKind::Write)]
+        );
+    }
+
+    #[test]
+    fn read_fetches_remote_bytes() {
+        let (mut sim, region) = two_nodes();
+        sim.with_app_ctx(NodeId(1), |_, ctx| {
+            ctx.local_write(region, 10, b"remote");
+        });
+        sim.with_app_ctx(NodeId(0), |_, ctx| {
+            ctx.post_read(NodeId(1), region, 10, 6);
+        });
+        sim.run_for(SimDuration::millis(1));
+        assert_eq!(sim.app(NodeId(0)).read_data.as_deref(), Some(&b"remote"[..]));
+    }
+
+    #[test]
+    fn cas_swaps_only_on_match() {
+        let (mut sim, region) = two_nodes();
+        sim.with_app_ctx(NodeId(1), |_, ctx| {
+            ctx.local_write(region, 0, &7u64.to_le_bytes());
+        });
+        sim.with_app_ctx(NodeId(0), |_, ctx| {
+            ctx.post_cas(NodeId(1), region, 0, 7, 99);
+        });
+        sim.run_for(SimDuration::millis(1));
+        assert_eq!(sim.app(NodeId(0)).cas_prior, Some(7));
+        assert_eq!(&sim.region_bytes(NodeId(1), region)[0..8], &99u64.to_le_bytes());
+        // Second CAS with stale expectation fails to swap.
+        sim.with_app_ctx(NodeId(0), |_, ctx| {
+            ctx.post_cas(NodeId(1), region, 0, 7, 123);
+        });
+        sim.run_for(SimDuration::millis(1));
+        assert_eq!(sim.app(NodeId(0)).cas_prior, Some(99));
+        assert_eq!(&sim.region_bytes(NodeId(1), region)[0..8], &99u64.to_le_bytes());
+    }
+
+    #[test]
+    fn messages_deliver_in_fifo_order_and_cost_cpu() {
+        let (mut sim, _region) = two_nodes();
+        sim.with_app_ctx(NodeId(0), |_, ctx| {
+            ctx.send(NodeId(1), Bytes::from_static(b"first"));
+            ctx.send(NodeId(1), Bytes::from_static(b"second"));
+        });
+        sim.run_for(SimDuration::millis(1));
+        let msgs = &sim.app(NodeId(1)).messages;
+        assert_eq!(msgs.len(), 2);
+        assert_eq!(&msgs[0][..], b"first");
+        assert_eq!(&msgs[1][..], b"second");
+        assert_eq!(sim.stats().messages, 2);
+    }
+
+    #[test]
+    fn writes_from_same_source_land_in_order() {
+        // Post many writes to the same target cell; the last posted
+        // value must be the final one (RC FIFO), despite jitter.
+        let mut sim = Simulator::new(2, LatencyModel::default(), 99);
+        let region = sim.add_region_all(8);
+        sim.set_apps(|_| Recorder::new(region));
+        sim.with_app_ctx(NodeId(0), |_, ctx| {
+            for i in 0..50u64 {
+                ctx.post_write(NodeId(1), region, 0, &i.to_le_bytes());
+            }
+        });
+        sim.run_for(SimDuration::millis(10));
+        assert_eq!(&sim.region_bytes(NodeId(1), region)[..8], &49u64.to_le_bytes());
+    }
+
+    #[test]
+    fn timers_fire_and_cancel() {
+        let (mut sim, _r) = two_nodes();
+        sim.with_app_ctx(NodeId(0), |_, ctx| {
+            ctx.set_timer(SimDuration::micros(10), 1);
+            let t2 = ctx.set_timer(SimDuration::micros(20), 2);
+            ctx.cancel_timer(t2);
+        });
+        sim.run_for(SimDuration::millis(1));
+        assert_eq!(sim.app(NodeId(0)).timer_fires, 1);
+    }
+
+    #[test]
+    fn crash_stops_event_delivery_but_memory_lives() {
+        let (mut sim, region) = two_nodes();
+        let plan = FaultPlan::new().at(SimTime(0), Fault::Crash(NodeId(1)));
+        sim.install_fault_plan(&plan);
+        sim.run_for(SimDuration::micros(1));
+        sim.with_app_ctx(NodeId(0), |_, ctx| {
+            ctx.send(NodeId(1), Bytes::from_static(b"lost"));
+            ctx.post_write(NodeId(1), region, 0, b"kept");
+        });
+        sim.run_for(SimDuration::millis(1));
+        assert!(sim.is_crashed(NodeId(1)));
+        assert!(sim.app(NodeId(1)).messages.is_empty());
+        // One-sided write still landed: the NIC serves DMA.
+        assert_eq!(&sim.region_bytes(NodeId(1), region)[..4], b"kept");
+        assert_eq!(
+            sim.app(NodeId(0)).completions,
+            vec![(CompletionStatus::Success, VerbKind::Write)]
+        );
+    }
+
+    #[test]
+    fn heartbeat_fault_reaches_app() {
+        let (mut sim, _r) = two_nodes();
+        let plan = FaultPlan::new().at(SimTime(100), Fault::SuspendHeartbeat(NodeId(0)));
+        sim.install_fault_plan(&plan);
+        sim.run_for(SimDuration::millis(1));
+        assert!(sim.app(NodeId(0)).heartbeat_suspended);
+    }
+
+    #[test]
+    fn torn_writes_split_landing() {
+        let (mut sim, region) = two_nodes();
+        let plan = FaultPlan::new().at(SimTime(0), Fault::TornWrites(NodeId(1)));
+        sim.install_fault_plan(&plan);
+        sim.run_for(SimDuration::micros(1));
+        sim.with_app_ctx(NodeId(0), |_, ctx| {
+            ctx.post_write(NodeId(1), region, 0, b"payloadC");
+        });
+        // Run just past the first landing: payload there, canary not.
+        let land = sim.now() + SimDuration::nanos(1_300);
+        sim.run_until(land);
+        assert_eq!(&sim.region_bytes(NodeId(1), region)[..7], b"payload");
+        assert_eq!(sim.region_bytes(NodeId(1), region)[7], 0, "canary byte not yet landed");
+        sim.run_for(SimDuration::millis(1));
+        assert_eq!(&sim.region_bytes(NodeId(1), region)[..8], b"payloadC");
+        // Exactly one completion, after the tail landed.
+        assert_eq!(sim.app(NodeId(0)).completions.len(), 1);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let (mut sim, region) = two_nodes();
+            sim.with_app_ctx(NodeId(0), |_, ctx| {
+                for i in 0..10u64 {
+                    ctx.post_write(NodeId(1), region, (i as usize) * 8, &i.to_le_bytes());
+                    ctx.send(NodeId(1), Bytes::copy_from_slice(&i.to_le_bytes()));
+                }
+            });
+            sim.run_for(SimDuration::millis(5));
+            (sim.now(), sim.region_bytes(NodeId(1), region).to_vec(), sim.stats().messages)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn messages_stay_fifo_under_busy_receiver() {
+        // Regression: a deferred delivery (receiver CPU busy) must not
+        // be overtaken by a logically later message that still carries
+        // a lower queue sequence number at the same timestamp.
+        struct Busy {
+            msgs: Vec<u64>,
+        }
+        impl App for Busy {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                if ctx.node().index() == 0 {
+                    for i in 0..200u64 {
+                        ctx.send(NodeId(1), Bytes::copy_from_slice(&i.to_le_bytes()));
+                    }
+                }
+            }
+            fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+                if let Event::Message { payload, .. } = event {
+                    let mut w = [0u8; 8];
+                    w.copy_from_slice(&payload);
+                    self.msgs.push(u64::from_le_bytes(w));
+                    // Burn irregular CPU so deliveries defer irregularly.
+                    let burn = 500 + (self.msgs.len() as u64 % 7) * 900;
+                    ctx.consume(SimDuration::nanos(burn));
+                }
+            }
+        }
+        let mut sim = Simulator::new(2, LatencyModel::default(), 11);
+        sim.set_apps(|_| Busy { msgs: Vec::new() });
+        sim.run_for(SimDuration::millis(20));
+        let msgs = &sim.app(NodeId(1)).msgs;
+        assert_eq!(msgs.len(), 200);
+        assert_eq!(*msgs, (0..200).collect::<Vec<u64>>(), "FIFO violated");
+    }
+
+    #[test]
+    fn stats_count_traffic() {
+        let (mut sim, region) = two_nodes();
+        sim.with_app_ctx(NodeId(0), |_, ctx| {
+            ctx.post_write(NodeId(1), region, 0, &[1, 2, 3]);
+            ctx.post_read(NodeId(1), region, 0, 16);
+            ctx.post_cas(NodeId(1), region, 0, 0, 1);
+        });
+        sim.run_for(SimDuration::millis(1));
+        let s = sim.stats();
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.cas, 1);
+        assert_eq!(s.one_sided_total(), 3);
+        assert_eq!(s.one_sided_bytes, 19);
+        assert_eq!(s.per_node_ops[0], 3);
+    }
+}

@@ -1,0 +1,47 @@
+//! Fabric-level traffic statistics, for reports and ablations.
+
+/// Counters of simulated traffic, global and per node.
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    /// One-sided WRITE verbs posted.
+    pub writes: u64,
+    /// One-sided READ verbs posted.
+    pub reads: u64,
+    /// One-sided CAS verbs posted.
+    pub cas: u64,
+    /// Two-sided messages sent.
+    pub messages: u64,
+    /// Total bytes moved by one-sided verbs.
+    pub one_sided_bytes: u64,
+    /// Total bytes moved by two-sided messages.
+    pub message_bytes: u64,
+    /// Per-node posted verb counts (writes + reads + cas + sends).
+    pub per_node_ops: Vec<u64>,
+}
+
+impl Stats {
+    /// Zeroed statistics for a cluster of `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Stats { per_node_ops: vec![0; n], ..Stats::default() }
+    }
+
+    /// Total one-sided verbs posted.
+    pub fn one_sided_total(&self) -> u64 {
+        self.writes + self.reads + self.cas
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let mut s = Stats::new(2);
+        s.writes = 3;
+        s.reads = 2;
+        s.cas = 1;
+        assert_eq!(s.one_sided_total(), 6);
+        assert_eq!(s.per_node_ops.len(), 2);
+    }
+}

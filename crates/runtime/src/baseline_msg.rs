@@ -1,0 +1,319 @@
+//! The message-passing CRDT baseline (MSG) of the evaluation.
+//!
+//! Op-based CRDT replication over the two-sided channel: an update is
+//! applied locally and broadcast as a message carrying the call and its
+//! dependency map; receivers buffer out-of-causal-order calls until
+//! their dependencies are satisfied, apply them, and send an
+//! acknowledgement back. The client is acknowledged once every peer has
+//! confirmed receipt — the delivery guarantee a reliable op-based CRDT
+//! broadcast provides.
+//!
+//! Every message traverses the modelled network and OS stack and costs
+//! receiver CPU, which is exactly the asymmetry against one-sided RDMA
+//! that the paper's MSG-vs-Hamband comparison measures (Figs. 8, 9).
+
+use std::collections::{HashMap, VecDeque};
+
+use hamband_core::coord::CoordSpec;
+use hamband_core::counts::CountMap;
+use hamband_core::ids::{MethodId, Pid, Rid};
+use hamband_core::object::{ObjectSpec, WorkloadSupport};
+use hamband_core::wire::{DecodeError, Reader, Wire, Writer};
+use rdma_sim::{App, AppFault, Ctx, Event, NodeId, SimTime};
+
+use crate::codec::Entry;
+use crate::driver::{Driver, Planned, Workload};
+use crate::metrics::NodeMetrics;
+
+const TAG_PUMP: u64 = 0;
+
+/// Wire frame of the MSG baseline.
+enum Frame<U> {
+    /// An update call with its dependency map.
+    Op(Entry<U>),
+    /// Receipt acknowledgement for the sender's call `seq`.
+    Ack(u64),
+}
+
+impl<U: Wire> Frame<U> {
+    fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            Frame::Op(e) => {
+                w.u8(0);
+                let payload = e.encode_payload();
+                w.lp_bytes(&payload);
+            }
+            Frame::Ack(seq) => {
+                w.u8(1);
+                w.varint(*seq);
+            }
+        }
+        w.into_vec()
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(bytes);
+        match r.u8()? {
+            0 => Ok(Frame::Op(Entry::decode_payload(r.lp_bytes()?)?)),
+            1 => Ok(Frame::Ack(r.varint()?)),
+            _ => Err(DecodeError),
+        }
+    }
+}
+
+/// A replica of the message-passing CRDT baseline.
+///
+/// Only meaningful for conflict-free objects (the paper's MSG baseline
+/// covers the CRDT use-cases); constructing it for an object with
+/// conflicting methods panics.
+pub struct MsgCrdtNode<O: ObjectSpec> {
+    spec: O,
+    coord: CoordSpec,
+    me: NodeId,
+    n: usize,
+    state: O::State,
+    applied: CountMap,
+    /// Buffered out-of-order remote calls, per source.
+    pending: Vec<VecDeque<Entry<O::Update>>>,
+    driver: Driver,
+    /// Own call seq → (call id, acks still expected).
+    awaiting: HashMap<u64, (u64, usize, SimTime, MethodId)>,
+    outstanding_meta: HashMap<u64, ()>,
+    next_seq: u64,
+    next_call_id: u64,
+    halted: bool,
+    /// Exposed measurements.
+    pub metrics: NodeMetrics,
+}
+
+impl<O> MsgCrdtNode<O>
+where
+    O: WorkloadSupport,
+    O::Update: Wire,
+{
+    /// Build the baseline replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the object has conflicting methods (MSG provides no
+    /// synchronization).
+    pub fn new(spec: O, coord: CoordSpec, me: NodeId, n: usize, workload: Workload) -> Self {
+        assert!(
+            coord.sync_groups().is_empty(),
+            "the MSG baseline only replicates conflict-free objects"
+        );
+        let state = spec.initial();
+        let driver = Driver::new(&workload, &coord, me.index(), n);
+        MsgCrdtNode {
+            state,
+            applied: CountMap::new(n, coord.method_count()),
+            pending: (0..n).map(|_| VecDeque::new()).collect(),
+            driver,
+            awaiting: HashMap::new(),
+            outstanding_meta: HashMap::new(),
+            next_seq: 0,
+            next_call_id: 0,
+            halted: false,
+            metrics: NodeMetrics::default(),
+            spec,
+            coord,
+            me,
+            n,
+        }
+    }
+
+    /// The node's current state.
+    pub fn state_snapshot(&self) -> O::State {
+        self.state.clone()
+    }
+
+    /// The applied-calls map.
+    pub fn applied_map(&self) -> &CountMap {
+        &self.applied
+    }
+
+    /// Total update calls applied locally.
+    pub fn applied_updates(&self) -> u64 {
+        self.applied.total()
+    }
+
+    /// Whether the local workload is fully issued and acknowledged.
+    pub fn workload_done(&self) -> bool {
+        (self.driver.local_done() || self.halted) && self.awaiting.is_empty()
+    }
+
+    /// Whether this node halted.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// One-line diagnostic snapshot (for harness debugging).
+    pub fn debug_pending(&self) -> String {
+        let pend: Vec<usize> = self.pending.iter().map(|q| q.len()).collect();
+        let mut heads = String::new();
+        for (src, q) in self.pending.iter().enumerate() {
+            if let Some(e) = q.front() {
+                use std::fmt::Write as _;
+                let _ = write!(heads, " head[{src}]={:?} deps={}", e.rid, e.deps);
+                for (p, m, need) in e.deps.iter() {
+                    let have = self.applied.get(p, m);
+                    if have < need {
+                        let _ = write!(heads, " SHORT(p{} u{} have {have} need {need})", p.index(), m.index());
+                    }
+                }
+            }
+        }
+        format!(
+            "awaiting={} pending={pend:?} drv_done={}{heads}",
+            self.awaiting.len(),
+            self.driver.local_done()
+        )
+    }
+
+    fn pump(&mut self, ctx: &mut Ctx<'_>) {
+        if self.halted {
+            return;
+        }
+        loop {
+            let planned = self.driver.next(&self.spec, &self.state, &self.coord, &[], &[]);
+            match planned {
+                None => return,
+                Some(Planned::Query(q)) => {
+                    let _ = self.spec.query(&self.state, &q);
+                    ctx.consume(ctx.latency().apply_cost);
+                    let cost = ctx.latency().apply_cost;
+                    self.metrics.ack_query(cost);
+                }
+                Some(Planned::Update(u)) => self.issue(ctx, u),
+            }
+        }
+    }
+
+    fn issue(&mut self, ctx: &mut Ctx<'_>, update: O::Update) {
+        let method = self.spec.method_of(&update);
+        let post = self.spec.apply(&self.state, &update);
+        if !self.spec.invariant(&post) {
+            self.metrics.rejected += 1;
+            self.driver.on_abort();
+            return;
+        }
+        ctx.consume(ctx.latency().apply_cost);
+        let deps = self.applied.project(self.coord.dependencies(method));
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let call_id = self.next_call_id;
+        self.next_call_id += 1;
+        let rid = Rid::new(Pid(self.me.index()), seq);
+        self.state = post;
+        self.applied.increment(Pid(self.me.index()), method);
+        self.metrics.last_apply = ctx.now();
+        let entry = Entry { rid, update, deps };
+        let frame = Frame::Op(entry).encode();
+        for q in 0..self.n {
+            if q != self.me.index() {
+                ctx.send(NodeId(q), frame.clone().into());
+            }
+        }
+        self.awaiting.insert(seq, (call_id, self.n - 1, ctx.now(), method));
+        self.outstanding_meta.insert(call_id, ());
+        if self.n == 1 {
+            self.complete(ctx, seq);
+        }
+    }
+
+    fn complete(&mut self, ctx: &mut Ctx<'_>, seq: u64) {
+        if let Some((_, _, issued_at, method)) = self.awaiting.remove(&seq) {
+            self.metrics.ack_update(method.index(), issued_at, ctx.now());
+            self.driver.on_ack();
+        }
+        self.pump(ctx);
+    }
+
+    fn deliver(&mut self, ctx: &mut Ctx<'_>, entry: Entry<O::Update>) {
+        let src = entry.rid.issuer.index();
+        self.pending[src].push_back(entry);
+        self.drain(ctx);
+    }
+
+    fn drain(&mut self, ctx: &mut Ctx<'_>) {
+        loop {
+            let mut progressed = false;
+            for src in 0..self.n {
+                while let Some(front) = self.pending[src].front() {
+                    if !self.applied.satisfies(&front.deps) {
+                        break;
+                    }
+                    let entry = self.pending[src].pop_front().expect("front checked");
+                    ctx.consume(ctx.latency().apply_cost);
+                    let method = self.spec.method_of(&entry.update);
+                    self.spec.apply_mut(&mut self.state, &entry.update);
+                    self.applied.increment(entry.rid.issuer, method);
+                    self.metrics.remote_applied += 1;
+                    self.metrics.last_apply = ctx.now();
+                    ctx.send(entry.rid.issuer_node(), Frame::<O::Update>::Ack(entry.rid.seq).encode().into());
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                return;
+            }
+        }
+    }
+}
+
+/// Helper: the simulator node of an issuer pid.
+trait RidExt {
+    fn issuer_node(&self) -> NodeId;
+}
+
+impl RidExt for Rid {
+    fn issuer_node(&self) -> NodeId {
+        NodeId(self.issuer.index())
+    }
+}
+
+impl<O> App for MsgCrdtNode<O>
+where
+    O: WorkloadSupport,
+    O::Update: Wire,
+{
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(rdma_sim::SimDuration::micros(1), TAG_PUMP);
+        self.pump(ctx);
+    }
+
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+        match event {
+            Event::Timer { tag: TAG_PUMP, .. } => {
+                self.pump(ctx);
+                ctx.set_timer(rdma_sim::SimDuration::micros(2), TAG_PUMP);
+            }
+            Event::Timer { .. } => {}
+            Event::Message { payload, .. } => match Frame::<O::Update>::decode(&payload) {
+                Ok(Frame::Op(entry)) => self.deliver(ctx, entry),
+                Ok(Frame::Ack(seq)) => {
+                    let done = {
+                        match self.awaiting.get_mut(&seq) {
+                            Some(slot) => {
+                                slot.1 -= 1;
+                                slot.1 == 0
+                            }
+                            None => false,
+                        }
+                    };
+                    if done {
+                        self.complete(ctx, seq);
+                    }
+                }
+                Err(_) => {}
+            },
+            Event::Completion { .. } => {}
+            Event::Fault { kind: AppFault::SuspendHeartbeat } => {
+                self.halted = true;
+                self.driver.halt();
+            }
+            Event::Fault { kind: AppFault::ResumeHeartbeat } => {}
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! On-wire formats of ring entries and summary slots.
+//!
+//! §4: "Before propagation, a call is assigned a unique id, paired with
+//! its dependency arrays and is serialized into a byte stream. ... Each
+//! call in the buffer contains a canary bit as the last bit."
+//!
+//! Ring entry slot (fixed size, [`RuntimeConfig::entry_size`]):
+//!
+//! ```text
+//! [0..8)   entry sequence number (1-based; 0 = never written)
+//! [8..10)  payload length (u16 LE)
+//! [10..)   payload: issuer, rid seq, dependency array, encoded call
+//! [size-1] canary byte (0xAB), written last on torn fabrics
+//! ```
+//!
+//! Summary slot (per summarization group × source process,
+//! [`RuntimeConfig::summary_slot_size`]):
+//!
+//! ```text
+//! [0..8)        version (number of calls folded in)
+//! [8..8+8g)     applied-call count per method of the group
+//! [..+2)        payload length (u16 LE)
+//! [..]          payload: encoded summarized call
+//! [..+8)        trailing version, directly after the payload (seqlock
+//!               check; placed there so a write covers only the used
+//!               prefix of the slot, not its worst-case capacity)
+//! ```
+//!
+//! [`RuntimeConfig::entry_size`]: crate::config::RuntimeConfig::entry_size
+//! [`RuntimeConfig::summary_slot_size`]: crate::config::RuntimeConfig::summary_slot_size
+
+use hamband_core::counts::DepMap;
+use hamband_core::ids::{MethodId, Pid, Rid};
+use hamband_core::wire::{DecodeError, Reader, Wire, Writer};
+
+/// The canary value marking a completely landed entry.
+pub const CANARY: u8 = 0xAB;
+
+/// A decoded ring entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry<U> {
+    /// The call's unique request id.
+    pub rid: Rid,
+    /// The call.
+    pub update: U,
+    /// The dependency map shipped with the call.
+    pub deps: DepMap,
+}
+
+impl<U: Wire> Entry<U> {
+    /// Encode the payload portion of a ring entry.
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.varint(self.rid.issuer.index() as u64);
+        w.varint(self.rid.seq);
+        let deps: Vec<(Pid, MethodId, u64)> = self.deps.iter().collect();
+        w.varint(deps.len() as u64);
+        for (p, m, c) in deps {
+            w.varint(p.index() as u64);
+            w.varint(m.index() as u64);
+            w.varint(c);
+        }
+        self.update.encode(&mut w);
+        w.into_vec()
+    }
+
+    /// Decode the payload portion of a ring entry.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] on malformed bytes.
+    pub fn decode_payload(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(bytes);
+        let issuer = Pid(r.varint()? as usize);
+        let seq = r.varint()?;
+        let ndeps = r.varint()? as usize;
+        if ndeps > bytes.len() {
+            return Err(DecodeError);
+        }
+        let mut deps = Vec::with_capacity(ndeps);
+        for _ in 0..ndeps {
+            deps.push((Pid(r.varint()? as usize), MethodId(r.varint()? as usize), r.varint()?));
+        }
+        let update = U::decode(&mut r)?;
+        Ok(Entry { rid: Rid::new(issuer, seq), update, deps: DepMap::from_entries(deps) })
+    }
+
+    /// Render a full ring-entry slot of `slot_size` bytes carrying
+    /// sequence number `seq`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds the slot (raise
+    /// `RuntimeConfig::payload_cap`).
+    pub fn to_slot(&self, seq: u64, slot_size: usize) -> Vec<u8> {
+        let payload = self.encode_payload();
+        assert!(
+            payload.len() <= slot_size - 11,
+            "payload of {} bytes exceeds slot capacity {}",
+            payload.len(),
+            slot_size - 11
+        );
+        let mut slot = vec![0u8; slot_size];
+        slot[0..8].copy_from_slice(&seq.to_le_bytes());
+        slot[8..10].copy_from_slice(&(payload.len() as u16).to_le_bytes());
+        slot[10..10 + payload.len()].copy_from_slice(&payload);
+        slot[slot_size - 1] = CANARY;
+        slot
+    }
+
+    /// Parse a ring-entry slot if it completely holds entry `expect_seq`
+    /// (sequence matches and the canary has landed).
+    pub fn from_slot(slot: &[u8], expect_seq: u64) -> Option<Self> {
+        let seq = u64::from_le_bytes(slot[0..8].try_into().ok()?);
+        if seq != expect_seq || slot[slot.len() - 1] != CANARY {
+            return None;
+        }
+        let len = u16::from_le_bytes(slot[8..10].try_into().ok()?) as usize;
+        if 10 + len > slot.len() - 1 {
+            return None;
+        }
+        Self::decode_payload(&slot[10..10 + len]).ok()
+    }
+}
+
+/// A decoded summary slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SummarySlot<U> {
+    /// Version: how many calls were folded into this summary.
+    pub version: u64,
+    /// Applied-call counts for each method of the summarization group,
+    /// in group order (advances `A(source, u)` at readers).
+    pub counts: Vec<u64>,
+    /// The summarized call (`None` only for the never-written slot).
+    pub summary: Option<U>,
+}
+
+impl<U: Wire> SummarySlot<U> {
+    /// Render the used prefix of a slot of capacity `slot_size`
+    /// (`RuntimeConfig::summary_slot_size(counts.len())`): the returned
+    /// bytes are exactly what a REDUCE remote-writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds the slot capacity.
+    pub fn to_slot(&self, slot_size: usize) -> Vec<u8> {
+        let g = self.counts.len();
+        let payload = match &self.summary {
+            Some(u) => u.to_bytes(),
+            None => Vec::new(),
+        };
+        let head = 8 + 8 * g + 2;
+        assert!(
+            head + payload.len() + 8 <= slot_size,
+            "summary payload of {} bytes exceeds slot capacity {}",
+            payload.len(),
+            slot_size - head - 8
+        );
+        let mut slot = vec![0u8; head + payload.len() + 8];
+        slot[0..8].copy_from_slice(&self.version.to_le_bytes());
+        for (i, c) in self.counts.iter().enumerate() {
+            slot[8 + 8 * i..16 + 8 * i].copy_from_slice(&c.to_le_bytes());
+        }
+        slot[head - 2..head].copy_from_slice(&(payload.len() as u16).to_le_bytes());
+        slot[head..head + payload.len()].copy_from_slice(&payload);
+        slot[head + payload.len()..].copy_from_slice(&self.version.to_le_bytes());
+        slot
+    }
+
+    /// Parse a summary slot with `group_len` methods; `None` if the
+    /// seqlock check fails (a write is in flight) or the slot is empty.
+    pub fn from_slot(slot: &[u8], group_len: usize) -> Option<Self> {
+        let version = u64::from_le_bytes(slot.get(0..8)?.try_into().ok()?);
+        if version == 0 {
+            return None;
+        }
+        let mut counts = Vec::with_capacity(group_len);
+        for i in 0..group_len {
+            counts.push(u64::from_le_bytes(slot.get(8 + 8 * i..16 + 8 * i)?.try_into().ok()?));
+        }
+        let head = 8 + 8 * group_len + 2;
+        let len = u16::from_le_bytes(slot.get(head - 2..head)?.try_into().ok()?) as usize;
+        let trailer = slot.get(head + len..head + len + 8)?;
+        let trailing = u64::from_le_bytes(trailer.try_into().ok()?);
+        if version != trailing {
+            return None;
+        }
+        let summary = if len == 0 {
+            None
+        } else {
+            Some(U::from_bytes(&slot[head..head + len]).ok()?)
+        };
+        Some(SummarySlot { version, counts, summary })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hamband_core::demo::{Account, AccountUpdate};
+    use hamband_core::object::ObjectSpec;
+
+    fn entry() -> Entry<AccountUpdate> {
+        Entry {
+            rid: Rid::new(Pid(2), 17),
+            update: Account::withdraw(40),
+            deps: DepMap::from_entries([(Pid(0), MethodId(0), 3), (Pid(1), MethodId(0), 5)]),
+        }
+    }
+
+    #[test]
+    fn payload_roundtrip() {
+        let e = entry();
+        let bytes = e.encode_payload();
+        let back = Entry::<AccountUpdate>::decode_payload(&bytes).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn slot_roundtrip() {
+        let e = entry();
+        let slot = e.to_slot(9, 107);
+        assert_eq!(slot.len(), 107);
+        let back = Entry::<AccountUpdate>::from_slot(&slot, 9).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn slot_with_wrong_seq_is_invisible() {
+        let e = entry();
+        let slot = e.to_slot(9, 107);
+        assert!(Entry::<AccountUpdate>::from_slot(&slot, 10).is_none());
+        assert!(Entry::<AccountUpdate>::from_slot(&slot, 8).is_none());
+    }
+
+    #[test]
+    fn slot_without_canary_is_invisible() {
+        let e = entry();
+        let mut slot = e.to_slot(9, 107);
+        let last = slot.len() - 1;
+        slot[last] = 0;
+        assert!(
+            Entry::<AccountUpdate>::from_slot(&slot, 9).is_none(),
+            "a torn write must not be readable"
+        );
+    }
+
+    #[test]
+    fn empty_slot_is_invisible() {
+        let slot = vec![0u8; 107];
+        assert!(Entry::<AccountUpdate>::from_slot(&slot, 1).is_none());
+    }
+
+    #[test]
+    fn summary_roundtrip() {
+        let acc = Account::default();
+        let s = SummarySlot {
+            version: 4,
+            counts: vec![4],
+            summary: Some(acc.apply(&0, &Account::deposit(0)))
+                .map(|_| Account::deposit(12)),
+        };
+        let size = 8 + 8 + 2 + 96 + 8;
+        let slot = s.to_slot(size);
+        let back = SummarySlot::<AccountUpdate>::from_slot(&slot, 1).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn summary_seqlock_rejects_mismatch() {
+        let s = SummarySlot { version: 4, counts: vec![4], summary: Some(Account::deposit(12)) };
+        let size = 8 + 8 + 2 + 96 + 8;
+        let mut slot = s.to_slot(size);
+        // Simulate a torn overwrite: trailing version not yet landed.
+        let end = slot.len();
+        slot[end - 8..].copy_from_slice(&3u64.to_le_bytes());
+        assert!(SummarySlot::<AccountUpdate>::from_slot(&slot, 1).is_none());
+    }
+
+    #[test]
+    fn summary_write_covers_only_used_bytes() {
+        let s = SummarySlot { version: 1, counts: vec![1], summary: Some(Account::deposit(3)) };
+        let slot = s.to_slot(4096);
+        assert!(slot.len() < 40, "write size tracks content, got {}", slot.len());
+    }
+
+    #[test]
+    fn never_written_summary_is_none() {
+        let size = 8 + 8 + 2 + 96 + 8;
+        let slot = vec![0u8; size];
+        assert!(SummarySlot::<AccountUpdate>::from_slot(&slot, 1).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds slot capacity")]
+    fn oversized_payload_panics() {
+        let e = Entry {
+            rid: Rid::new(Pid(0), 0),
+            update: Account::deposit(u64::MAX),
+            deps: DepMap::empty(),
+        };
+        let _ = e.to_slot(1, 12);
+    }
+}

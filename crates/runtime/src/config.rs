@@ -1,0 +1,81 @@
+//! Runtime tuning parameters.
+
+use rdma_sim::SimDuration;
+
+/// Tuning for a Hamband cluster (buffer geometry, protocol timers,
+//  workload pacing).
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Maximum encoded size of a call + its dependency array, bytes.
+    pub payload_cap: usize,
+    /// Maximum encoded size of a summarized call, bytes. Summaries of
+    /// grow-only types (e.g. GSet's `add_all`) grow with the number of
+    /// calls folded in, so this is sized to the workload (the harness
+    /// scales it automatically).
+    pub summary_payload_cap: usize,
+    /// Capacity (entries) of each conflict-free ring buffer `F`.
+    pub free_ring_cap: usize,
+    /// Capacity (entries) of each conflicting ring buffer `L`.
+    pub conf_ring_cap: usize,
+    /// Number of backup slots for the reliable-broadcast ring.
+    pub backup_slots: usize,
+    /// How often each node traverses its buffers (§4: "two threads
+    /// traverse and process the calls of F and L buffers").
+    pub poll_interval: SimDuration,
+    /// CPU cost of one traversal pass that finds nothing.
+    pub poll_cost: SimDuration,
+    /// Heartbeat increment period.
+    pub heartbeat_interval: SimDuration,
+    /// Failure-detector read period.
+    pub fd_interval: SimDuration,
+    /// Consecutive unchanged reads before suspecting a peer.
+    pub fd_suspect_after: u32,
+    /// Max update calls a node keeps outstanding (client pipelining).
+    pub window: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            payload_cap: 256,
+            summary_payload_cap: 4096,
+            free_ring_cap: 256,
+            conf_ring_cap: 512,
+            backup_slots: 64,
+            poll_interval: SimDuration::nanos(800),
+            poll_cost: SimDuration::nanos(40),
+            heartbeat_interval: SimDuration::micros(5),
+            fd_interval: SimDuration::micros(8),
+            fd_suspect_after: 3,
+            window: 8,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Size in bytes of one ring entry slot.
+    pub fn entry_size(&self) -> usize {
+        // seq (8) + len (2) + payload + canary (1)
+        8 + 2 + self.payload_cap + 1
+    }
+
+    /// Size in bytes of one summary slot for a group of `group_len`
+    /// methods.
+    pub fn summary_slot_size(&self, group_len: usize) -> usize {
+        // ver (8) + per-method applied counts + len (2) + payload + ver2 (8)
+        8 + 8 * group_len + 2 + self.summary_payload_cap + 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_are_consistent() {
+        let c = RuntimeConfig::default();
+        assert_eq!(c.entry_size(), 8 + 2 + c.payload_cap + 1);
+        assert_eq!(c.summary_slot_size(2), 8 + 16 + 2 + c.summary_payload_cap + 8);
+        assert!(c.free_ring_cap > c.window * 2, "ring must absorb the window");
+    }
+}

@@ -1,0 +1,374 @@
+//! End-to-end run harness: build a cluster for one of the three
+//! systems, drive the workload to completion, and measure.
+//!
+//! Measurements follow §5 "Platform and setup": *throughput* is the
+//! total number of calls divided by the (virtual) time it takes for all
+//! update calls to be replicated on all nodes; *response time* is the
+//! average over all calls.
+
+use hamband_core::coord::CoordSpec;
+use hamband_core::ids::Pid;
+use hamband_core::object::WorkloadSupport;
+use hamband_core::wire::Wire;
+use rdma_sim::{FaultPlan, LatencyModel, NodeId, SimDuration, SimTime, Simulator};
+
+use crate::baseline_msg::MsgCrdtNode;
+use crate::config::RuntimeConfig;
+use crate::driver::Workload;
+use crate::layout::Layout;
+use crate::metrics::RunReport;
+use crate::replica::HambandNode;
+use crate::trace_enabled;
+
+/// Which replication system to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum System {
+    /// Hamband: per-category coordination (the paper's contribution).
+    Hamband,
+    /// A Mu-style SMR: the same runtime with a *complete* conflict
+    /// relation, so every update is ordered by a single leader —
+    /// "linearizable data types are a special case of WRDTs where the
+    /// conflict relation is complete" (§3.2).
+    MuSmr,
+    /// Message-passing op-based CRDT replication (conflict-free objects
+    /// only).
+    Msg,
+}
+
+impl System {
+    /// Harness label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            System::Hamband => "hamband",
+            System::MuSmr => "mu-smr",
+            System::Msg => "msg",
+        }
+    }
+}
+
+/// Everything needed to run one experiment.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Cluster size.
+    pub nodes: usize,
+    /// The workload to apply.
+    pub workload: Workload,
+    /// Runtime tuning.
+    pub runtime: RuntimeConfig,
+    /// Fabric latency model.
+    pub latency: LatencyModel,
+    /// Fabric RNG seed.
+    pub seed: u64,
+    /// Faults to inject.
+    pub faults: FaultPlan,
+    /// Hard cap on virtual time (a run that exceeds it reports
+    /// `converged = false`).
+    pub max_time: SimTime,
+    /// Explicit leader assignment per synchronization group
+    /// (defaults to the coordination spec's round-robin assignment;
+    /// used e.g. by the Fig. 10 single-leader ablation).
+    pub leaders: Option<Vec<Pid>>,
+}
+
+impl RunConfig {
+    /// A default configuration for `nodes` nodes and `workload`.
+    ///
+    /// The summary-slot capacity is scaled to the workload, since
+    /// grow-only summaries accumulate every call their issuer folded
+    /// in.
+    pub fn new(nodes: usize, workload: Workload) -> Self {
+        let mut runtime = RuntimeConfig::default();
+        runtime.summary_payload_cap =
+            runtime.summary_payload_cap.max(workload.total_ops as usize * 16);
+        RunConfig {
+            nodes,
+            workload,
+            runtime,
+            latency: LatencyModel::default(),
+            seed: 0x5eed,
+            faults: FaultPlan::new(),
+            max_time: SimTime(200_000_000), // 200 virtual milliseconds
+            leaders: None,
+        }
+    }
+}
+
+/// The complete conflict relation over `n_methods` methods: one
+/// synchronization group containing every method (the SMR special
+/// case).
+pub fn smr_coord(n_methods: usize) -> CoordSpec {
+    let mut b = CoordSpec::builder(n_methods);
+    for m in 0..n_methods {
+        b = b.conflict(0, m);
+        b = b.conflict(m, m);
+    }
+    b.build()
+}
+
+/// Run Hamband (or, with [`smr_coord`], the Mu-SMR baseline) to
+/// completion.
+pub fn run_hamband<O>(spec: &O, coord: &CoordSpec, run: &RunConfig, label: &str) -> RunReport
+where
+    O: WorkloadSupport + Clone,
+    O::Update: Wire,
+{
+    let n = run.nodes;
+    let mut sim: Simulator<HambandNode<O>> = Simulator::new(n, run.latency.clone(), run.seed);
+    let layout = Layout::install(&mut sim, coord, &run.runtime);
+    let leaders: Vec<Pid> =
+        run.leaders.clone().unwrap_or_else(|| coord.default_leaders(n));
+    sim.install_fault_plan(&run.faults);
+    {
+        let spec = spec.clone();
+        let coord = coord.clone();
+        let cfg = run.runtime.clone();
+        let workload = run.workload.clone();
+        let leaders2 = leaders.clone();
+        sim.set_apps(move |id| {
+            HambandNode::new(
+                spec.clone(),
+                coord.clone(),
+                cfg.clone(),
+                layout.clone(),
+                id,
+                n,
+                &leaders2,
+                workload.clone(),
+            )
+        });
+    }
+    // Aliveness is dynamic: a node scheduled to fail later still
+    // counts until its fault actually fires (it halts or crashes).
+    let alive_now = |sim: &Simulator<HambandNode<O>>| -> Vec<NodeId> {
+        (0..n)
+            .map(NodeId)
+            .filter(|&id| !sim.is_crashed(id) && !sim.app(id).is_halted())
+            .collect()
+    };
+    // A run with faults planned must not be declared done before the
+    // last fault has fired.
+    let last_fault_at = run
+        .faults
+        .entries()
+        .iter()
+        .map(|&(t, _)| t)
+        .max()
+        .unwrap_or(SimTime::ZERO);
+
+    let slice = SimDuration::micros(25);
+    let mut done = false;
+    let mut last_progress = 0u64;
+    let mut stalled = 0usize;
+    while sim.now() < run.max_time {
+        sim.run_for(slice);
+        let alive = alive_now(&sim);
+        if sim.now() > last_fault_at && !alive.is_empty() {
+            let all_done = alive.iter().all(|&id| sim.app(id).workload_done());
+            if all_done {
+                let a0 = sim.app(alive[0]).applied_map().clone();
+                if alive.iter().all(|&id| *sim.app(id).applied_map() == a0) {
+                    if trace_enabled() {
+                        eprintln!("done declared at {} alive={:?}", sim.now(), alive);
+                        for id in &alive {
+                            eprintln!("  {}", sim.app(*id).debug_status());
+                        }
+                    }
+                    done = true;
+                    break;
+                }
+            }
+        }
+        // Stall watchdog: a workload that cannot progress (e.g. nothing
+        // issuable) ends the run as unconverged instead of burning
+        // virtual time to the cap.
+        let progress: u64 = alive.iter().map(|&id| sim.app(id).applied_updates()).sum();
+        if progress == last_progress {
+            stalled += 1;
+            if stalled > 2_000 {
+                if trace_enabled() {
+                    eprintln!("harness watchdog break at {}", sim.now());
+                    for id in &alive {
+                        eprintln!("  {}", sim.app(*id).debug_status());
+                    }
+                }
+                break;
+            }
+        } else {
+            stalled = 0;
+            last_progress = progress;
+        }
+    }
+    // Let stragglers (commit writes, backups) settle for convergence.
+    sim.run_for(SimDuration::micros(300));
+
+    let alive = alive_now(&sim);
+    let completed_at = alive
+        .iter()
+        .map(|&id| sim.app(id).metrics.last_apply)
+        .max()
+        .unwrap_or(SimTime::ZERO);
+    let s0 = sim.app(alive[0]).state_snapshot();
+    let converged = done && alive.iter().all(|&id| sim.app(id).state_snapshot() == s0);
+    if trace_enabled() && !converged {
+        eprintln!("run not converged: done={done} at {}", sim.now());
+        for id in 0..n {
+            eprintln!("  {}", sim.app(NodeId(id)).debug_status());
+        }
+    }
+    // Metrics cover every node: a failed node's pre-failure work is
+    // real work (the paper counts all calls); only convergence and
+    // completion checks exclude it.
+    summarize(
+        label,
+        n,
+        (0..n).map(|i| &sim.app(NodeId(i)).metrics),
+        spec,
+        completed_at,
+        converged,
+    )
+}
+
+/// Run the MSG baseline to completion.
+pub fn run_msg<O>(spec: &O, coord: &CoordSpec, run: &RunConfig) -> RunReport
+where
+    O: WorkloadSupport + Clone,
+    O::Update: Wire,
+{
+    let n = run.nodes;
+    let mut sim: Simulator<MsgCrdtNode<O>> = Simulator::new(n, run.latency.clone(), run.seed);
+    sim.install_fault_plan(&run.faults);
+    {
+        let spec = spec.clone();
+        let coord = coord.clone();
+        let workload = run.workload.clone();
+        sim.set_apps(move |id| {
+            MsgCrdtNode::new(spec.clone(), coord.clone(), id, n, workload.clone())
+        });
+    }
+    let alive_now = |sim: &Simulator<MsgCrdtNode<O>>| -> Vec<NodeId> {
+        (0..n)
+            .map(NodeId)
+            .filter(|&id| !sim.is_crashed(id) && !sim.app(id).is_halted())
+            .collect()
+    };
+    let last_fault_at = run
+        .faults
+        .entries()
+        .iter()
+        .map(|&(t, _)| t)
+        .max()
+        .unwrap_or(SimTime::ZERO);
+
+    let slice = SimDuration::micros(25);
+    let mut done = false;
+    let mut last_progress = 0u64;
+    let mut stalled = 0usize;
+    while sim.now() < run.max_time {
+        sim.run_for(slice);
+        let alive = alive_now(&sim);
+        if sim.now() > last_fault_at && !alive.is_empty() {
+            let all_done = alive.iter().all(|&id| sim.app(id).workload_done());
+            if all_done {
+                let a0 = sim.app(alive[0]).applied_map().clone();
+                if alive.iter().all(|&id| *sim.app(id).applied_map() == a0) {
+                    done = true;
+                    break;
+                }
+            }
+        }
+        let progress: u64 = alive.iter().map(|&id| sim.app(id).applied_updates()).sum();
+        if progress == last_progress {
+            stalled += 1;
+            if stalled > 2_000 {
+                break;
+            }
+        } else {
+            stalled = 0;
+            last_progress = progress;
+        }
+    }
+    sim.run_for(SimDuration::micros(300));
+
+    let alive = alive_now(&sim);
+    let completed_at = alive
+        .iter()
+        .map(|&id| sim.app(id).metrics.last_apply)
+        .max()
+        .unwrap_or(SimTime::ZERO);
+    let s0 = sim.app(alive[0]).state_snapshot();
+    let converged = done && alive.iter().all(|&id| sim.app(id).state_snapshot() == s0);
+    summarize(
+        "msg",
+        n,
+        (0..n).map(|i| &sim.app(NodeId(i)).metrics),
+        spec,
+        completed_at,
+        converged,
+    )
+}
+
+fn summarize<'a, O: WorkloadSupport>(
+    label: &str,
+    nodes: usize,
+    metrics: impl Iterator<Item = &'a crate::metrics::NodeMetrics>,
+    spec: &O,
+    completed_at: SimTime,
+    converged: bool,
+) -> RunReport {
+    let names = spec.method_names();
+    let mut total_calls = 0u64;
+    let mut total_updates = 0u64;
+    let mut rt_sum = 0u64;
+    let mut rt_count = 0u64;
+    let mut per_method: std::collections::BTreeMap<String, (u64, u64)> = Default::default();
+    for m in metrics {
+        total_calls += m.updates_acked + m.queries;
+        total_updates += m.updates_acked;
+        rt_sum += m.rt_sum_ns;
+        rt_count += m.rt_count;
+        for (&mid, &(sum, count)) in &m.rt_per_method_ns {
+            let slot = per_method
+                .entry(names.get(mid).copied().unwrap_or("?").to_string())
+                .or_insert((0, 0));
+            slot.0 += sum;
+            slot.1 += count;
+        }
+    }
+    let elapsed_us = completed_at.as_micros().max(1e-9);
+    RunReport {
+        system: label.to_string(),
+        nodes,
+        total_calls,
+        total_updates,
+        completed_at,
+        throughput_ops_per_us: total_calls as f64 / elapsed_us,
+        mean_rt_us: if rt_count == 0 { 0.0 } else { rt_sum as f64 / rt_count as f64 / 1_000.0 },
+        per_method_rt_us: per_method
+            .into_iter()
+            .map(|(k, (s, c))| (k, if c == 0 { 0.0 } else { s as f64 / c as f64 / 1_000.0 }))
+            .collect(),
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smr_coord_is_one_group() {
+        let c = smr_coord(4);
+        assert_eq!(c.sync_groups().len(), 1);
+        assert_eq!(c.sync_groups()[0].len(), 4);
+        for m in 0..4 {
+            assert!(c.category(hamband_core::ids::MethodId(m)).is_conflicting());
+        }
+    }
+
+    #[test]
+    fn system_labels() {
+        assert_eq!(System::Hamband.label(), "hamband");
+        assert_eq!(System::MuSmr.label(), "mu-smr");
+        assert_eq!(System::Msg.label(), "msg");
+    }
+}

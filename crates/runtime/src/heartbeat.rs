@@ -1,0 +1,226 @@
+//! Heartbeats and the pull-style failure detector.
+//!
+//! §4: "Each node has a heartbeat thread that periodically updates a
+//! local counter. This counter is periodically read by other nodes to
+//! determine whether that node is still alive or not."
+//!
+//! The emitter increments a counter in local registered memory; the
+//! detector posts one-sided READs of each peer's counter and suspects a
+//! peer whose counter stays unchanged for a configured number of
+//! consecutive reads. Suspicion is *sticky* (crash-stop model), matching
+//! how the evaluation injects failures by suspending heartbeat threads.
+
+use std::collections::HashMap;
+
+use rdma_sim::{Ctx, NodeId, RegionId, WrId};
+
+/// Heartbeat emitter state.
+#[derive(Debug)]
+pub struct Heartbeat {
+    region: RegionId,
+    counter: u64,
+    /// Set by the fault plan: a suspended heartbeat stops announcing
+    /// liveness while the node keeps serving (§5 failure injection).
+    pub suspended: bool,
+}
+
+impl Heartbeat {
+    /// An emitter writing to offset 0 of `region`.
+    pub fn new(region: RegionId) -> Self {
+        Heartbeat { region, counter: 0, suspended: false }
+    }
+
+    /// One heartbeat tick: bump the local counter (no-op while
+    /// suspended).
+    pub fn beat(&mut self, ctx: &mut Ctx<'_>) {
+        if self.suspended {
+            return;
+        }
+        self.counter += 1;
+        ctx.local_write(self.region, 0, &self.counter.to_le_bytes());
+    }
+}
+
+/// Failure-detector state for one observed peer.
+#[derive(Debug, Clone, Copy)]
+struct PeerView {
+    last_value: u64,
+    unchanged_reads: u32,
+    suspected: bool,
+}
+
+/// The pull failure detector: reads peers' heartbeat counters.
+#[derive(Debug)]
+pub struct FailureDetector {
+    hb_region: RegionId,
+    suspect_after: u32,
+    peers: Vec<PeerView>,
+    inflight: HashMap<WrId, NodeId>,
+    me: NodeId,
+}
+
+impl FailureDetector {
+    /// A detector at `me` over a cluster of `n` nodes whose heartbeat
+    /// counters live at offset 0 of `hb_region`; a peer is suspected
+    /// after `suspect_after` consecutive unchanged reads.
+    pub fn new(me: NodeId, n: usize, hb_region: RegionId, suspect_after: u32) -> Self {
+        assert!(suspect_after > 0);
+        FailureDetector {
+            hb_region,
+            suspect_after,
+            peers: vec![PeerView { last_value: 0, unchanged_reads: 0, suspected: false }; n],
+            inflight: HashMap::new(),
+            me,
+        }
+    }
+
+    /// Whether `peer` is currently suspected.
+    pub fn is_suspected(&self, peer: NodeId) -> bool {
+        self.peers[peer.index()].suspected
+    }
+
+    /// All currently suspected peers.
+    pub fn suspected(&self) -> Vec<NodeId> {
+        (0..self.peers.len())
+            .map(NodeId)
+            .filter(|&p| self.peers[p.index()].suspected)
+            .collect()
+    }
+
+    /// The lowest-numbered node not suspected (and not `skip`), used to
+    /// pick recovery delegates deterministically.
+    pub fn lowest_alive(&self, skip: Option<NodeId>) -> NodeId {
+        (0..self.peers.len())
+            .map(NodeId)
+            .find(|&p| !self.peers[p.index()].suspected && Some(p) != skip)
+            .unwrap_or(self.me)
+    }
+
+    /// One detector tick: post a read of every unsuspected peer's
+    /// counter.
+    pub fn tick(&mut self, ctx: &mut Ctx<'_>) {
+        for p in 0..self.peers.len() {
+            let peer = NodeId(p);
+            if peer == self.me || self.peers[p].suspected {
+                continue;
+            }
+            let wr = ctx.post_read(peer, self.hb_region, 0, 8);
+            self.inflight.insert(wr, peer);
+        }
+    }
+
+    /// Feed a completion. Returns `Some(peer)` when this read caused a
+    /// *new* suspicion.
+    pub fn on_completion(&mut self, wr: WrId, data: Option<&[u8]>) -> Option<NodeId> {
+        let peer = self.inflight.remove(&wr)?;
+        let view = &mut self.peers[peer.index()];
+        let value = data
+            .filter(|d| d.len() == 8)
+            .map(|d| u64::from_le_bytes(d.try_into().expect("8 bytes")))
+            .unwrap_or(view.last_value);
+        if value != view.last_value {
+            view.last_value = value;
+            view.unchanged_reads = 0;
+            return None;
+        }
+        view.unchanged_reads += 1;
+        if view.unchanged_reads >= self.suspect_after && !view.suspected {
+            view.suspected = true;
+            return Some(peer);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdma_sim::{App, Event, LatencyModel, SimDuration, Simulator};
+
+    struct HbApp {
+        hb: Heartbeat,
+        fd: FailureDetector,
+        newly_suspected: Vec<NodeId>,
+        beats_enabled: bool,
+    }
+
+    impl App for HbApp {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer(SimDuration::micros(5), 0); // beat
+            ctx.set_timer(SimDuration::micros(12), 1); // detect
+        }
+
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+            match event {
+                Event::Timer { tag: 0, .. } => {
+                    if self.beats_enabled {
+                        self.hb.beat(ctx);
+                    }
+                    ctx.set_timer(SimDuration::micros(5), 0);
+                }
+                Event::Timer { tag: 1, .. } => {
+                    self.fd.tick(ctx);
+                    ctx.set_timer(SimDuration::micros(12), 1);
+                }
+                Event::Completion { wr, data, .. } => {
+                    if let Some(p) = self.fd.on_completion(wr, data.as_deref()) {
+                        self.newly_suspected.push(p);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn cluster(n: usize, dead: &[usize]) -> Simulator<HbApp> {
+        let mut sim = Simulator::new(n, LatencyModel::deterministic(), 3);
+        let hb = sim.add_region_all(8);
+        let dead = dead.to_vec();
+        sim.set_apps(|id| HbApp {
+            hb: Heartbeat::new(hb),
+            fd: FailureDetector::new(id, n, hb, 4),
+            newly_suspected: Vec::new(),
+            beats_enabled: !dead.contains(&id.index()),
+        });
+        sim
+    }
+
+    #[test]
+    fn live_peers_are_not_suspected() {
+        let mut sim = cluster(3, &[]);
+        sim.run_for(SimDuration::millis(2));
+        for n in 0..3 {
+            assert!(sim.app(NodeId(n)).newly_suspected.is_empty());
+            assert_eq!(sim.app(NodeId(n)).fd.suspected(), vec![]);
+        }
+    }
+
+    #[test]
+    fn silent_peer_is_suspected_exactly_once() {
+        let mut sim = cluster(3, &[2]);
+        sim.run_for(SimDuration::millis(2));
+        for n in 0..2 {
+            assert_eq!(sim.app(NodeId(n)).newly_suspected, vec![NodeId(2)]);
+            assert!(sim.app(NodeId(n)).fd.is_suspected(NodeId(2)));
+        }
+    }
+
+    #[test]
+    fn lowest_alive_skips_suspects() {
+        let mut sim = cluster(3, &[0]);
+        sim.run_for(SimDuration::millis(2));
+        let fd = &sim.app(NodeId(1)).fd;
+        assert_eq!(fd.lowest_alive(None), NodeId(1));
+        assert_eq!(fd.lowest_alive(Some(NodeId(1))), NodeId(2));
+    }
+
+    #[test]
+    fn suspended_emitter_goes_silent() {
+        let mut sim = cluster(2, &[]);
+        sim.run_for(SimDuration::millis(1));
+        assert!(sim.app(NodeId(0)).newly_suspected.is_empty());
+        sim.app_mut(NodeId(1)).hb.suspended = true;
+        sim.run_for(SimDuration::millis(2));
+        assert_eq!(sim.app(NodeId(0)).newly_suspected, vec![NodeId(1)]);
+    }
+}

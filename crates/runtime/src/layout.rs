@@ -1,0 +1,233 @@
+//! Registered-memory layout of a Hamband replica.
+//!
+//! Every node registers the same regions in the same order, so a peer
+//! can compute remote addresses without any metadata exchange beyond
+//! what connection setup provides (§4 "Meta-data"):
+//!
+//! | Region | Contents | Written by |
+//! |--------|----------|------------|
+//! | `heartbeat` | 8-byte liveness counter | owner (read remotely) |
+//! | `summaries` | one summary slot per (summarization group, source) | the source process |
+//! | `free_rings` | one ring of conflict-free calls per source | the source process |
+//! | `heads` | head counters of every ring (F per source, then L per group) | owner (read remotely by writers) |
+//! | `backup` | reliable-broadcast backup slots | owner (read remotely on suspicion) |
+//! | `conf(g)` | commit cell + the `L` ring of sync group `g` | the group leader (write-permission-controlled) |
+
+use hamband_core::coord::CoordSpec;
+use rdma_sim::{App, NodeId, RegionId, Simulator};
+
+use crate::config::RuntimeConfig;
+
+/// Computed region ids and offsets, identical on every node.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    /// Cluster size.
+    pub nodes: usize,
+    /// Heartbeat counter region (8 bytes).
+    pub heartbeat: RegionId,
+    /// Summary slots region.
+    pub summaries: RegionId,
+    /// Conflict-free rings region.
+    pub free_rings: RegionId,
+    /// Ring-head counters region.
+    pub heads: RegionId,
+    /// Reliable-broadcast backup region.
+    pub backup: RegionId,
+    /// Conflicting ring region per synchronization group.
+    pub conf: Vec<RegionId>,
+    /// Byte offset of each summarization group's slot block within
+    /// `summaries` (the block holds one slot per source node).
+    sum_group_base: Vec<usize>,
+    /// Slot size per summarization group.
+    sum_slot_size: Vec<usize>,
+    /// Entry slot size (rings).
+    entry_size: usize,
+    /// Free-ring capacity.
+    free_cap: usize,
+    /// Conf-ring capacity.
+    conf_cap: usize,
+    /// Backup slot size.
+    backup_slot_size: usize,
+    /// Backup slot count.
+    backup_slots: usize,
+}
+
+impl Layout {
+    /// Register all regions on a fresh simulator and return the layout.
+    pub fn install<A: App>(
+        sim: &mut Simulator<A>,
+        coord: &CoordSpec,
+        cfg: &RuntimeConfig,
+    ) -> Layout {
+        let n = sim.len();
+        let heartbeat = sim.add_region_all(8);
+
+        let mut sum_group_base = Vec::new();
+        let mut sum_slot_size = Vec::new();
+        let mut off = 0usize;
+        for g in coord.sum_groups() {
+            let slot = cfg.summary_slot_size(g.len());
+            sum_group_base.push(off);
+            sum_slot_size.push(slot);
+            off += slot * n;
+        }
+        let summaries = sim.add_region_all(off.max(8));
+
+        let entry_size = cfg.entry_size();
+        let free_rings = sim.add_region_all(n * cfg.free_ring_cap * entry_size);
+        let heads = sim.add_region_all((n + coord.sync_groups().len()).max(1) * 8);
+        let backup_slot_size = Self::backup_slot_size_for(cfg);
+        let backup = sim.add_region_all(cfg.backup_slots * backup_slot_size);
+        let conf = (0..coord.sync_groups().len())
+            .map(|_| sim.add_region_all(8 + cfg.conf_ring_cap * entry_size))
+            .collect();
+
+        Layout {
+            nodes: n,
+            heartbeat,
+            summaries,
+            free_rings,
+            heads,
+            backup,
+            conf,
+            sum_group_base,
+            sum_slot_size,
+            entry_size,
+            free_cap: cfg.free_ring_cap,
+            conf_cap: cfg.conf_ring_cap,
+            backup_slot_size,
+            backup_slots: cfg.backup_slots,
+        }
+    }
+
+    fn backup_slot_size_for(cfg: &RuntimeConfig) -> usize {
+        // kind (1) + group (1) + seq (8) + len (2) + a full ring or
+        // summary slot, whichever is larger.
+        let inner = cfg.entry_size().max(cfg.summary_slot_size(8));
+        12 + inner
+    }
+
+    /// Offset of the summary slot for `(sum_group, source)`.
+    pub fn summary_offset(&self, group: usize, source: NodeId) -> usize {
+        self.sum_group_base[group] + self.sum_slot_size[group] * source.index()
+    }
+
+    /// Slot size of a summarization group.
+    pub fn summary_size(&self, group: usize) -> usize {
+        self.sum_slot_size[group]
+    }
+
+    /// Base offset of the conflict-free ring fed by `source`.
+    pub fn free_ring_base(&self, source: NodeId) -> usize {
+        source.index() * self.free_cap * self.entry_size
+    }
+
+    /// Ring entry slot size.
+    pub fn entry_size(&self) -> usize {
+        self.entry_size
+    }
+
+    /// Free-ring capacity in entries.
+    pub fn free_cap(&self) -> usize {
+        self.free_cap
+    }
+
+    /// Conf-ring capacity in entries.
+    pub fn conf_cap(&self) -> usize {
+        self.conf_cap
+    }
+
+    /// Offset of the head counter for the free ring fed by `source`.
+    pub fn free_head_offset(&self, source: NodeId) -> usize {
+        source.index() * 8
+    }
+
+    /// Offset of the head counter for sync group `g`'s ring.
+    pub fn conf_head_offset(&self, g: usize) -> usize {
+        (self.nodes + g) * 8
+    }
+
+    /// Offset of the commit cell within region `conf[g]`.
+    pub fn conf_commit_offset(&self) -> usize {
+        0
+    }
+
+    /// Base offset of the ring within region `conf[g]`.
+    pub fn conf_ring_base(&self) -> usize {
+        8
+    }
+
+    /// Offset and size of backup slot `i`.
+    pub fn backup_slot(&self, i: usize) -> (usize, usize) {
+        (i % self.backup_slots * self.backup_slot_size, self.backup_slot_size)
+    }
+
+    /// Number of backup slots.
+    pub fn backup_slots(&self) -> usize {
+        self.backup_slots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hamband_core::coord::CoordSpec;
+    use rdma_sim::{Ctx, Event, LatencyModel};
+
+    struct Noop;
+    impl App for Noop {
+        fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+        fn on_event(&mut self, _ctx: &mut Ctx<'_>, _event: Event) {}
+    }
+
+    fn account_layout(n: usize) -> Layout {
+        // account-like: 2 methods, sum group [0], one sync group.
+        let coord = CoordSpec::builder(2)
+            .conflict(1, 1)
+            .depends(1, 0)
+            .summarization_group([0])
+            .build();
+        let cfg = RuntimeConfig::default();
+        let mut sim: Simulator<Noop> = Simulator::new(n, LatencyModel::deterministic(), 0);
+        let l = Layout::install(&mut sim, &coord, &cfg);
+        sim.set_apps(|_| Noop);
+        l
+    }
+
+    #[test]
+    fn regions_are_distinct() {
+        let l = account_layout(3);
+        let mut ids = vec![l.heartbeat, l.summaries, l.free_rings, l.heads, l.backup];
+        ids.extend(l.conf.iter().copied());
+        let unique: std::collections::BTreeSet<_> = ids.iter().collect();
+        assert_eq!(unique.len(), ids.len());
+        assert_eq!(l.conf.len(), 1);
+    }
+
+    #[test]
+    fn offsets_do_not_overlap() {
+        let l = account_layout(4);
+        // Summary slots of distinct sources are disjoint.
+        let s0 = l.summary_offset(0, NodeId(0));
+        let s1 = l.summary_offset(0, NodeId(1));
+        assert_eq!(s1 - s0, l.summary_size(0));
+        // Free rings of distinct sources are disjoint.
+        let f0 = l.free_ring_base(NodeId(0));
+        let f1 = l.free_ring_base(NodeId(1));
+        assert_eq!(f1 - f0, l.free_cap() * l.entry_size());
+        // Heads: free heads then conf heads.
+        assert_eq!(l.free_head_offset(NodeId(3)), 24);
+        assert_eq!(l.conf_head_offset(0), 32);
+    }
+
+    #[test]
+    fn backup_slots_wrap() {
+        let l = account_layout(2);
+        let (o0, sz) = l.backup_slot(0);
+        let (o1, _) = l.backup_slot(1);
+        let (owrap, _) = l.backup_slot(l.backup_slots());
+        assert_eq!(o0, 0);
+        assert_eq!(o1, sz);
+        assert_eq!(owrap, 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Two-sided control messages.
+//!
+//! Hamband's data path is purely one-sided; messages are used only for
+//! the *rare* slow paths, exactly as in Mu: leader change ("it requests
+//! others to accept it as the leader and waits for a majority of them
+//! to acknowledge", §4) and its announcement.
+
+use hamband_core::wire::{DecodeError, Reader, Wire, Writer};
+
+/// A control message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlMsg {
+    /// A candidate asks to become leader of a synchronization group at
+    /// the given epoch.
+    LeaderRequest {
+        /// Synchronization group index.
+        group: u32,
+        /// Proposed epoch (must exceed the receiver's promise).
+        epoch: u64,
+    },
+    /// Acknowledgement of a [`ControlMsg::LeaderRequest`]: the voter has
+    /// revoked the old leader's write permission and granted the
+    /// candidate.
+    LeaderAck {
+        /// Synchronization group index.
+        group: u32,
+        /// Echoed epoch.
+        epoch: u64,
+        /// Highest fully-landed entry sequence in the voter's `L` ring.
+        tail: u64,
+        /// The voter's commit index for the group.
+        commit: u64,
+    },
+    /// The elected leader announces itself.
+    LeaderAnnounce {
+        /// Synchronization group index.
+        group: u32,
+        /// Winning epoch.
+        epoch: u64,
+        /// The new leader.
+        leader: u32,
+    },
+}
+
+impl Wire for ControlMsg {
+    fn encode(&self, w: &mut Writer) {
+        match *self {
+            ControlMsg::LeaderRequest { group, epoch } => {
+                w.u8(0);
+                w.varint(u64::from(group));
+                w.varint(epoch);
+            }
+            ControlMsg::LeaderAck { group, epoch, tail, commit } => {
+                w.u8(1);
+                w.varint(u64::from(group));
+                w.varint(epoch);
+                w.varint(tail);
+                w.varint(commit);
+            }
+            ControlMsg::LeaderAnnounce { group, epoch, leader } => {
+                w.u8(2);
+                w.varint(u64::from(group));
+                w.varint(epoch);
+                w.varint(u64::from(leader));
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            0 => Ok(ControlMsg::LeaderRequest {
+                group: r.varint()? as u32,
+                epoch: r.varint()?,
+            }),
+            1 => Ok(ControlMsg::LeaderAck {
+                group: r.varint()? as u32,
+                epoch: r.varint()?,
+                tail: r.varint()?,
+                commit: r.varint()?,
+            }),
+            2 => Ok(ControlMsg::LeaderAnnounce {
+                group: r.varint()? as u32,
+                epoch: r.varint()?,
+                leader: r.varint()? as u32,
+            }),
+            _ => Err(DecodeError),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_variants() {
+        let msgs = [
+            ControlMsg::LeaderRequest { group: 1, epoch: 7 },
+            ControlMsg::LeaderAck { group: 0, epoch: 7, tail: 123, commit: 120 },
+            ControlMsg::LeaderAnnounce { group: 2, epoch: 8, leader: 3 },
+        ];
+        for m in msgs {
+            assert_eq!(ControlMsg::from_bytes(&m.to_bytes()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(ControlMsg::from_bytes(&[9, 9, 9]).is_err());
+        assert!(ControlMsg::from_bytes(&[]).is_err());
+    }
+}

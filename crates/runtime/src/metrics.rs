@@ -1,0 +1,152 @@
+//! Per-node and cluster-level measurement, matching the paper's
+//! definitions (§5 "Platform and setup"): throughput is the total
+//! number of calls divided by the time until all update calls are
+//! replicated on all nodes; response time is the average over calls.
+
+use std::collections::BTreeMap;
+
+use rdma_sim::{SimDuration, SimTime};
+
+/// Per-node measurement accumulator.
+#[derive(Debug, Clone, Default)]
+pub struct NodeMetrics {
+    /// Update calls issued (acknowledged or still outstanding).
+    pub updates_issued: u64,
+    /// Update calls acknowledged to the client.
+    pub updates_acked: u64,
+    /// Query calls executed.
+    pub queries: u64,
+    /// Calls rejected as locally impermissible.
+    pub rejected: u64,
+    /// Sum of response times (ns) over acknowledged updates + queries.
+    pub rt_sum_ns: u64,
+    /// Response-time samples counted in `rt_sum_ns`.
+    pub rt_count: u64,
+    /// Response-time sums per method (updates only), keyed by method
+    /// index.
+    pub rt_per_method_ns: BTreeMap<usize, (u64, u64)>,
+    /// Remote update calls applied locally (propagated from peers).
+    pub remote_applied: u64,
+    /// Virtual time of the most recent update application at this node
+    /// (local issue or remote propagation) — the per-node component of
+    /// the paper's "time for all update calls to be replicated".
+    pub last_apply: SimTime,
+}
+
+impl NodeMetrics {
+    /// Record an acknowledged update call.
+    pub fn ack_update(&mut self, method: usize, issued_at: SimTime, now: SimTime) {
+        let rt = now.since(issued_at).as_nanos();
+        self.updates_acked += 1;
+        self.rt_sum_ns += rt;
+        self.rt_count += 1;
+        let slot = self.rt_per_method_ns.entry(method).or_insert((0, 0));
+        slot.0 += rt;
+        slot.1 += 1;
+    }
+
+    /// Record a query (response time = its local execution cost).
+    pub fn ack_query(&mut self, cost: SimDuration) {
+        self.queries += 1;
+        self.rt_sum_ns += cost.as_nanos();
+        self.rt_count += 1;
+    }
+
+    /// Mean response time in microseconds over all recorded calls.
+    pub fn mean_rt_us(&self) -> f64 {
+        if self.rt_count == 0 {
+            0.0
+        } else {
+            self.rt_sum_ns as f64 / self.rt_count as f64 / 1_000.0
+        }
+    }
+
+    /// Mean response time of one method, microseconds.
+    pub fn method_rt_us(&self, method: usize) -> Option<f64> {
+        let &(sum, count) = self.rt_per_method_ns.get(&method)?;
+        (count > 0).then(|| sum as f64 / count as f64 / 1_000.0)
+    }
+}
+
+/// A cluster-level run summary produced by the harness.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// System label ("hamband", "mu-smr", "msg").
+    pub system: String,
+    /// Cluster size.
+    pub nodes: usize,
+    /// Total calls (updates + queries) across the cluster.
+    pub total_calls: u64,
+    /// Total acknowledged update calls.
+    pub total_updates: u64,
+    /// Virtual time at which every update was applied everywhere.
+    pub completed_at: SimTime,
+    /// Throughput in operations per microsecond of virtual time.
+    pub throughput_ops_per_us: f64,
+    /// Mean response time over all calls, microseconds.
+    pub mean_rt_us: f64,
+    /// Mean response time per method name.
+    pub per_method_rt_us: BTreeMap<String, f64>,
+    /// Whether all replicas converged to equal states at the end.
+    pub converged: bool,
+}
+
+impl std::fmt::Display for RunReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:>8}  n={}  calls={}  tput={:.2} ops/us  rt={:.2} us  converged={}",
+            self.system,
+            self.nodes,
+            self.total_calls,
+            self.throughput_ops_per_us,
+            self.mean_rt_us,
+            self.converged
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rt_accounting() {
+        let mut m = NodeMetrics::default();
+        m.ack_update(0, SimTime(1_000), SimTime(3_000));
+        m.ack_update(0, SimTime(0), SimTime(4_000));
+        m.ack_update(1, SimTime(0), SimTime(1_000));
+        m.ack_query(SimDuration::nanos(500));
+        assert_eq!(m.updates_acked, 3);
+        assert_eq!(m.queries, 1);
+        assert_eq!(m.rt_count, 4);
+        assert!((m.mean_rt_us() - (2.0 + 4.0 + 1.0 + 0.5) / 4.0).abs() < 1e-9);
+        assert!((m.method_rt_us(0).unwrap() - 3.0).abs() < 1e-9);
+        assert!((m.method_rt_us(1).unwrap() - 1.0).abs() < 1e-9);
+        assert_eq!(m.method_rt_us(9), None);
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = NodeMetrics::default();
+        assert_eq!(m.mean_rt_us(), 0.0);
+    }
+
+    #[test]
+    fn report_display_mentions_system() {
+        let r = RunReport {
+            system: "hamband".into(),
+            nodes: 4,
+            total_calls: 100,
+            total_updates: 25,
+            completed_at: SimTime(1_000_000),
+            throughput_ops_per_us: 12.5,
+            mean_rt_us: 1.4,
+            per_method_rt_us: BTreeMap::new(),
+            converged: true,
+        };
+        let s = r.to_string();
+        assert!(s.contains("hamband"));
+        assert!(s.contains("12.50 ops/us"));
+    }
+}

@@ -1,0 +1,82 @@
+//! Regression test for leader failover: after the group leader's
+//! heartbeat is suspended, a new leader must take over the ring,
+//! consume the remaining conflicting quota, and *every* node — the
+//! deposed leader included — must apply the full update workload.
+//! (Run with `--nocapture` to see the per-node status trail.)
+
+use hamband_core::ids::Pid;
+use hamband_runtime::{HambandNode, Layout, RuntimeConfig, Workload};
+use hamband_types::Courseware;
+use rdma_sim::{Fault, FaultPlan, LatencyModel, NodeId, SimDuration, SimTime, Simulator};
+
+#[test]
+fn leader_failure_trace() {
+    let cw = Courseware::default();
+    let coord = cw.coord_spec();
+    let n = 4;
+    let workload = Workload::new(600, 0.5);
+    let cfg = RuntimeConfig::default();
+    let mut sim: Simulator<HambandNode<Courseware>> =
+        Simulator::new(n, LatencyModel::default(), 0x5eed);
+    let layout = Layout::install(&mut sim, &coord, &cfg);
+    let leaders: Vec<Pid> = coord.default_leaders(n);
+    sim.install_fault_plan(
+        &FaultPlan::new().at(SimTime(60_000), Fault::SuspendHeartbeat(NodeId(0))),
+    );
+    {
+        let coord = coord.clone();
+        sim.set_apps(move |id| {
+            HambandNode::new(
+                cw.clone(),
+                coord.clone(),
+                cfg.clone(),
+                layout.clone(),
+                id,
+                n,
+                &leaders,
+                workload.clone(),
+            )
+        });
+    }
+    for step in 0..60 {
+        sim.run_for(SimDuration::micros(50));
+        if step % 4 == 0 {
+            println!("--- t={} ---", sim.now());
+            for i in 0..n {
+                println!("{}", sim.app(NodeId(i)).debug_status());
+            }
+        }
+        let alive: Vec<NodeId> = (1..n).map(NodeId).collect();
+        let done = alive.iter().all(|&id| sim.app(id).workload_done())
+            && alive
+                .iter()
+                .all(|&id| sim.app(id).applied_map() == sim.app(NodeId(1)).applied_map());
+        if done {
+            println!("done at {}", sim.now());
+            break;
+        }
+    }
+    // Let in-flight commit-index writes and summary writes settle.
+    sim.run_for(SimDuration::micros(500));
+    for i in 0..n {
+        println!("final: {}", sim.app(NodeId(i)).debug_status());
+    }
+    // 300 updates total; all nodes, including the suspended old leader
+    // n0 (which keeps applying), must have applied every one.
+    for i in 0..n {
+        assert_eq!(
+            sim.app(NodeId(i)).applied_updates(),
+            300,
+            "node {i} missed updates: {}",
+            sim.app(NodeId(i)).debug_status()
+        );
+    }
+    // New leader is node 1 everywhere.
+    for i in 0..n {
+        assert_eq!(sim.app(NodeId(i)).leader_view(0), Pid(1));
+    }
+    let s1 = sim.app(NodeId(1)).state_snapshot();
+    for i in 0..n {
+        assert_eq!(sim.app(NodeId(i)).state_snapshot(), s1, "node {i} diverged");
+    }
+}

@@ -1,0 +1,106 @@
+//! End-to-end runtime tests: full Hamband clusters (and baselines)
+//! driven to convergence over the simulated fabric.
+
+use hamband_core::demo::Account;
+use hamband_runtime::harness::{run_hamband, run_msg, smr_coord, RunConfig};
+use hamband_runtime::Workload;
+use hamband_types::{Counter, Courseware, GSet, Movie, OrSet, Project};
+use rdma_sim::{Fault, FaultPlan, NodeId, SimTime};
+
+#[test]
+fn counter_reducible_converges() {
+    let c = Counter::default();
+    let run = RunConfig::new(3, Workload::new(600, 0.5));
+    let report = run_hamband(&c, &c.coord_spec(), &run, "hamband");
+    assert!(report.converged, "{report}");
+    assert!(report.total_updates >= 295, "most updates acked: {report}");
+    assert!(report.throughput_ops_per_us > 0.1, "{report}");
+}
+
+#[test]
+fn gset_buffered_converges() {
+    let g = GSet::default();
+    let run = RunConfig::new(3, Workload::new(400, 0.5));
+    let report = run_hamband(&g, &g.coord_spec_buffered(), &run, "hamband");
+    assert!(report.converged, "{report}");
+}
+
+#[test]
+fn orset_with_dependencies_converges() {
+    let o = OrSet::default();
+    let run = RunConfig::new(4, Workload::new(600, 0.5));
+    let report = run_hamband(&o, &o.coord_spec(), &run, "hamband");
+    assert!(report.converged, "{report}");
+}
+
+#[test]
+fn account_all_categories_converges() {
+    let a = Account::new(50);
+    let run = RunConfig::new(3, Workload::new(600, 0.5));
+    let report = run_hamband(&a, &a.coord_spec(), &run, "hamband");
+    assert!(report.converged, "{report}");
+    // Some withdrawals must actually have committed.
+    assert!(report.per_method_rt_us.contains_key("withdraw"), "{report:?}");
+}
+
+#[test]
+fn project_schema_converges() {
+    let p = Project::default();
+    let run = RunConfig::new(4, Workload::new(600, 0.5));
+    let report = run_hamband(&p, &p.coord_spec(), &run, "hamband");
+    assert!(report.converged, "{report}");
+}
+
+#[test]
+fn movie_two_leaders_converges() {
+    let m = Movie::default();
+    let run = RunConfig::new(4, Workload::new(600, 1.0));
+    let report = run_hamband(&m, &m.coord_spec(), &run, "hamband");
+    assert!(report.converged, "{report}");
+}
+
+#[test]
+fn smr_baseline_converges_and_is_slower() {
+    let c = Counter::default();
+    let run = RunConfig::new(3, Workload::new(600, 0.5));
+    let hb = run_hamband(&c, &c.coord_spec(), &run, "hamband");
+    let smr = run_hamband(&c, &smr_coord(1), &run, "mu-smr");
+    assert!(smr.converged, "{smr}");
+    assert!(
+        hb.throughput_ops_per_us > smr.throughput_ops_per_us,
+        "hamband {hb} should beat smr {smr}"
+    );
+}
+
+#[test]
+fn msg_baseline_converges_and_is_much_slower() {
+    let c = Counter::default();
+    let run = RunConfig::new(3, Workload::new(600, 0.5));
+    let hb = run_hamband(&c, &c.coord_spec(), &run, "hamband");
+    let msg = run_msg(&c, &c.coord_spec(), &run);
+    assert!(msg.converged, "{msg}");
+    assert!(
+        hb.throughput_ops_per_us > 3.0 * msg.throughput_ops_per_us,
+        "hamband {hb} should dominate msg {msg}"
+    );
+    assert!(hb.mean_rt_us < msg.mean_rt_us, "hamband {hb} rt below msg {msg}");
+}
+
+#[test]
+fn follower_failure_is_tolerated() {
+    let c = Counter::default();
+    let mut run = RunConfig::new(4, Workload::new(800, 0.5));
+    run.faults = FaultPlan::new().at(SimTime(40_000), Fault::SuspendHeartbeat(NodeId(3)));
+    let report = run_hamband(&c, &c.coord_spec(), &run, "hamband");
+    assert!(report.converged, "{report}");
+}
+
+#[test]
+fn leader_failure_elects_new_leader() {
+    let cw = Courseware::default();
+    let mut run = RunConfig::new(4, Workload::new(600, 0.5));
+    // Group leader is node 0 by default; suspend its heartbeat mid-run.
+    run.faults = FaultPlan::new().at(SimTime(60_000), Fault::SuspendHeartbeat(NodeId(0)));
+    let report = run_hamband(&cw, &cw.coord_spec(), &run, "hamband");
+    assert!(report.converged, "{report}");
+}

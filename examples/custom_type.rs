@@ -1,0 +1,239 @@
+//! Building your own replicated data type: a warehouse inventory with
+//! a never-negative stock invariant.
+//!
+//! This walks the full downstream-user path: implement [`ObjectSpec`]
+//! (executable definition) plus the sampling/workload traits, let the
+//! bounded analyzer *infer* the coordination relations, check them,
+//! and run the type on a simulated RDMA cluster.
+//!
+//! ```sh
+//! cargo run --example custom_type
+//! ```
+
+use std::collections::BTreeMap;
+
+use hamband::core::analysis::{infer, validate, AnalysisConfig};
+use hamband::core::ids::MethodId;
+use hamband::core::object::{ObjectSpec, SpecSampler, WorkloadSupport};
+use hamband::core::wire::{DecodeError, Reader, Wire, Writer};
+use hamband::runtime::harness::{run_hamband, RunConfig};
+use hamband::runtime::Workload;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+const RESTOCK: MethodId = MethodId(0);
+const SHIP: MethodId = MethodId(1);
+
+/// Stock per item; the invariant keeps every count non-negative.
+type Stock = BTreeMap<u64, i64>;
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum InventoryUpdate {
+    /// Restock a batch of items — always safe, and two batches merge
+    /// into one by adding counts, so `restock` will be *reducible*.
+    Restock(Vec<(u64, u32)>),
+    /// Ship units of one item — two concurrent shipments can oversell,
+    /// so `ship` will be *conflicting*; and a shipment covered by a
+    /// recent restock must not overtake it, so `ship` *depends on*
+    /// `restock`.
+    Ship(u64, u32),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum InventoryQuery {
+    OnHand(u64),
+}
+
+#[derive(Debug, Clone)]
+struct Inventory {
+    items: u64,
+}
+
+impl ObjectSpec for Inventory {
+    type State = Stock;
+    type Update = InventoryUpdate;
+    type Query = InventoryQuery;
+    type Reply = i64;
+
+    fn name(&self) -> &str {
+        "inventory"
+    }
+
+    fn initial(&self) -> Stock {
+        Stock::new()
+    }
+
+    fn invariant(&self, s: &Stock) -> bool {
+        s.values().all(|&v| v >= 0)
+    }
+
+    fn apply(&self, s: &Stock, call: &InventoryUpdate) -> Stock {
+        let mut s = s.clone();
+        match call {
+            InventoryUpdate::Restock(batch) => {
+                for &(item, n) in batch {
+                    *s.entry(item).or_insert(0) += i64::from(n);
+                }
+            }
+            InventoryUpdate::Ship(item, n) => {
+                *s.entry(*item).or_insert(0) -= i64::from(*n);
+            }
+        }
+        s
+    }
+
+    fn query(&self, s: &Stock, q: &InventoryQuery) -> i64 {
+        let InventoryQuery::OnHand(item) = q;
+        s.get(item).copied().unwrap_or(0)
+    }
+
+    fn method_names(&self) -> Vec<&'static str> {
+        vec!["restock", "ship"]
+    }
+
+    fn method_of(&self, call: &InventoryUpdate) -> MethodId {
+        match call {
+            InventoryUpdate::Restock(_) => RESTOCK,
+            InventoryUpdate::Ship(..) => SHIP,
+        }
+    }
+
+    fn summarize(&self, a: &InventoryUpdate, b: &InventoryUpdate) -> Option<InventoryUpdate> {
+        match (a, b) {
+            (InventoryUpdate::Restock(x), InventoryUpdate::Restock(y)) => {
+                let mut merged: BTreeMap<u64, u32> = BTreeMap::new();
+                for &(item, n) in x.iter().chain(y) {
+                    *merged.entry(item).or_insert(0) += n;
+                }
+                Some(InventoryUpdate::Restock(merged.into_iter().collect()))
+            }
+            _ => None,
+        }
+    }
+}
+
+impl SpecSampler for Inventory {
+    fn sample_state(&self, rng: &mut StdRng) -> Stock {
+        (0..rng.gen_range(0..6))
+            .map(|_| (rng.gen_range(0..self.items), rng.gen_range(0..30)))
+            .collect()
+    }
+
+    fn sample_update_of(&self, method: MethodId, rng: &mut StdRng) -> InventoryUpdate {
+        let item = rng.gen_range(0..self.items);
+        match method {
+            RESTOCK => InventoryUpdate::Restock(vec![(item, rng.gen_range(1..5))]),
+            SHIP => InventoryUpdate::Ship(item, rng.gen_range(1..5)),
+            other => panic!("inventory has no method {other}"),
+        }
+    }
+}
+
+impl WorkloadSupport for Inventory {
+    fn sample_query(&self, rng: &mut StdRng) -> InventoryQuery {
+        InventoryQuery::OnHand(rng.gen_range(0..self.items))
+    }
+
+    fn gen_update(
+        &self,
+        state: &Stock,
+        _node: usize,
+        _seq: u64,
+        method: MethodId,
+        rng: &mut StdRng,
+    ) -> Option<InventoryUpdate> {
+        match method {
+            RESTOCK => Some(self.sample_update_of(RESTOCK, rng)),
+            SHIP => {
+                // Ship only what the local view can cover.
+                let stocked: Vec<(u64, i64)> =
+                    state.iter().filter(|&(_, &v)| v >= 2).map(|(&i, &v)| (i, v)).collect();
+                if stocked.is_empty() {
+                    return None;
+                }
+                let (item, have) = stocked[rng.gen_range(0..stocked.len())];
+                Some(InventoryUpdate::Ship(item, rng.gen_range(1..=(have / 2).min(4)) as u32))
+            }
+            other => panic!("inventory has no method {other}"),
+        }
+    }
+}
+
+impl Wire for InventoryUpdate {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            InventoryUpdate::Restock(batch) => {
+                w.u8(0);
+                w.varint(batch.len() as u64);
+                for &(item, n) in batch {
+                    w.varint(item);
+                    w.varint(u64::from(n));
+                }
+            }
+            InventoryUpdate::Ship(item, n) => {
+                w.u8(1);
+                w.varint(*item);
+                w.varint(u64::from(*n));
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            0 => {
+                let len = r.varint()? as usize;
+                if len > r.remaining() {
+                    return Err(DecodeError);
+                }
+                let mut batch = Vec::with_capacity(len);
+                for _ in 0..len {
+                    batch.push((
+                        r.varint()?,
+                        u32::try_from(r.varint()?).map_err(|_| DecodeError)?,
+                    ));
+                }
+                Ok(InventoryUpdate::Restock(batch))
+            }
+            1 => Ok(InventoryUpdate::Ship(
+                r.varint()?,
+                u32::try_from(r.varint()?).map_err(|_| DecodeError)?,
+            )),
+            _ => Err(DecodeError),
+        }
+    }
+}
+
+fn main() {
+    let inv = Inventory { items: 16 };
+
+    // Infer the coordination relations from the executable definition.
+    let cfg = AnalysisConfig::default();
+    let coord = infer(&inv, &cfg);
+    println!("== inferred coordination for `{}` ==", inv.name());
+    for (m, name) in inv.method_names().iter().enumerate() {
+        let mid = MethodId(m);
+        println!(
+            "  {name:<8} {} deps={:?}",
+            coord.category(mid),
+            coord
+                .dependencies(mid)
+                .iter()
+                .map(|d| inv.method_names()[d.index()])
+                .collect::<Vec<_>>()
+        );
+    }
+    assert!(coord.category(RESTOCK).is_reducible(), "restock should be reducible");
+    assert!(coord.category(SHIP).is_conflicting(), "ship should be conflicting");
+    assert!(coord.dependencies(SHIP).contains(&RESTOCK), "ship depends on restock");
+
+    // And it validates against the definition.
+    let report = validate(&inv, &coord, &cfg);
+    assert!(report.is_valid(), "{report}");
+    println!("  {report}");
+
+    // Run it on a 5-node cluster.
+    let run = RunConfig::new(5, Workload::new(3_000, 0.4));
+    let rep = run_hamband(&inv, &coord, &run, "hamband");
+    println!("  {rep}");
+    assert!(rep.converged, "inventory cluster must converge");
+}

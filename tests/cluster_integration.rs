@@ -1,0 +1,151 @@
+//! Cross-crate integration: every shipped data type runs on the full
+//! simulated cluster, converges, and ends in a state satisfying its
+//! invariant; conflict-free types additionally run under the MSG
+//! baseline and the Mu-SMR baseline.
+
+use hamband::core::coord::CoordSpec;
+use hamband::core::object::{ObjectSpec, WorkloadSupport};
+use hamband::core::wire::Wire;
+use hamband::runtime::harness::{run_hamband, run_msg, smr_coord, RunConfig};
+use hamband::runtime::Workload;
+use hamband::types::{
+    Account, Cart, Counter, Courseware, GSet, LwwRegister, Movie, OrSet, Project,
+};
+
+fn hamband_converges<O>(spec: &O, coord: &CoordSpec, nodes: usize)
+where
+    O: WorkloadSupport + Clone,
+    O::Update: Wire,
+{
+    let run = RunConfig::new(nodes, Workload::new(600, 0.4).with_seed(0xc0de));
+    let rep = run_hamband(spec, coord, &run, "hamband");
+    assert!(rep.converged, "{} did not converge: {rep}", spec.name());
+    assert!(rep.total_updates > 0, "{} acked no updates", spec.name());
+}
+
+fn smr_converges<O>(spec: &O, nodes: usize)
+where
+    O: WorkloadSupport + Clone,
+    O::Update: Wire,
+{
+    let run = RunConfig::new(nodes, Workload::new(600, 0.4).with_seed(0xc0de));
+    let rep = run_hamband(spec, &smr_coord(spec.method_count()), &run, "mu-smr");
+    assert!(rep.converged, "{} SMR did not converge: {rep}", spec.name());
+}
+
+fn msg_converges<O>(spec: &O, coord: &CoordSpec, nodes: usize)
+where
+    O: WorkloadSupport + Clone,
+    O::Update: Wire,
+{
+    let run = RunConfig::new(nodes, Workload::new(600, 0.4).with_seed(0xc0de));
+    let rep = run_msg(spec, coord, &run);
+    assert!(rep.converged, "{} MSG did not converge: {rep}", spec.name());
+}
+
+#[test]
+fn counter_all_systems() {
+    let c = Counter::default();
+    hamband_converges(&c, &c.coord_spec(), 4);
+    smr_converges(&c, 4);
+    msg_converges(&c, &c.coord_spec(), 4);
+}
+
+#[test]
+fn lww_all_systems() {
+    let l = LwwRegister::default();
+    hamband_converges(&l, &l.coord_spec(), 4);
+    smr_converges(&l, 4);
+    msg_converges(&l, &l.coord_spec(), 4);
+}
+
+#[test]
+fn gset_both_coordinations() {
+    let g = GSet::default();
+    hamband_converges(&g, &g.coord_spec(), 4);
+    hamband_converges(&g, &g.coord_spec_buffered(), 4);
+    msg_converges(&g, &g.coord_spec_buffered(), 4);
+}
+
+#[test]
+fn orset_and_cart() {
+    let o = OrSet::default();
+    hamband_converges(&o, &o.coord_spec(), 5);
+    msg_converges(&o, &o.coord_spec(), 5);
+    let cart = Cart::default();
+    hamband_converges(&cart, &cart.coord_spec(), 5);
+    msg_converges(&cart, &cart.coord_spec(), 5);
+}
+
+#[test]
+fn account_hamband_and_smr() {
+    let a = Account::new(50);
+    hamband_converges(&a, &a.coord_spec(), 3);
+    smr_converges(&a, 3);
+}
+
+#[test]
+fn relational_schemata() {
+    let p = Project::default();
+    hamband_converges(&p, &p.coord_spec(), 4);
+    let m = Movie::default();
+    hamband_converges(&m, &m.coord_spec(), 4);
+    let cw = Courseware::default();
+    hamband_converges(&cw, &cw.coord_spec(), 4);
+    smr_converges(&cw, 4);
+}
+
+#[test]
+fn seven_node_cluster_like_the_paper() {
+    // The paper's testbed size.
+    let c = Counter::default();
+    hamband_converges(&c, &c.coord_spec(), 7);
+    let cw = Courseware::default();
+    hamband_converges(&cw, &cw.coord_spec(), 7);
+}
+
+#[test]
+fn final_states_satisfy_invariants() {
+    use hamband::runtime::{HambandNode, Layout, RuntimeConfig};
+    use hamband::sim::{LatencyModel, NodeId, SimDuration, Simulator};
+
+    let p = Project::default();
+    let coord = p.coord_spec();
+    let n = 4;
+    let workload = Workload::new(800, 0.5).with_seed(3);
+    let cfg = RuntimeConfig::default();
+    let mut sim: Simulator<HambandNode<Project>> =
+        Simulator::new(n, LatencyModel::default(), 9);
+    let layout = Layout::install(&mut sim, &coord, &cfg);
+    let leaders = coord.default_leaders(n);
+    {
+        let coord = coord.clone();
+        let p2 = p.clone();
+        sim.set_apps(move |id| {
+            HambandNode::new(
+                p2.clone(),
+                coord.clone(),
+                cfg.clone(),
+                layout.clone(),
+                id,
+                n,
+                &leaders,
+                workload.clone(),
+            )
+        });
+    }
+    for _ in 0..200 {
+        sim.run_for(SimDuration::micros(50));
+        if (0..n).all(|i| sim.app(NodeId(i)).workload_done()) {
+            break;
+        }
+    }
+    sim.run_for(SimDuration::millis(1));
+    for i in 0..n {
+        let state = sim.app(NodeId(i)).state_snapshot();
+        assert!(
+            p.invariant(&state),
+            "referential integrity violated at node {i}: {state:?}"
+        );
+    }
+}
