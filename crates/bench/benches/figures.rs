@@ -6,8 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use hamband_runtime::harness::{run_hamband, run_msg, smr_coord, RunConfig};
-use hamband_runtime::Workload;
+use hamband_runtime::{RunConfig, Runner, System, Workload};
 use hamband_types::{Counter, OrSet};
 
 fn bench_hamband_counter(c: &mut Criterion) {
@@ -16,7 +15,7 @@ fn bench_hamband_counter(c: &mut Criterion) {
     c.bench_function("cluster/hamband_counter_400ops_4nodes", |b| {
         b.iter(|| {
             let run = RunConfig::new(4, Workload::new(400, 0.25));
-            let rep = run_hamband(&counter, &coord, &run, "hamband");
+            let rep = Runner::new(System::Hamband, run).run(&counter, &coord).report;
             assert!(rep.converged);
             std::hint::black_box(rep.throughput_ops_per_us)
         });
@@ -28,7 +27,7 @@ fn bench_smr_counter(c: &mut Criterion) {
     c.bench_function("cluster/mu_smr_counter_400ops_4nodes", |b| {
         b.iter(|| {
             let run = RunConfig::new(4, Workload::new(400, 0.25));
-            let rep = run_hamband(&counter, &smr_coord(1), &run, "mu-smr");
+            let rep = Runner::new(System::MuSmr, run).run(&counter, &counter.coord_spec()).report;
             assert!(rep.converged);
             std::hint::black_box(rep.throughput_ops_per_us)
         });
@@ -41,7 +40,7 @@ fn bench_msg_orset(c: &mut Criterion) {
     c.bench_function("cluster/msg_orset_400ops_4nodes", |b| {
         b.iter(|| {
             let run = RunConfig::new(4, Workload::new(400, 0.25));
-            let rep = run_msg(&orset, &coord, &run);
+            let rep = Runner::new(System::Msg, run).run(&orset, &coord).report;
             assert!(rep.converged);
             std::hint::black_box(rep.throughput_ops_per_us)
         });

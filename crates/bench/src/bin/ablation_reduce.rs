@@ -7,8 +7,7 @@
 //! overwrite per peer, no buffer traversal) and once through the `F`
 //! ring buffers (append + periodic traversal), on identical workloads.
 
-use hamband_runtime::harness::{run_hamband, RunConfig};
-use hamband_runtime::Workload;
+use hamband_runtime::{RunConfig, Runner, System, Workload};
 use hamband_types::GSet;
 
 fn main() {
@@ -23,8 +22,14 @@ fn main() {
     for ratio in [0.25, 0.15, 0.05] {
         for n in [3usize, 5, 7] {
             let rc = RunConfig::new(n, Workload::new(opts.ops, ratio).with_seed(opts.seed));
-            let red = run_hamband(&g, &g.coord_spec(), &rc, "hamband-reduce");
-            let buf = run_hamband(&g, &g.coord_spec_buffered(), &rc, "hamband-buffer");
+            let red = Runner::new(System::Hamband, rc.clone())
+                .with_label("hamband-reduce")
+                .run(&g, &g.coord_spec())
+                .report;
+            let buf = Runner::new(System::Hamband, rc)
+                .with_label("hamband-buffer")
+                .run(&g, &g.coord_spec_buffered())
+                .report;
             assert!(red.converged && buf.converged);
             let gain = red.throughput_ops_per_us / buf.throughput_ops_per_us.max(1e-9);
             gains.push(gain);

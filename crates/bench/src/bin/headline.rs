@@ -1,10 +1,25 @@
 //! Regenerate headline of the Hamband paper. Scale with HAMBAND_OPS.
+//!
+//! Besides the human-readable check table, writes a machine-readable
+//! `BENCH_headline.json`: the Hamband report of a bank-schema run whose
+//! methods cover all three issue paths, with per-phase p50/p90/p99
+//! latency distributions (REDUCE, FREE, CONF, plus queries).
 
 fn main() {
     let opts = hamband_bench::ExpOptions::from_env();
     let outcome = hamband_bench::headline(&opts);
     println!("{outcome}");
-    if !outcome.all_hold() {
+
+    let report = hamband_bench::headline_report(&opts);
+    println!("{report}");
+    let json = report.to_json();
+    let path = "BENCH_headline.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+
+    if !outcome.all_hold() || !report.converged {
         std::process::exit(1);
     }
 }

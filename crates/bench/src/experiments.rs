@@ -13,9 +13,8 @@ use hamband_core::coord::CoordSpec;
 use hamband_core::ids::Pid;
 use hamband_core::object::WorkloadSupport;
 use hamband_core::wire::Wire;
-use hamband_runtime::harness::{run_hamband, run_msg, smr_coord, RunConfig};
-use hamband_runtime::{RunReport, Workload};
-use hamband_types::{Cart, Counter, Courseware, GSet, LwwRegister, Movie, OrSet, Project};
+use hamband_runtime::{RunConfig, RunReport, Runner, System, Workload};
+use hamband_types::{Bank, Cart, Counter, Courseware, GSet, LwwRegister, Movie, OrSet, Project};
 use rdma_sim::{Fault, FaultPlan, NodeId, SimTime};
 
 /// Experiment scaling options.
@@ -96,9 +95,7 @@ fn check(claim: &str, holds: bool, detail: String) -> Check {
 }
 
 fn cfg(nodes: usize, ops: u64, ratio: f64, seed: u64) -> RunConfig {
-    let mut c = RunConfig::new(nodes, Workload::new(ops, ratio).with_seed(seed));
-    c.seed = seed ^ 0xfab;
-    c
+    RunConfig::new(nodes, Workload::new(ops, ratio).with_seed(seed)).with_seed(seed ^ 0xfab)
 }
 
 fn run_hb<O>(spec: &O, coord: &CoordSpec, rc: &RunConfig) -> RunReport
@@ -106,7 +103,15 @@ where
     O: WorkloadSupport + Clone,
     O::Update: Wire,
 {
-    run_hamband(spec, coord, rc, "hamband")
+    Runner::new(System::Hamband, rc.clone()).run(spec, coord).report
+}
+
+fn run_msg<O>(spec: &O, coord: &CoordSpec, rc: &RunConfig) -> RunReport
+where
+    O: WorkloadSupport + Clone,
+    O::Update: Wire,
+{
+    Runner::new(System::Msg, rc.clone()).run(spec, coord).report
 }
 
 fn run_mu<O>(spec: &O, rc: &RunConfig) -> RunReport
@@ -114,7 +119,11 @@ where
     O: WorkloadSupport + Clone,
     O::Update: Wire,
 {
-    run_hamband(spec, &smr_coord(spec.method_count()), rc, "mu-smr")
+    // The Mu-SMR runner derives the complete conflict relation itself;
+    // the coordination spec only contributes its method count.
+    Runner::new(System::MuSmr, rc.clone())
+        .run(spec, &CoordSpec::builder(spec.method_count()).build())
+        .report
 }
 
 /// Geometric mean of positive ratios.
@@ -413,9 +422,8 @@ pub fn fig10(opts: &ExpOptions) -> FigOutcome {
         let rc = cfg(4, ops, 1.0, opts.seed + 100 + i as u64);
         let hb = run_hb(&m, &coord, &rc);
         let mu = run_mu(&m, &rc);
-        let mut rc1 = rc.clone();
-        rc1.leaders = Some(vec![Pid(0), Pid(0)]);
-        let hb1 = run_hamband(&m, &coord, &rc1, "hamband-1ldr");
+        let rc1 = rc.clone().with_leaders(vec![Pid(0), Pid(0)]);
+        let hb1 = Runner::new(System::Hamband, rc1).with_label("hamband-1ldr").run(&m, &coord).report;
         all_converged &= hb.converged && mu.converged && hb1.converged;
         let gain = hb.throughput_ops_per_us / mu.throughput_ops_per_us.max(1e-9);
         gains.push(gain);
@@ -727,4 +735,15 @@ pub fn headline(opts: &ExpOptions) -> FigOutcome {
         ),
     ];
     FigOutcome { name: "Headline (§5 summary claims)".into(), table, checks }
+}
+
+/// A machine-readable headline run: Hamband on the bank schema, whose
+/// three methods cover all three issue paths (`open` is reducible,
+/// `deposit` irreducible conflict-free, `withdraw` conflicting), so the
+/// report's `phases` map carries REDUCE, FREE, and CONF latency
+/// distributions. Serialize with [`RunReport::to_json`].
+pub fn headline_report(opts: &ExpOptions) -> RunReport {
+    let b = Bank::default();
+    let rc = cfg(4, opts.ops, 0.5, opts.seed + 900);
+    Runner::new(System::Hamband, rc).run(&b, &b.coord_spec()).report
 }

@@ -25,8 +25,9 @@ use crate::fault::Fault;
 use crate::latency::LatencyModel;
 use crate::stats::Stats;
 use crate::time::{SimDuration, SimTime};
+use crate::trace::{TraceEvent, TraceHandle};
 use crate::verbs::{
-    CompletionStatus, Event, NodeId, RegionId, TimerId, WrId,
+    CompletionStatus, Event, NodeId, RegionId, TimerId, VerbKind, WrId,
 };
 
 /// A registered memory region.
@@ -130,6 +131,7 @@ pub struct Fabric {
     pub(crate) latency: LatencyModel,
     pub(crate) rng: StdRng,
     pub(crate) stats: Stats,
+    pub(crate) trace: TraceHandle,
     /// FIFO landing clock per (issuer, target) pair of one-sided verbs.
     pub(crate) chan_free: Vec<Vec<SimTime>>,
     /// FIFO delivery clock per (issuer, target) pair of messages.
@@ -159,6 +161,7 @@ impl Fabric {
             latency,
             rng: StdRng::seed_from_u64(seed),
             stats: Stats::new(n),
+            trace: TraceHandle::default(),
             chan_free: vec![vec![SimTime::ZERO; n]; n],
             msg_chan_free: vec![vec![SimTime::ZERO; n]; n],
         }
@@ -182,6 +185,15 @@ impl Fabric {
     /// Traffic statistics so far.
     pub fn stats(&self) -> &Stats {
         &self.stats
+    }
+
+    /// Deliver a trace event to the installed sink, if any. Counted in
+    /// [`Stats::trace_events`]; free (one branch) with no sink.
+    #[inline]
+    pub(crate) fn emit(&mut self, make: impl FnOnce() -> TraceEvent) {
+        if self.trace.emit(self.now, make) {
+            self.stats.trace_events += 1;
+        }
     }
 
     pub(crate) fn push(&mut self, time: SimTime, action: Action) {
@@ -303,6 +315,23 @@ impl Ctx<'_> {
         &self.fabric.latency
     }
 
+    /// Whether a trace sink is installed on this run.
+    ///
+    /// [`emit`](Ctx::emit) already skips event construction without a
+    /// sink; use this only to guard work beyond building the event.
+    pub fn trace_enabled(&self) -> bool {
+        self.fabric.trace.enabled()
+    }
+
+    /// Emit a protocol-level trace event to the run's sink, if any.
+    ///
+    /// The closure runs only when a sink is installed, so hot paths
+    /// pay a single branch when tracing is off.
+    #[inline]
+    pub fn emit(&mut self, make: impl FnOnce() -> TraceEvent) {
+        self.fabric.emit(make);
+    }
+
     /// Post a one-sided RDMA WRITE of `data` into
     /// `(target, region, offset)`.
     ///
@@ -327,6 +356,14 @@ impl Ctx<'_> {
         self.fabric.stats.writes += 1;
         self.fabric.stats.one_sided_bytes += data.len() as u64;
         self.fabric.stats.per_node_ops[self.node.index()] += 1;
+        let (issuer, len) = (self.node, data.len());
+        self.fabric.emit(|| TraceEvent::VerbPosted {
+            issuer,
+            kind: VerbKind::Write,
+            target,
+            wr,
+            bytes: len,
+        });
         self.fabric.push(
             land,
             Action::Land {
@@ -360,6 +397,14 @@ impl Ctx<'_> {
         self.fabric.stats.reads += 1;
         self.fabric.stats.one_sided_bytes += len as u64;
         self.fabric.stats.per_node_ops[self.node.index()] += 1;
+        let issuer = self.node;
+        self.fabric.emit(|| TraceEvent::VerbPosted {
+            issuer,
+            kind: VerbKind::Read,
+            target,
+            wr,
+            bytes: len,
+        });
         self.fabric.push(
             tx + half,
             Action::ReadAt {
@@ -394,6 +439,14 @@ impl Ctx<'_> {
         let half = SimDuration::nanos(rtt.as_nanos() / 2);
         self.fabric.stats.cas += 1;
         self.fabric.stats.per_node_ops[self.node.index()] += 1;
+        let issuer = self.node;
+        self.fabric.emit(|| TraceEvent::VerbPosted {
+            issuer,
+            kind: VerbKind::CompareAndSwap,
+            target,
+            wr,
+            bytes: 8,
+        });
         self.fabric.push(
             tx + half,
             Action::CasAt {
@@ -413,6 +466,7 @@ impl Ctx<'_> {
     /// Send a two-sided message (SEND/RECV through the network stack).
     /// Costs the receiver CPU time on delivery; per-pair FIFO.
     pub fn send(&mut self, target: NodeId, payload: Bytes) {
+        let wr = self.fabric.mint_wr(self.node);
         let post_cost = self.fabric.latency.post_cost;
         self.fabric.charge_cpu(self.node, post_cost);
         let tx = self.fabric.reserve_nic(self.node);
@@ -421,6 +475,14 @@ impl Ctx<'_> {
         self.fabric.stats.messages += 1;
         self.fabric.stats.message_bytes += payload.len() as u64;
         self.fabric.stats.per_node_ops[self.node.index()] += 1;
+        let (issuer, len) = (self.node, payload.len());
+        self.fabric.emit(|| TraceEvent::VerbPosted {
+            issuer,
+            kind: VerbKind::Send,
+            target,
+            wr,
+            bytes: len,
+        });
         self.fabric.push(
             deliver,
             Action::Deliver { node: target, event: Event::Message { from: self.node, payload } },

@@ -37,6 +37,7 @@ pub mod latency;
 pub mod sim;
 pub mod stats;
 pub mod time;
+pub mod trace;
 pub mod verbs;
 
 pub use fabric::{Ctx, Fabric};
@@ -45,6 +46,9 @@ pub use latency::LatencyModel;
 pub use sim::{App, Simulator};
 pub use stats::Stats;
 pub use time::{SimDuration, SimTime};
+pub use trace::{
+    CollectingSink, Phase, RingKind, StderrSink, TraceBuffer, TraceEvent, TraceRecord, TraceSink,
+};
 pub use verbs::{
     AppFault, CompletionStatus, Event, NodeId, RegionId, TimerId, VerbKind, WrId,
 };

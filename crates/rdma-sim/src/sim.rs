@@ -9,6 +9,7 @@ use crate::fault::{Fault, FaultPlan};
 use crate::latency::LatencyModel;
 use crate::stats::Stats;
 use crate::time::{SimDuration, SimTime};
+use crate::trace::{TraceEvent, TraceSink};
 use crate::verbs::{AppFault, Event, NodeId, RegionId, VerbKind};
 
 /// A node application: a protocol state machine driven by events.
@@ -91,6 +92,20 @@ impl<A: App> Simulator<A> {
     /// Traffic statistics.
     pub fn stats(&self) -> &Stats {
         self.fabric.stats()
+    }
+
+    /// Install a per-run trace sink; structured events (verb activity
+    /// from the fabric, protocol events from applications via
+    /// [`Ctx::emit`]) are delivered to it as they happen. Replaces any
+    /// previously installed sink.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.fabric.trace.set(Some(sink));
+    }
+
+    /// Remove the trace sink, disabling tracing for the rest of the
+    /// run.
+    pub fn clear_trace_sink(&mut self) {
+        self.fabric.trace.set(None);
     }
 
     /// Register a region of `size` bytes on `node`, writable by all
@@ -261,6 +276,12 @@ impl<A: App> Simulator<A> {
                 // complete the original request; plain writes complete
                 // here directly.
                 let completed_at = landed_at.max(self.fabric.now);
+                self.fabric.emit(|| TraceEvent::VerbCompleted {
+                    issuer,
+                    kind: VerbKind::Write,
+                    wr,
+                    status,
+                });
                 self.fabric.push(
                     completed_at,
                     Action::Deliver {
@@ -284,6 +305,12 @@ impl<A: App> Simulator<A> {
                     None
                 };
                 let at = self.fabric.now + return_delay;
+                self.fabric.emit(|| TraceEvent::VerbCompleted {
+                    issuer,
+                    kind: VerbKind::Read,
+                    wr,
+                    status,
+                });
                 self.fabric.push(
                     at,
                     Action::Deliver {
@@ -313,6 +340,12 @@ impl<A: App> Simulator<A> {
                     None
                 };
                 let at = self.fabric.now + return_delay;
+                self.fabric.emit(|| TraceEvent::VerbCompleted {
+                    issuer,
+                    kind: VerbKind::CompareAndSwap,
+                    wr,
+                    status,
+                });
                 self.fabric.push(
                     at,
                     Action::Deliver {

@@ -15,6 +15,8 @@ pub struct Stats {
     pub one_sided_bytes: u64,
     /// Total bytes moved by two-sided messages.
     pub message_bytes: u64,
+    /// Trace events delivered to the installed sink (0 with no sink).
+    pub trace_events: u64,
     /// Per-node posted verb counts (writes + reads + cas + sends).
     pub per_node_ops: Vec<u64>,
 }

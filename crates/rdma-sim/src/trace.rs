@@ -1,0 +1,352 @@
+//! Structured run tracing: typed events delivered to a pluggable
+//! per-run sink.
+//!
+//! The event vocabulary spans both layers of the stack — fabric-level
+//! verb activity (posted/completed) emitted by the simulator itself,
+//! and protocol-level events (ring append/apply, summary writes,
+//! broadcast acks, commit advancement, leader changes, failure-detector
+//! suspicion) emitted by the runtime through [`Ctx::emit`] — so a
+//! single sink observes a run end to end. This replaces the old
+//! process-global `TRACE` boolean: sinks are installed per simulator
+//! ([`Simulator::set_trace_sink`]), so concurrent runs never share
+//! tracing state, and with no sink installed the hot paths pay one
+//! branch and construct nothing.
+//!
+//! [`Ctx::emit`]: crate::Ctx::emit
+//! [`Simulator::set_trace_sink`]: crate::Simulator::set_trace_sink
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::time::SimTime;
+use crate::verbs::{CompletionStatus, NodeId, VerbKind, WrId};
+
+/// Which protocol path a call travelled — the paper's three issue
+/// paths (§4) plus local queries. Shared across layers so trace events
+/// and latency metrics classify calls identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Reducible updates: summary fold + reliable broadcast.
+    Reduce,
+    /// Irreducible conflict-free updates: F-ring append to every peer.
+    Free,
+    /// Conflicting updates: consensus through the group leader's L-ring.
+    Conf,
+    /// Queries: executed locally against the visible state.
+    Query,
+}
+
+impl Phase {
+    /// All phases, in a stable order (array-indexing friendly).
+    pub const ALL: [Phase; 4] = [Phase::Reduce, Phase::Free, Phase::Conf, Phase::Query];
+
+    /// Dense index for array addressing.
+    pub fn index(self) -> usize {
+        match self {
+            Phase::Reduce => 0,
+            Phase::Free => 1,
+            Phase::Conf => 2,
+            Phase::Query => 3,
+        }
+    }
+
+    /// Stable lowercase label ("reduce", "free", "conf", "query").
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Reduce => "reduce",
+            Phase::Free => "free",
+            Phase::Conf => "conf",
+            Phase::Query => "query",
+        }
+    }
+}
+
+/// Which ring buffer a ring event refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RingKind {
+    /// A conflict-free buffer `F` (one per (writer, reader) pair).
+    Free,
+    /// A conflicting buffer `L` (one per (group, replica) pair).
+    Conf,
+}
+
+/// One structured event in a run.
+///
+/// Runtime-level concepts (methods, synchronization groups, ring
+/// sequence numbers) are carried as plain indices so the vocabulary
+/// lives below the runtime yet spans it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A one-sided verb or two-sided send was posted.
+    VerbPosted {
+        /// Posting node.
+        issuer: NodeId,
+        /// Verb kind (WRITE/READ/CAS/SEND).
+        kind: VerbKind,
+        /// Target node.
+        target: NodeId,
+        /// Work request id (sends, which have no completion handle
+        /// visible to the app, report the fabric's internal id).
+        wr: WrId,
+        /// Payload or read length in bytes.
+        bytes: usize,
+    },
+    /// A posted verb completed (at the fabric; delivery to the
+    /// application may be deferred by CPU contention).
+    VerbCompleted {
+        /// The node that posted it.
+        issuer: NodeId,
+        /// Verb kind.
+        kind: VerbKind,
+        /// Work request id.
+        wr: WrId,
+        /// Outcome.
+        status: CompletionStatus,
+    },
+    /// A ring-buffer entry was appended (writer side).
+    RingAppend {
+        /// Free or conflicting ring.
+        ring: RingKind,
+        /// The appending node.
+        writer: NodeId,
+        /// The node hosting the ring.
+        reader: NodeId,
+        /// Ring sequence number of the entry.
+        seq: u64,
+    },
+    /// A ring-buffer entry was applied to the local state (reader
+    /// side).
+    RingApply {
+        /// Free or conflicting ring.
+        ring: RingKind,
+        /// The applying node.
+        reader: NodeId,
+        /// The node that wrote the entry.
+        writer: NodeId,
+        /// Ring sequence number of the entry.
+        seq: u64,
+    },
+    /// A reducible summary slot was written to a peer.
+    SummaryWrite {
+        /// The summarizing node.
+        issuer: NodeId,
+        /// The peer receiving the summary.
+        target: NodeId,
+        /// Method index the summary folds.
+        method: usize,
+        /// Summary slot version (seqlock word).
+        version: u64,
+    },
+    /// An update or query call was acknowledged to the client.
+    Ack {
+        /// The acknowledging (issuing) node.
+        node: NodeId,
+        /// Method index of the call.
+        method: usize,
+        /// Which protocol path it travelled.
+        phase: Phase,
+        /// For conflicting calls: the synchronization group.
+        group: Option<usize>,
+        /// For conflicting calls: the L-ring sequence number the call
+        /// committed at (correlates with [`TraceEvent::CommitAdvance`]).
+        seq: Option<u64>,
+    },
+    /// A group leader advanced the commit index.
+    CommitAdvance {
+        /// The leader node.
+        node: NodeId,
+        /// Synchronization group.
+        group: usize,
+        /// New commit index (entries with `seq <= commit` are decided).
+        commit: u64,
+    },
+    /// A node took over leadership of a group.
+    LeaderChange {
+        /// Synchronization group.
+        group: usize,
+        /// The new leader.
+        leader: NodeId,
+        /// The new epoch/ballot.
+        epoch: u64,
+    },
+    /// A leader observed a higher epoch and stepped down.
+    Deposed {
+        /// Synchronization group.
+        group: usize,
+        /// The deposed node.
+        node: NodeId,
+        /// The epoch that deposed it.
+        epoch: u64,
+    },
+    /// The pull failure detector started suspecting a peer.
+    FdSuspect {
+        /// The suspecting node.
+        node: NodeId,
+        /// The peer whose heartbeat stalled.
+        suspect: NodeId,
+    },
+}
+
+/// A trace event stamped with the virtual time it was recorded at.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Virtual time of the event.
+    pub at: SimTime,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+/// A per-run consumer of trace events.
+///
+/// Installed on a simulator with [`Simulator::set_trace_sink`]; events
+/// are delivered synchronously as they happen, in virtual-time order.
+///
+/// [`Simulator::set_trace_sink`]: crate::Simulator::set_trace_sink
+pub trait TraceSink {
+    /// Record one event observed at virtual time `now`.
+    fn record(&mut self, now: SimTime, event: &TraceEvent);
+}
+
+/// A sink that prints one line per event to stderr.
+#[derive(Debug, Default)]
+pub struct StderrSink;
+
+impl TraceSink for StderrSink {
+    fn record(&mut self, now: SimTime, event: &TraceEvent) {
+        eprintln!("[{now}] {event:?}");
+    }
+}
+
+/// Shared handle to the records collected by a [`CollectingSink`].
+///
+/// The simulation is single-threaded, so an `Rc<RefCell<..>>` suffices:
+/// the sink writes during the run, the harness drains afterwards.
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuffer {
+    records: Rc<RefCell<Vec<TraceRecord>>>,
+}
+
+impl TraceBuffer {
+    /// Number of records collected so far.
+    pub fn len(&self) -> usize {
+        self.records.borrow().len()
+    }
+
+    /// Whether nothing has been collected.
+    pub fn is_empty(&self) -> bool {
+        self.records.borrow().is_empty()
+    }
+
+    /// Move the collected records out, leaving the buffer empty.
+    pub fn take(&self) -> Vec<TraceRecord> {
+        std::mem::take(&mut *self.records.borrow_mut())
+    }
+
+    /// Clone the collected records.
+    pub fn snapshot(&self) -> Vec<TraceRecord> {
+        self.records.borrow().clone()
+    }
+}
+
+/// A sink that appends every event to a [`TraceBuffer`].
+#[derive(Debug, Default)]
+pub struct CollectingSink {
+    buffer: TraceBuffer,
+}
+
+impl CollectingSink {
+    /// A new sink plus the buffer its records land in.
+    pub fn new() -> (CollectingSink, TraceBuffer) {
+        let buffer = TraceBuffer::default();
+        (CollectingSink { buffer: buffer.clone() }, buffer)
+    }
+}
+
+impl TraceSink for CollectingSink {
+    fn record(&mut self, now: SimTime, event: &TraceEvent) {
+        self.buffer.records.borrow_mut().push(TraceRecord { at: now, event: event.clone() });
+    }
+}
+
+/// The fabric's trace attachment point: either no sink (events are
+/// never constructed) or one boxed sink.
+#[derive(Default)]
+pub(crate) struct TraceHandle {
+    sink: Option<Box<dyn TraceSink>>,
+}
+
+impl TraceHandle {
+    pub(crate) fn set(&mut self, sink: Option<Box<dyn TraceSink>>) {
+        self.sink = sink;
+    }
+
+    /// Whether a sink is installed (the hot-path guard).
+    #[inline]
+    pub(crate) fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Deliver the event built by `make` iff a sink is installed.
+    #[inline]
+    pub(crate) fn emit(&mut self, now: SimTime, make: impl FnOnce() -> TraceEvent) -> bool {
+        match &mut self.sink {
+            Some(sink) => {
+                sink.record(now, &make());
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl std::fmt::Debug for TraceHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceHandle").field("enabled", &self.enabled()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_labels_and_indices_are_stable() {
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+        assert_eq!(Phase::Reduce.label(), "reduce");
+        assert_eq!(Phase::Conf.label(), "conf");
+    }
+
+    #[test]
+    fn collecting_sink_accumulates_and_drains() {
+        let (mut sink, buf) = CollectingSink::new();
+        assert!(buf.is_empty());
+        sink.record(SimTime(5), &TraceEvent::FdSuspect { node: NodeId(0), suspect: NodeId(1) });
+        sink.record(
+            SimTime(9),
+            &TraceEvent::CommitAdvance { node: NodeId(2), group: 0, commit: 3 },
+        );
+        assert_eq!(buf.len(), 2);
+        let records = buf.take();
+        assert_eq!(records[0].at, SimTime(5));
+        assert!(matches!(records[1].event, TraceEvent::CommitAdvance { commit: 3, .. }));
+        assert!(buf.is_empty(), "take drains");
+    }
+
+    #[test]
+    fn handle_skips_construction_without_sink() {
+        let mut h = TraceHandle::default();
+        assert!(!h.enabled());
+        let emitted = h.emit(SimTime(0), || panic!("must not construct"));
+        assert!(!emitted);
+        let (sink, buf) = CollectingSink::new();
+        h.set(Some(Box::new(sink)));
+        assert!(h.enabled());
+        assert!(h.emit(SimTime(1), || TraceEvent::FdSuspect {
+            node: NodeId(0),
+            suspect: NodeId(1)
+        }));
+        assert_eq!(buf.len(), 1);
+    }
+}

@@ -19,7 +19,7 @@ use hamband_core::counts::CountMap;
 use hamband_core::ids::{MethodId, Pid, Rid};
 use hamband_core::object::{ObjectSpec, WorkloadSupport};
 use hamband_core::wire::{DecodeError, Reader, Wire, Writer};
-use rdma_sim::{App, AppFault, Ctx, Event, NodeId, SimTime};
+use rdma_sim::{App, AppFault, Ctx, Event, NodeId, Phase, SimTime, TraceEvent};
 
 use crate::codec::Entry;
 use crate::driver::{Driver, Planned, Workload};
@@ -224,7 +224,17 @@ where
 
     fn complete(&mut self, ctx: &mut Ctx<'_>, seq: u64) {
         if let Some((_, _, issued_at, method)) = self.awaiting.remove(&seq) {
-            self.metrics.ack_update(method.index(), issued_at, ctx.now());
+            // MSG replicates every update through the conflict-free
+            // broadcast path; report it under the FREE phase.
+            self.metrics.ack_update(method.index(), Phase::Free, issued_at, ctx.now());
+            let node = self.me;
+            ctx.emit(|| TraceEvent::Ack {
+                node,
+                method: method.index(),
+                phase: Phase::Free,
+                group: None,
+                seq: Some(seq),
+            });
             self.driver.on_ack();
         }
         self.pump(ctx);

@@ -53,6 +53,42 @@ impl Default for RuntimeConfig {
 }
 
 impl RuntimeConfig {
+    /// Use this client pipelining window (must be positive, and small
+    /// enough that the rings can absorb it).
+    pub fn with_window(mut self, window: usize) -> Self {
+        assert!(window >= 1, "window must be at least 1");
+        assert!(
+            self.free_ring_cap > window * 2,
+            "free ring ({} entries) cannot absorb a window of {window}",
+            self.free_ring_cap
+        );
+        self.window = window;
+        self
+    }
+
+    /// Traverse the buffers this often.
+    pub fn with_poll_interval(mut self, interval: SimDuration) -> Self {
+        assert!(interval > SimDuration::ZERO, "poll interval must be positive");
+        self.poll_interval = interval;
+        self
+    }
+
+    /// Allow summarized payloads up to this many bytes.
+    pub fn with_summary_payload_cap(mut self, cap: usize) -> Self {
+        assert!(cap >= 16, "summary payload cap must hold at least one call");
+        self.summary_payload_cap = cap;
+        self
+    }
+
+    /// Use rings of these capacities (entries).
+    pub fn with_ring_caps(mut self, free: usize, conf: usize) -> Self {
+        assert!(free > self.window * 2, "free ring must absorb the window");
+        assert!(conf >= 2, "conf ring needs at least two entries");
+        self.free_ring_cap = free;
+        self.conf_ring_cap = conf;
+        self
+    }
+
     /// Size in bytes of one ring entry slot.
     pub fn entry_size(&self) -> usize {
         // seq (8) + len (2) + payload + canary (1)
@@ -77,5 +113,24 @@ mod tests {
         assert_eq!(c.entry_size(), 8 + 2 + c.payload_cap + 1);
         assert_eq!(c.summary_slot_size(2), 8 + 16 + 2 + c.summary_payload_cap + 8);
         assert!(c.free_ring_cap > c.window * 2, "ring must absorb the window");
+    }
+
+    #[test]
+    fn builders_validate_and_compose() {
+        let c = RuntimeConfig::default()
+            .with_window(16)
+            .with_poll_interval(SimDuration::nanos(500))
+            .with_summary_payload_cap(8192)
+            .with_ring_caps(128, 64);
+        assert_eq!(c.window, 16);
+        assert_eq!(c.poll_interval, SimDuration::nanos(500));
+        assert_eq!(c.summary_payload_cap, 8192);
+        assert_eq!((c.free_ring_cap, c.conf_ring_cap), (128, 64));
+    }
+
+    #[test]
+    #[should_panic(expected = "absorb")]
+    fn oversized_window_is_rejected() {
+        let _ = RuntimeConfig::default().with_ring_caps(64, 64).with_window(40);
     }
 }

@@ -107,7 +107,7 @@ impl Driver {
 
         let mut free_left = vec![0u64; coord.method_count()];
         let mut conf_target = vec![0u64; coord.sync_groups().len()];
-        for m in 0..coord.method_count() {
+        for (m, left) in free_left.iter_mut().enumerate() {
             match coord.category(MethodId(m)) {
                 MethodCategory::Conflicting { sync_group } => {
                     conf_target[sync_group.index()] += per_method;
@@ -116,7 +116,7 @@ impl Driver {
                     // Split evenly; spread the remainder over low nodes.
                     let base = per_method / n as u64;
                     let extra = u64::from((node as u64) < per_method % n as u64);
-                    free_left[m] = base + extra;
+                    *left = base + extra;
                 }
             }
         }
@@ -298,12 +298,10 @@ impl Driver {
         if self.outstanding == 0 {
             self.dry_streak += 1;
             if self.dry_streak >= FORFEIT_AFTER {
-                for m in 0..coord.method_count() {
-                    self.free_left[m] = 0;
-                }
-                for g in 0..self.conf_target.len() {
+                self.free_left.fill(0);
+                for (g, target) in self.conf_target.iter_mut().enumerate() {
                     if is_leader_of.get(g).copied().unwrap_or(false) {
-                        self.conf_target[g] = self.conf_target[g].min(ring_appended[g]);
+                        *target = (*target).min(ring_appended[g]);
                     }
                 }
             }

@@ -1,24 +1,37 @@
 //! End-to-end run harness: build a cluster for one of the three
 //! systems, drive the workload to completion, and measure.
 //!
+//! The entry point is [`Runner`]: pick a [`System`], build a
+//! [`RunConfig`] (builder-style, starting from [`RunConfig::for_nodes`]
+//! or [`RunConfig::new`]), and call [`Runner::run`] with the object
+//! spec and coordination spec. The result is a [`RunOutcome`]: the
+//! cluster-level [`RunReport`] (JSON-serializable via
+//! [`RunReport::to_json`]), the per-node [`NodeMetrics`], and — when
+//! the config asks for [`TraceMode::Collect`] — the run's structured
+//! [`TraceRecord`] stream.
+//!
 //! Measurements follow §5 "Platform and setup": *throughput* is the
 //! total number of calls divided by the (virtual) time it takes for all
 //! update calls to be replicated on all nodes; *response time* is the
-//! average over all calls.
+//! average over all calls (now also reported as per-phase
+//! p50/p90/p99/max distributions).
 
 use hamband_core::coord::CoordSpec;
+use hamband_core::counts::CountMap;
 use hamband_core::ids::Pid;
 use hamband_core::object::WorkloadSupport;
 use hamband_core::wire::Wire;
-use rdma_sim::{FaultPlan, LatencyModel, NodeId, SimDuration, SimTime, Simulator};
+use rdma_sim::{
+    App, CollectingSink, FaultPlan, LatencyModel, NodeId, Phase, SimDuration, SimTime, Simulator,
+    Stats, StderrSink, TraceBuffer, TraceRecord,
+};
 
 use crate::baseline_msg::MsgCrdtNode;
 use crate::config::RuntimeConfig;
 use crate::driver::Workload;
 use crate::layout::Layout;
-use crate::metrics::RunReport;
+use crate::metrics::{LatencyHistogram, NodeMetrics, RunReport};
 use crate::replica::HambandNode;
-use crate::trace_enabled;
 
 /// Which replication system to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,7 +41,9 @@ pub enum System {
     /// A Mu-style SMR: the same runtime with a *complete* conflict
     /// relation, so every update is ordered by a single leader —
     /// "linearizable data types are a special case of WRDTs where the
-    /// conflict relation is complete" (§3.2).
+    /// conflict relation is complete" (§3.2). [`Runner`] applies the
+    /// complete relation internally; the coordination spec passed to
+    /// [`Runner::run`] only contributes its method count.
     MuSmr,
     /// Message-passing op-based CRDT replication (conflict-free objects
     /// only).
@@ -44,6 +59,22 @@ impl System {
             System::Msg => "msg",
         }
     }
+}
+
+/// How a run delivers the structured protocol trace
+/// ([`rdma_sim::TraceEvent`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceMode {
+    /// No sink installed — hot paths pay one branch per would-be event
+    /// and never construct it.
+    #[default]
+    Off,
+    /// Events (and harness progress diagnostics) printed to stderr as
+    /// they happen.
+    Stderr,
+    /// Events collected in memory and returned in
+    /// [`RunOutcome::events`].
+    Collect,
 }
 
 /// Everything needed to run one experiment.
@@ -68,6 +99,8 @@ pub struct RunConfig {
     /// (defaults to the coordination spec's round-robin assignment;
     /// used e.g. by the Fig. 10 single-leader ablation).
     pub leaders: Option<Vec<Pid>>,
+    /// How this run delivers trace events.
+    pub trace: TraceMode,
 }
 
 impl RunConfig {
@@ -77,6 +110,7 @@ impl RunConfig {
     /// grow-only summaries accumulate every call their issuer folded
     /// in.
     pub fn new(nodes: usize, workload: Workload) -> Self {
+        assert!(nodes >= 1, "a cluster needs at least one node");
         let mut runtime = RuntimeConfig::default();
         runtime.summary_payload_cap =
             runtime.summary_payload_cap.max(workload.total_ops as usize * 16);
@@ -89,6 +123,143 @@ impl RunConfig {
             faults: FaultPlan::new(),
             max_time: SimTime(200_000_000), // 200 virtual milliseconds
             leaders: None,
+            trace: TraceMode::Off,
+        }
+    }
+
+    /// Builder entry point: a validated default configuration for an
+    /// `nodes`-node cluster with a small mixed workload (1000 calls,
+    /// 25% updates). Chain `with_*` calls to customize.
+    pub fn for_nodes(nodes: usize) -> Self {
+        RunConfig::new(nodes, Workload::new(1_000, 0.25))
+    }
+
+    /// Replace the workload (re-scales the summary-slot capacity the
+    /// same way [`RunConfig::new`] does).
+    pub fn with_workload(mut self, workload: Workload) -> Self {
+        self.runtime.summary_payload_cap =
+            self.runtime.summary_payload_cap.max(workload.total_ops as usize * 16);
+        self.workload = workload;
+        self
+    }
+
+    /// Inject this fault plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Use this fabric latency model.
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Use this fabric RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Deliver trace events this way (off / stderr / collected).
+    pub fn with_trace(mut self, trace: TraceMode) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Assign these initial leaders (one per synchronization group).
+    pub fn with_leaders(mut self, leaders: Vec<Pid>) -> Self {
+        self.leaders = Some(leaders);
+        self
+    }
+
+    /// Cap the run at this much virtual time.
+    pub fn with_max_time(mut self, max_time: SimTime) -> Self {
+        assert!(max_time > SimTime::ZERO, "max_time must be positive");
+        self.max_time = max_time;
+        self
+    }
+
+    /// Replace the runtime tuning wholesale.
+    pub fn with_runtime(mut self, runtime: RuntimeConfig) -> Self {
+        self.runtime = runtime;
+        self
+    }
+}
+
+/// Everything one [`Runner::run`] produces.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The cluster-level summary.
+    pub report: RunReport,
+    /// The structured trace, in record order (empty unless the config
+    /// asked for [`TraceMode::Collect`]).
+    pub events: Vec<TraceRecord>,
+    /// Per-node metric accumulators, indexed by node id (covers every
+    /// node, failed ones included — their pre-failure work is real
+    /// work).
+    pub node_metrics: Vec<NodeMetrics>,
+    /// Fabric traffic counters for the whole run.
+    pub stats: Stats,
+}
+
+/// One experiment: a [`System`] plus a [`RunConfig`].
+///
+/// ```
+/// use hamband_runtime::{Runner, RunConfig, System, Workload};
+/// use hamband_types::Counter;
+///
+/// let c = Counter::default();
+/// let config = RunConfig::for_nodes(3).with_workload(Workload::new(300, 0.5));
+/// let outcome = Runner::new(System::Hamband, config).run(&c, &c.coord_spec());
+/// assert!(outcome.report.converged);
+/// println!("{}", outcome.report.to_json());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Runner {
+    system: System,
+    config: RunConfig,
+    label: Option<String>,
+}
+
+impl Runner {
+    /// An experiment running `system` under `config`.
+    pub fn new(system: System, config: RunConfig) -> Self {
+        Runner { system, config, label: None }
+    }
+
+    /// Override the report label (defaults to the system's label).
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// The system this runner drives.
+    pub fn system(&self) -> System {
+        self.system
+    }
+
+    /// The configuration this runner applies.
+    pub fn config(&self) -> &RunConfig {
+        &self.config
+    }
+
+    /// Build the cluster, drive the workload to completion, and
+    /// measure. One call covers all three systems: Mu-SMR substitutes
+    /// the complete conflict relation for `coord`, MSG swaps in the
+    /// message-passing replica.
+    pub fn run<O>(&self, spec: &O, coord: &CoordSpec) -> RunOutcome
+    where
+        O: WorkloadSupport + Clone,
+        O::Update: Wire,
+    {
+        let label = self.label.as_deref().unwrap_or(self.system.label());
+        match self.system {
+            System::Hamband => run_replicas(spec, coord, &self.config, label),
+            System::MuSmr => {
+                run_replicas(spec, &complete_coord(spec.method_count()), &self.config, label)
+            }
+            System::Msg => run_msg_cluster(spec, coord, &self.config, label),
         }
     }
 }
@@ -96,7 +267,7 @@ impl RunConfig {
 /// The complete conflict relation over `n_methods` methods: one
 /// synchronization group containing every method (the SMR special
 /// case).
-pub fn smr_coord(n_methods: usize) -> CoordSpec {
+fn complete_coord(n_methods: usize) -> CoordSpec {
     let mut b = CoordSpec::builder(n_methods);
     for m in 0..n_methods {
         b = b.conflict(0, m);
@@ -105,41 +276,110 @@ pub fn smr_coord(n_methods: usize) -> CoordSpec {
     b.build()
 }
 
-/// Run Hamband (or, with [`smr_coord`], the Mu-SMR baseline) to
-/// completion.
-pub fn run_hamband<O>(spec: &O, coord: &CoordSpec, run: &RunConfig, label: &str) -> RunReport
+// ---------------------------------------------------------------------
+// The unified drive loop
+// ---------------------------------------------------------------------
+
+/// What the generic drive loop needs from a replica application —
+/// implemented by [`HambandNode`] and [`MsgCrdtNode`].
+trait HarnessNode: App {
+    /// Comparable object-state snapshot (convergence check).
+    type Snapshot: PartialEq;
+
+    fn is_halted(&self) -> bool;
+    fn workload_done(&self) -> bool;
+    fn applied_map(&self) -> &CountMap;
+    fn applied_updates(&self) -> u64;
+    fn snapshot(&self) -> Self::Snapshot;
+    fn metrics(&self) -> &NodeMetrics;
+    fn debug_status(&self) -> String;
+}
+
+impl<O> HarnessNode for HambandNode<O>
 where
-    O: WorkloadSupport + Clone,
+    O: WorkloadSupport,
     O::Update: Wire,
 {
-    let n = run.nodes;
-    let mut sim: Simulator<HambandNode<O>> = Simulator::new(n, run.latency.clone(), run.seed);
-    let layout = Layout::install(&mut sim, coord, &run.runtime);
-    let leaders: Vec<Pid> =
-        run.leaders.clone().unwrap_or_else(|| coord.default_leaders(n));
-    sim.install_fault_plan(&run.faults);
-    {
-        let spec = spec.clone();
-        let coord = coord.clone();
-        let cfg = run.runtime.clone();
-        let workload = run.workload.clone();
-        let leaders2 = leaders.clone();
-        sim.set_apps(move |id| {
-            HambandNode::new(
-                spec.clone(),
-                coord.clone(),
-                cfg.clone(),
-                layout.clone(),
-                id,
-                n,
-                &leaders2,
-                workload.clone(),
-            )
-        });
+    type Snapshot = O::State;
+
+    fn is_halted(&self) -> bool {
+        HambandNode::is_halted(self)
     }
+    fn workload_done(&self) -> bool {
+        HambandNode::workload_done(self)
+    }
+    fn applied_map(&self) -> &CountMap {
+        HambandNode::applied_map(self)
+    }
+    fn applied_updates(&self) -> u64 {
+        HambandNode::applied_updates(self)
+    }
+    fn snapshot(&self) -> O::State {
+        self.state_snapshot()
+    }
+    fn metrics(&self) -> &NodeMetrics {
+        &self.metrics
+    }
+    fn debug_status(&self) -> String {
+        HambandNode::debug_status(self)
+    }
+}
+
+impl<O> HarnessNode for MsgCrdtNode<O>
+where
+    O: WorkloadSupport,
+    O::Update: Wire,
+{
+    type Snapshot = O::State;
+
+    fn is_halted(&self) -> bool {
+        MsgCrdtNode::is_halted(self)
+    }
+    fn workload_done(&self) -> bool {
+        MsgCrdtNode::workload_done(self)
+    }
+    fn applied_map(&self) -> &CountMap {
+        MsgCrdtNode::applied_map(self)
+    }
+    fn applied_updates(&self) -> u64 {
+        MsgCrdtNode::applied_updates(self)
+    }
+    fn snapshot(&self) -> O::State {
+        self.state_snapshot()
+    }
+    fn metrics(&self) -> &NodeMetrics {
+        &self.metrics
+    }
+    fn debug_status(&self) -> String {
+        self.debug_pending()
+    }
+}
+
+fn install_trace<A: App>(sim: &mut Simulator<A>, mode: TraceMode) -> Option<TraceBuffer> {
+    match mode {
+        TraceMode::Off => None,
+        TraceMode::Stderr => {
+            sim.set_trace_sink(Box::new(StderrSink));
+            None
+        }
+        TraceMode::Collect => {
+            let (sink, buffer) = CollectingSink::new();
+            sim.set_trace_sink(Box::new(sink));
+            Some(buffer)
+        }
+    }
+}
+
+/// Drive a prepared cluster to completion: run in slices until every
+/// alive node finished its workload and all applied maps agree (or the
+/// time cap / stall watchdog fires), then let stragglers settle and
+/// check state convergence.
+fn drive<A: HarnessNode>(sim: &mut Simulator<A>, run: &RunConfig) -> (SimTime, bool) {
+    let n = run.nodes;
+    let verbose = run.trace == TraceMode::Stderr;
     // Aliveness is dynamic: a node scheduled to fail later still
     // counts until its fault actually fires (it halts or crashes).
-    let alive_now = |sim: &Simulator<HambandNode<O>>| -> Vec<NodeId> {
+    let alive_now = |sim: &Simulator<A>| -> Vec<NodeId> {
         (0..n)
             .map(NodeId)
             .filter(|&id| !sim.is_crashed(id) && !sim.app(id).is_halted())
@@ -161,13 +401,13 @@ where
     let mut stalled = 0usize;
     while sim.now() < run.max_time {
         sim.run_for(slice);
-        let alive = alive_now(&sim);
+        let alive = alive_now(sim);
         if sim.now() > last_fault_at && !alive.is_empty() {
             let all_done = alive.iter().all(|&id| sim.app(id).workload_done());
             if all_done {
                 let a0 = sim.app(alive[0]).applied_map().clone();
                 if alive.iter().all(|&id| *sim.app(id).applied_map() == a0) {
-                    if trace_enabled() {
+                    if verbose {
                         eprintln!("done declared at {} alive={:?}", sim.now(), alive);
                         for id in &alive {
                             eprintln!("  {}", sim.app(*id).debug_status());
@@ -185,7 +425,7 @@ where
         if progress == last_progress {
             stalled += 1;
             if stalled > 2_000 {
-                if trace_enabled() {
+                if verbose {
                     eprintln!("harness watchdog break at {}", sim.now());
                     for id in &alive {
                         eprintln!("  {}", sim.app(*id).debug_status());
@@ -201,41 +441,87 @@ where
     // Let stragglers (commit writes, backups) settle for convergence.
     sim.run_for(SimDuration::micros(300));
 
-    let alive = alive_now(&sim);
+    let alive = alive_now(sim);
     let completed_at = alive
         .iter()
-        .map(|&id| sim.app(id).metrics.last_apply)
+        .map(|&id| sim.app(id).metrics().last_apply)
         .max()
         .unwrap_or(SimTime::ZERO);
-    let s0 = sim.app(alive[0]).state_snapshot();
-    let converged = done && alive.iter().all(|&id| sim.app(id).state_snapshot() == s0);
-    if trace_enabled() && !converged {
+    let s0 = sim.app(alive[0]).snapshot();
+    let converged = done && alive.iter().all(|&id| sim.app(id).snapshot() == s0);
+    if verbose && !converged {
         eprintln!("run not converged: done={done} at {}", sim.now());
         for id in 0..n {
             eprintln!("  {}", sim.app(NodeId(id)).debug_status());
         }
     }
+    (completed_at, converged)
+}
+
+fn collect_outcome<A: HarnessNode, O: WorkloadSupport>(
+    sim: &Simulator<A>,
+    spec: &O,
+    label: &str,
+    run: &RunConfig,
+    completed_at: SimTime,
+    converged: bool,
+    buffer: Option<TraceBuffer>,
+) -> RunOutcome {
     // Metrics cover every node: a failed node's pre-failure work is
     // real work (the paper counts all calls); only convergence and
     // completion checks exclude it.
-    summarize(
-        label,
-        n,
-        (0..n).map(|i| &sim.app(NodeId(i)).metrics),
-        spec,
-        completed_at,
-        converged,
-    )
+    let node_metrics: Vec<NodeMetrics> =
+        (0..run.nodes).map(|i| sim.app(NodeId(i)).metrics().clone()).collect();
+    let report = summarize(label, run.nodes, &node_metrics, spec, completed_at, converged);
+    RunOutcome {
+        report,
+        events: buffer.map(|b| b.take()).unwrap_or_default(),
+        node_metrics,
+        stats: sim.stats().clone(),
+    }
 }
 
-/// Run the MSG baseline to completion.
-pub fn run_msg<O>(spec: &O, coord: &CoordSpec, run: &RunConfig) -> RunReport
+fn run_replicas<O>(spec: &O, coord: &CoordSpec, run: &RunConfig, label: &str) -> RunOutcome
+where
+    O: WorkloadSupport + Clone,
+    O::Update: Wire,
+{
+    let n = run.nodes;
+    let mut sim: Simulator<HambandNode<O>> = Simulator::new(n, run.latency.clone(), run.seed);
+    let buffer = install_trace(&mut sim, run.trace);
+    let layout = Layout::install(&mut sim, coord, &run.runtime);
+    let leaders: Vec<Pid> = run.leaders.clone().unwrap_or_else(|| coord.default_leaders(n));
+    sim.install_fault_plan(&run.faults);
+    {
+        let spec = spec.clone();
+        let coord = coord.clone();
+        let cfg = run.runtime.clone();
+        let workload = run.workload.clone();
+        sim.set_apps(move |id| {
+            HambandNode::new(
+                spec.clone(),
+                coord.clone(),
+                cfg.clone(),
+                layout.clone(),
+                id,
+                n,
+                &leaders,
+                workload.clone(),
+            )
+        });
+    }
+    let (completed_at, converged) = drive(&mut sim, run);
+    collect_outcome(&sim, spec, label, run, completed_at, converged, buffer)
+}
+
+fn run_msg_cluster<O>(spec: &O, coord: &CoordSpec, run: &RunConfig, label: &str) -> RunOutcome
 where
     O: WorkloadSupport + Clone,
     O::Update: Wire,
 {
     let n = run.nodes;
     let mut sim: Simulator<MsgCrdtNode<O>> = Simulator::new(n, run.latency.clone(), run.seed);
+    let buffer = install_trace(&mut sim, run.trace);
     sim.install_fault_plan(&run.faults);
     {
         let spec = spec.clone();
@@ -245,72 +531,14 @@ where
             MsgCrdtNode::new(spec.clone(), coord.clone(), id, n, workload.clone())
         });
     }
-    let alive_now = |sim: &Simulator<MsgCrdtNode<O>>| -> Vec<NodeId> {
-        (0..n)
-            .map(NodeId)
-            .filter(|&id| !sim.is_crashed(id) && !sim.app(id).is_halted())
-            .collect()
-    };
-    let last_fault_at = run
-        .faults
-        .entries()
-        .iter()
-        .map(|&(t, _)| t)
-        .max()
-        .unwrap_or(SimTime::ZERO);
-
-    let slice = SimDuration::micros(25);
-    let mut done = false;
-    let mut last_progress = 0u64;
-    let mut stalled = 0usize;
-    while sim.now() < run.max_time {
-        sim.run_for(slice);
-        let alive = alive_now(&sim);
-        if sim.now() > last_fault_at && !alive.is_empty() {
-            let all_done = alive.iter().all(|&id| sim.app(id).workload_done());
-            if all_done {
-                let a0 = sim.app(alive[0]).applied_map().clone();
-                if alive.iter().all(|&id| *sim.app(id).applied_map() == a0) {
-                    done = true;
-                    break;
-                }
-            }
-        }
-        let progress: u64 = alive.iter().map(|&id| sim.app(id).applied_updates()).sum();
-        if progress == last_progress {
-            stalled += 1;
-            if stalled > 2_000 {
-                break;
-            }
-        } else {
-            stalled = 0;
-            last_progress = progress;
-        }
-    }
-    sim.run_for(SimDuration::micros(300));
-
-    let alive = alive_now(&sim);
-    let completed_at = alive
-        .iter()
-        .map(|&id| sim.app(id).metrics.last_apply)
-        .max()
-        .unwrap_or(SimTime::ZERO);
-    let s0 = sim.app(alive[0]).state_snapshot();
-    let converged = done && alive.iter().all(|&id| sim.app(id).state_snapshot() == s0);
-    summarize(
-        "msg",
-        n,
-        (0..n).map(|i| &sim.app(NodeId(i)).metrics),
-        spec,
-        completed_at,
-        converged,
-    )
+    let (completed_at, converged) = drive(&mut sim, run);
+    collect_outcome(&sim, spec, label, run, completed_at, converged, buffer)
 }
 
-fn summarize<'a, O: WorkloadSupport>(
+fn summarize<O: WorkloadSupport>(
     label: &str,
     nodes: usize,
-    metrics: impl Iterator<Item = &'a crate::metrics::NodeMetrics>,
+    metrics: &[NodeMetrics],
     spec: &O,
     completed_at: SimTime,
     converged: bool,
@@ -318,20 +546,21 @@ fn summarize<'a, O: WorkloadSupport>(
     let names = spec.method_names();
     let mut total_calls = 0u64;
     let mut total_updates = 0u64;
-    let mut rt_sum = 0u64;
-    let mut rt_count = 0u64;
-    let mut per_method: std::collections::BTreeMap<String, (u64, u64)> = Default::default();
+    let mut rt = LatencyHistogram::default();
+    let mut per_method: std::collections::BTreeMap<String, LatencyHistogram> = Default::default();
+    let mut per_phase: [LatencyHistogram; 4] = Default::default();
     for m in metrics {
         total_calls += m.updates_acked + m.queries;
         total_updates += m.updates_acked;
-        rt_sum += m.rt_sum_ns;
-        rt_count += m.rt_count;
-        for (&mid, &(sum, count)) in &m.rt_per_method_ns {
-            let slot = per_method
+        rt.merge(&m.rt);
+        for (&mid, h) in &m.rt_per_method {
+            per_method
                 .entry(names.get(mid).copied().unwrap_or("?").to_string())
-                .or_insert((0, 0));
-            slot.0 += sum;
-            slot.1 += count;
+                .or_default()
+                .merge(h);
+        }
+        for p in Phase::ALL {
+            per_phase[p.index()].merge(&m.rt_per_phase[p.index()]);
         }
     }
     let elapsed_us = completed_at.as_micros().max(1e-9);
@@ -342,13 +571,56 @@ fn summarize<'a, O: WorkloadSupport>(
         total_updates,
         completed_at,
         throughput_ops_per_us: total_calls as f64 / elapsed_us,
-        mean_rt_us: if rt_count == 0 { 0.0 } else { rt_sum as f64 / rt_count as f64 / 1_000.0 },
-        per_method_rt_us: per_method
-            .into_iter()
-            .map(|(k, (s, c))| (k, if c == 0 { 0.0 } else { s as f64 / c as f64 / 1_000.0 }))
+        mean_rt_us: rt.mean_us(),
+        per_method_rt_us: per_method.into_iter().map(|(k, h)| (k, h.mean_us())).collect(),
+        phases: Phase::ALL
+            .iter()
+            .filter(|p| !per_phase[p.index()].is_empty())
+            .map(|p| (p.label().to_string(), per_phase[p.index()].summarize()))
             .collect(),
         converged,
     }
+}
+
+// ---------------------------------------------------------------------
+// Deprecated single-shot entry points (pre-Runner API)
+// ---------------------------------------------------------------------
+
+/// The complete conflict relation over `n_methods` methods.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Runner::new(System::MuSmr, config)`, which applies the complete \
+            conflict relation internally"
+)]
+pub fn smr_coord(n_methods: usize) -> CoordSpec {
+    complete_coord(n_methods)
+}
+
+/// Run Hamband (or, with a complete conflict relation, the Mu-SMR
+/// baseline) to completion.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Runner::new(System::Hamband, config).run(spec, coord)`"
+)]
+pub fn run_hamband<O>(spec: &O, coord: &CoordSpec, run: &RunConfig, label: &str) -> RunReport
+where
+    O: WorkloadSupport + Clone,
+    O::Update: Wire,
+{
+    run_replicas(spec, coord, run, label).report
+}
+
+/// Run the MSG baseline to completion.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Runner::new(System::Msg, config).run(spec, coord)`"
+)]
+pub fn run_msg<O>(spec: &O, coord: &CoordSpec, run: &RunConfig) -> RunReport
+where
+    O: WorkloadSupport + Clone,
+    O::Update: Wire,
+{
+    run_msg_cluster(spec, coord, run, "msg").report
 }
 
 #[cfg(test)]
@@ -356,8 +628,8 @@ mod tests {
     use super::*;
 
     #[test]
-    fn smr_coord_is_one_group() {
-        let c = smr_coord(4);
+    fn complete_coord_is_one_group() {
+        let c = complete_coord(4);
         assert_eq!(c.sync_groups().len(), 1);
         assert_eq!(c.sync_groups()[0].len(), 4);
         for m in 0..4 {
@@ -370,5 +642,34 @@ mod tests {
         assert_eq!(System::Hamband.label(), "hamband");
         assert_eq!(System::MuSmr.label(), "mu-smr");
         assert_eq!(System::Msg.label(), "msg");
+    }
+
+    #[test]
+    fn config_builders_compose() {
+        let rc = RunConfig::for_nodes(5)
+            .with_workload(Workload::new(10_000, 0.5))
+            .with_seed(42)
+            .with_trace(TraceMode::Collect)
+            .with_max_time(SimTime(1_000_000));
+        assert_eq!(rc.nodes, 5);
+        assert_eq!(rc.workload.total_ops, 10_000);
+        assert_eq!(rc.seed, 42);
+        assert_eq!(rc.trace, TraceMode::Collect);
+        assert_eq!(rc.max_time, SimTime(1_000_000));
+        // with_workload re-scales the summary cap like new() does.
+        assert!(rc.runtime.summary_payload_cap >= 10_000 * 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_node_config_is_rejected() {
+        let _ = RunConfig::for_nodes(0);
+    }
+
+    #[test]
+    fn runner_exposes_system_and_config() {
+        let r = Runner::new(System::MuSmr, RunConfig::for_nodes(3));
+        assert_eq!(r.system(), System::MuSmr);
+        assert_eq!(r.config().nodes, 3);
     }
 }

@@ -20,6 +20,50 @@
 //!   response-time numbers (the Mu-SMR baseline is the same runtime
 //!   with a complete conflict relation, per §3.2's observation that
 //!   linearizable types are WRDTs with a complete conflict relation).
+//!
+//! ## Running an experiment
+//!
+//! The harness entry point is [`Runner`]: pick a [`System`], build a
+//! [`RunConfig`] with the `with_*` builders, and run it against an
+//! object spec and its coordination spec:
+//!
+//! ```
+//! use hamband_runtime::{RunConfig, Runner, System, TraceMode, Workload};
+//! use hamband_types::Counter;
+//!
+//! let c = Counter::default();
+//! let config = RunConfig::for_nodes(3)
+//!     .with_workload(Workload::new(300, 0.5))
+//!     .with_seed(7)
+//!     .with_trace(TraceMode::Collect);
+//! let outcome = Runner::new(System::Hamband, config).run(&c, &c.coord_spec());
+//!
+//! assert!(outcome.report.converged);
+//! // Structured protocol events, in order (TraceMode::Collect):
+//! assert!(!outcome.events.is_empty());
+//! // Machine-readable report with per-phase p50/p90/p99 latencies:
+//! let json = outcome.report.to_json();
+//! assert!(json.contains("\"phases\""));
+//! ```
+//!
+//! The JSON report has a stable key order, e.g.:
+//!
+//! ```json
+//! {"system": "hamband", "nodes": 3, "total_calls": 300, ...,
+//!  "phases": {"free": {"count": 50, "p50_us": 4.0, "p90_us": 6.0,
+//!             "p99_us": 8.0, ...}, "query": {...}}}
+//! ```
+//!
+//! ## Observability
+//!
+//! Protocol-level observability is structured: the simulator delivers
+//! typed [`TraceEvent`]s (ring appends/applies, summary writes, acks,
+//! commit advances, leader changes, failure suspicions) to a pluggable
+//! per-run [`rdma_sim::TraceSink`], selected per run via
+//! [`RunConfig::with_trace`]. Latencies are recorded in log-scale
+//! [`LatencyHistogram`]s per method and per protocol phase
+//! ([`rdma_sim::Phase`]), summarized as p50/p90/p99/max in
+//! [`RunReport`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,32 +80,38 @@ pub mod metrics;
 pub mod replica;
 pub mod rings;
 
-/// Global switch for the runtime's diagnostic trace lines.
+/// Former global switch for the runtime's diagnostic trace lines.
 ///
-/// Off by default; flip it programmatically from a harness or test:
-///
-/// ```
-/// hamband_runtime::set_trace(true);
-/// hamband_runtime::set_trace(false);
-/// ```
-///
-/// (A deliberate design choice over an environment variable: per-event
-/// environment reads take a process-wide lock on the hot path.)
+/// The runtime no longer reads it: tracing is structured and per-run
+/// (see [`RunConfig::with_trace`] and [`rdma_sim::TraceSink`]). The
+/// static remains only so existing callers keep compiling.
+#[deprecated(
+    since = "0.2.0",
+    note = "tracing is per-run now; use `RunConfig::with_trace(TraceMode::...)`"
+)]
 pub static TRACE: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
 
-/// Enable or disable runtime diagnostic tracing (see [`TRACE`]).
+/// Enable or disable the former global diagnostic tracing (see
+/// [`TRACE`]). No longer read by the runtime.
+#[deprecated(
+    since = "0.2.0",
+    note = "tracing is per-run now; use `RunConfig::with_trace(TraceMode::...)`"
+)]
 pub fn set_trace(on: bool) {
+    #[allow(deprecated)]
     TRACE.store(on, std::sync::atomic::Ordering::Relaxed);
-}
-
-pub(crate) fn trace_enabled() -> bool {
-    TRACE.load(std::sync::atomic::Ordering::Relaxed)
 }
 
 pub use baseline_msg::MsgCrdtNode;
 pub use config::RuntimeConfig;
 pub use driver::Workload;
-pub use harness::{run_hamband, run_msg, smr_coord, RunConfig, System};
+#[allow(deprecated)]
+pub use harness::{run_hamband, run_msg, smr_coord};
+pub use harness::{RunConfig, RunOutcome, Runner, System, TraceMode};
 pub use layout::Layout;
-pub use metrics::{NodeMetrics, RunReport};
+pub use metrics::{LatencyHistogram, LatencySummary, NodeMetrics, RunReport};
 pub use replica::HambandNode;
+
+// Trace vocabulary, re-exported so harness consumers need not depend on
+// `rdma_sim` directly.
+pub use rdma_sim::{Phase, RingKind, TraceEvent, TraceRecord, TraceSink};

@@ -2,10 +2,181 @@
 //! definitions (§5 "Platform and setup"): throughput is the total
 //! number of calls divided by the time until all update calls are
 //! replicated on all nodes; response time is the average over calls.
+//!
+//! Response times are recorded in log-scale [`LatencyHistogram`]s —
+//! per call overall, per method, and per protocol phase
+//! ([`Phase::Reduce`]/[`Phase::Free`]/[`Phase::Conf`]/[`Phase::Query`])
+//! — so reports carry p50/p90/p99/max, not just means. [`RunReport`]
+//! serializes to stable JSON with [`RunReport::to_json`] for
+//! machine-readable benchmark output.
 
 use std::collections::BTreeMap;
 
-use rdma_sim::{SimDuration, SimTime};
+use rdma_sim::{Phase, SimDuration, SimTime};
+
+/// Sub-buckets per octave: 8 (3 bits), giving ≤ 12.5% relative error.
+const SUB_BUCKETS_BITS: u32 = 3;
+/// Values below 16 ns get exact buckets; 61 octaves above cover u64.
+const NUM_BUCKETS: usize = 8 + 8 * 61;
+
+/// A log-scale latency histogram over nanosecond samples.
+///
+/// HDR-style bucketing: exact below 16 ns, then 8 linear sub-buckets
+/// per power-of-two octave (≤ 12.5% relative error), covering the full
+/// `u64` range in 496 fixed buckets. Tracks count, sum, and max, so
+/// both means and quantiles come from the same accumulator.
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    buckets: Box<[u64; NUM_BUCKETS]>,
+    count: u64,
+    sum_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: Box::new([0; NUM_BUCKETS]),
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
+    }
+}
+
+fn bucket_index(value_ns: u64) -> usize {
+    if value_ns < 16 {
+        value_ns as usize
+    } else {
+        let msb = 63 - value_ns.leading_zeros(); // >= 4
+        let octave = (msb - SUB_BUCKETS_BITS) as usize;
+        let sub = ((value_ns >> (msb - SUB_BUCKETS_BITS)) & 0x7) as usize;
+        8 + 8 * octave + sub
+    }
+}
+
+fn bucket_floor(index: usize) -> u64 {
+    if index < 16 {
+        index as u64
+    } else {
+        let octave = (index - 8) / 8;
+        let sub = ((index - 8) % 8) as u64;
+        (8 + sub) << octave
+    }
+}
+
+impl LatencyHistogram {
+    /// Record one sample of `ns` nanoseconds.
+    pub fn record(&mut self, ns: u64) {
+        self.buckets[bucket_index(ns)] += 1;
+        self.count += 1;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Record one sample given as a duration.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_nanos());
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all samples, nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns
+    }
+
+    /// Largest sample, nanoseconds (exact, not bucketed).
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Mean sample in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64 / 1_000.0
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) in nanoseconds: the lower bound
+    /// of the bucket holding the sample at that rank (0 when empty).
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based; ceil covers q = 0.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // The top bucket may under-report: max is exact.
+                return bucket_floor(i).min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Condense into a report-ready summary.
+    pub fn summarize(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count,
+            mean_us: self.mean_us(),
+            p50_us: self.quantile_ns(0.50) as f64 / 1_000.0,
+            p90_us: self.quantile_ns(0.90) as f64 / 1_000.0,
+            p99_us: self.quantile_ns(0.99) as f64 / 1_000.0,
+            max_us: self.max_ns as f64 / 1_000.0,
+        }
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count)
+            .field("mean_us", &self.mean_us())
+            .field("max_ns", &self.max_ns)
+            .finish()
+    }
+}
+
+/// Condensed latency distribution of one call population.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencySummary {
+    /// Samples in the population.
+    pub count: u64,
+    /// Mean, microseconds.
+    pub mean_us: f64,
+    /// Median, microseconds.
+    pub p50_us: f64,
+    /// 90th percentile, microseconds.
+    pub p90_us: f64,
+    /// 99th percentile, microseconds.
+    pub p99_us: f64,
+    /// Maximum (exact), microseconds.
+    pub max_us: f64,
+}
 
 /// Per-node measurement accumulator.
 #[derive(Debug, Clone, Default)]
@@ -18,13 +189,12 @@ pub struct NodeMetrics {
     pub queries: u64,
     /// Calls rejected as locally impermissible.
     pub rejected: u64,
-    /// Sum of response times (ns) over acknowledged updates + queries.
-    pub rt_sum_ns: u64,
-    /// Response-time samples counted in `rt_sum_ns`.
-    pub rt_count: u64,
-    /// Response-time sums per method (updates only), keyed by method
-    /// index.
-    pub rt_per_method_ns: BTreeMap<usize, (u64, u64)>,
+    /// Response times of all acknowledged updates + queries.
+    pub rt: LatencyHistogram,
+    /// Response times per method (updates only), keyed by method index.
+    pub rt_per_method: BTreeMap<usize, LatencyHistogram>,
+    /// Response times per protocol phase, indexed by [`Phase::index`].
+    pub rt_per_phase: [LatencyHistogram; 4],
     /// Remote update calls applied locally (propagated from peers).
     pub remote_applied: u64,
     /// Virtual time of the most recent update application at this node
@@ -34,37 +204,31 @@ pub struct NodeMetrics {
 }
 
 impl NodeMetrics {
-    /// Record an acknowledged update call.
-    pub fn ack_update(&mut self, method: usize, issued_at: SimTime, now: SimTime) {
+    /// Record an acknowledged update call that travelled `phase`.
+    pub fn ack_update(&mut self, method: usize, phase: Phase, issued_at: SimTime, now: SimTime) {
         let rt = now.since(issued_at).as_nanos();
         self.updates_acked += 1;
-        self.rt_sum_ns += rt;
-        self.rt_count += 1;
-        let slot = self.rt_per_method_ns.entry(method).or_insert((0, 0));
-        slot.0 += rt;
-        slot.1 += 1;
+        self.rt.record(rt);
+        self.rt_per_method.entry(method).or_default().record(rt);
+        self.rt_per_phase[phase.index()].record(rt);
     }
 
     /// Record a query (response time = its local execution cost).
     pub fn ack_query(&mut self, cost: SimDuration) {
         self.queries += 1;
-        self.rt_sum_ns += cost.as_nanos();
-        self.rt_count += 1;
+        self.rt.record_duration(cost);
+        self.rt_per_phase[Phase::Query.index()].record_duration(cost);
     }
 
     /// Mean response time in microseconds over all recorded calls.
     pub fn mean_rt_us(&self) -> f64 {
-        if self.rt_count == 0 {
-            0.0
-        } else {
-            self.rt_sum_ns as f64 / self.rt_count as f64 / 1_000.0
-        }
+        self.rt.mean_us()
     }
 
     /// Mean response time of one method, microseconds.
     pub fn method_rt_us(&self, method: usize) -> Option<f64> {
-        let &(sum, count) = self.rt_per_method_ns.get(&method)?;
-        (count > 0).then(|| sum as f64 / count as f64 / 1_000.0)
+        let h = self.rt_per_method.get(&method)?;
+        (!h.is_empty()).then(|| h.mean_us())
     }
 }
 
@@ -87,8 +251,97 @@ pub struct RunReport {
     pub mean_rt_us: f64,
     /// Mean response time per method name.
     pub per_method_rt_us: BTreeMap<String, f64>,
+    /// Latency distribution per protocol phase, keyed by
+    /// [`Phase::label`] ("reduce", "free", "conf", "query"). Phases
+    /// with no samples are omitted.
+    pub phases: BTreeMap<String, LatencySummary>,
     /// Whether all replicas converged to equal states at the end.
     pub converged: bool,
+}
+
+/// Append `s` JSON-escaped (quotes, backslashes, control characters).
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append `v` as a JSON number (non-finite values become 0).
+fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push('0');
+    }
+}
+
+impl LatencySummary {
+    fn push_json(&self, out: &mut String) {
+        out.push_str(&format!("{{\"count\":{},\"mean_us\":", self.count));
+        push_json_f64(out, self.mean_us);
+        out.push_str(",\"p50_us\":");
+        push_json_f64(out, self.p50_us);
+        out.push_str(",\"p90_us\":");
+        push_json_f64(out, self.p90_us);
+        out.push_str(",\"p99_us\":");
+        push_json_f64(out, self.p99_us);
+        out.push_str(",\"max_us\":");
+        push_json_f64(out, self.max_us);
+        out.push('}');
+    }
+}
+
+impl RunReport {
+    /// Serialize to one stable JSON object (hand-encoded; no external
+    /// dependencies). Keys are emitted in a fixed order so output is
+    /// diffable across runs.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str("{\"system\":");
+        push_json_str(&mut out, &self.system);
+        out.push_str(&format!(
+            ",\"nodes\":{},\"total_calls\":{},\"total_updates\":{}",
+            self.nodes, self.total_calls, self.total_updates
+        ));
+        out.push_str(",\"completed_at_us\":");
+        push_json_f64(&mut out, self.completed_at.as_micros());
+        out.push_str(",\"throughput_ops_per_us\":");
+        push_json_f64(&mut out, self.throughput_ops_per_us);
+        out.push_str(",\"mean_rt_us\":");
+        push_json_f64(&mut out, self.mean_rt_us);
+        out.push_str(",\"converged\":");
+        out.push_str(if self.converged { "true" } else { "false" });
+        out.push_str(",\"per_method_rt_us\":{");
+        for (i, (name, rt)) in self.per_method_rt_us.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str(&mut out, name);
+            out.push(':');
+            push_json_f64(&mut out, *rt);
+        }
+        out.push_str("},\"phases\":{");
+        for (i, (name, summary)) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str(&mut out, name);
+            out.push(':');
+            summary.push_json(&mut out);
+        }
+        out.push_str("}}");
+        out
+    }
 }
 
 impl std::fmt::Display for RunReport {
@@ -102,7 +355,15 @@ impl std::fmt::Display for RunReport {
             self.throughput_ops_per_us,
             self.mean_rt_us,
             self.converged
-        )
+        )?;
+        for (name, s) in &self.phases {
+            write!(
+                f,
+                "\n           {name:<7} n={:<6} p50={:.2}us p90={:.2}us p99={:.2}us max={:.2}us",
+                s.count, s.p50_us, s.p90_us, s.p99_us, s.max_us
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -111,29 +372,107 @@ mod tests {
     use super::*;
 
     #[test]
+    fn bucket_index_is_monotonic_and_floor_consistent() {
+        let mut probes: Vec<u64> = Vec::new();
+        for shift in 0..64u32 {
+            for off in [0u64, 1, 3] {
+                probes.push((1u64 << shift).saturating_add(off << shift.saturating_sub(4)));
+            }
+        }
+        probes.sort_unstable();
+        probes.dedup();
+        let mut last = 0usize;
+        for v in probes {
+            let idx = bucket_index(v);
+            assert!(idx >= last, "index regressed at {v}");
+            assert!(bucket_floor(idx) <= v, "floor above value at {v}");
+            assert!(idx < NUM_BUCKETS);
+            last = idx;
+        }
+        // Exact region.
+        for v in 0..16u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_floor(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_error() {
+        let mut h = LatencyHistogram::default();
+        for v in 1..=1_000u64 {
+            h.record(v * 1_000); // 1..1000 us
+        }
+        assert_eq!(h.count(), 1_000);
+        let p50 = h.quantile_ns(0.5);
+        let p99 = h.quantile_ns(0.99);
+        // ≤ 12.5% relative bucketing error, one-sided (floor).
+        assert!((437_500..=500_000).contains(&p50), "p50 = {p50}");
+        assert!((866_250..=990_000).contains(&p99), "p99 = {p99}");
+        assert_eq!(h.max_ns(), 1_000_000);
+        // Top sample's bucket floor: (8 + 7) << 16, clamped by the
+        // exact max (which is larger here).
+        assert_eq!(h.quantile_ns(1.0), 983_040, "top bucket floor");
+    }
+
+    #[test]
+    fn histogram_merge_matches_combined() {
+        let mut a = LatencyHistogram::default();
+        let mut b = LatencyHistogram::default();
+        let mut c = LatencyHistogram::default();
+        for v in [5u64, 100, 10_000, 123_456] {
+            a.record(v);
+            c.record(v);
+        }
+        for v in [7u64, 3_000, 999_999] {
+            b.record(v);
+            c.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), c.count());
+        assert_eq!(a.sum_ns(), c.sum_ns());
+        assert_eq!(a.max_ns(), c.max_ns());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile_ns(q), c.quantile_ns(q));
+        }
+    }
+
+    #[test]
     fn rt_accounting() {
         let mut m = NodeMetrics::default();
-        m.ack_update(0, SimTime(1_000), SimTime(3_000));
-        m.ack_update(0, SimTime(0), SimTime(4_000));
-        m.ack_update(1, SimTime(0), SimTime(1_000));
+        m.ack_update(0, Phase::Reduce, SimTime(1_000), SimTime(3_000));
+        m.ack_update(0, Phase::Reduce, SimTime(0), SimTime(4_000));
+        m.ack_update(1, Phase::Conf, SimTime(0), SimTime(1_000));
         m.ack_query(SimDuration::nanos(500));
         assert_eq!(m.updates_acked, 3);
         assert_eq!(m.queries, 1);
-        assert_eq!(m.rt_count, 4);
+        assert_eq!(m.rt.count(), 4);
         assert!((m.mean_rt_us() - (2.0 + 4.0 + 1.0 + 0.5) / 4.0).abs() < 1e-9);
         assert!((m.method_rt_us(0).unwrap() - 3.0).abs() < 1e-9);
         assert!((m.method_rt_us(1).unwrap() - 1.0).abs() < 1e-9);
         assert_eq!(m.method_rt_us(9), None);
+        assert_eq!(m.rt_per_phase[Phase::Reduce.index()].count(), 2);
+        assert_eq!(m.rt_per_phase[Phase::Conf.index()].count(), 1);
+        assert_eq!(m.rt_per_phase[Phase::Query.index()].count(), 1);
+        assert_eq!(m.rt_per_phase[Phase::Free.index()].count(), 0);
+        // The property the harness reports on: histogram totals match
+        // the ack counters exactly.
+        assert_eq!(m.rt.count(), m.updates_acked + m.queries);
     }
 
     #[test]
     fn empty_metrics_are_zero() {
         let m = NodeMetrics::default();
         assert_eq!(m.mean_rt_us(), 0.0);
+        assert_eq!(m.rt.quantile_ns(0.99), 0);
     }
 
     #[test]
-    fn report_display_mentions_system() {
+    fn report_display_mentions_system_and_phases() {
+        let mut phases = BTreeMap::new();
+        phases.insert(
+            "reduce".to_string(),
+            LatencySummary { count: 10, mean_us: 1.5, p50_us: 1.0, p90_us: 2.0, p99_us: 3.0, max_us: 4.0 },
+        );
         let r = RunReport {
             system: "hamband".into(),
             nodes: 4,
@@ -143,10 +482,45 @@ mod tests {
             throughput_ops_per_us: 12.5,
             mean_rt_us: 1.4,
             per_method_rt_us: BTreeMap::new(),
+            phases,
             converged: true,
         };
         let s = r.to_string();
         assert!(s.contains("hamband"));
         assert!(s.contains("12.50 ops/us"));
+        assert!(s.contains("reduce"));
+        assert!(s.contains("p99=3.00us"));
+    }
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        let mut per_method = BTreeMap::new();
+        per_method.insert("with \"quote\"".to_string(), 2.5);
+        let mut phases = BTreeMap::new();
+        phases.insert(
+            "conf".to_string(),
+            LatencySummary { count: 3, mean_us: 1.0, p50_us: 1.0, p90_us: 2.0, p99_us: 2.0, max_us: 2.25 },
+        );
+        let r = RunReport {
+            system: "mu-smr".into(),
+            nodes: 3,
+            total_calls: 7,
+            total_updates: 4,
+            completed_at: SimTime(2_500),
+            throughput_ops_per_us: f64::NAN,
+            mean_rt_us: 1.25,
+            per_method_rt_us: per_method,
+            phases,
+            converged: false,
+        };
+        let j = r.to_json();
+        assert_eq!(
+            j,
+            "{\"system\":\"mu-smr\",\"nodes\":3,\"total_calls\":7,\"total_updates\":4,\
+             \"completed_at_us\":2.5,\"throughput_ops_per_us\":0,\"mean_rt_us\":1.25,\
+             \"converged\":false,\"per_method_rt_us\":{\"with \\\"quote\\\"\":2.5},\
+             \"phases\":{\"conf\":{\"count\":3,\"mean_us\":1,\"p50_us\":1,\"p90_us\":2,\
+             \"p99_us\":2,\"max_us\":2.25}}}"
+        );
     }
 }

@@ -37,7 +37,8 @@ use hamband_core::ids::{MethodId, Pid, Rid};
 use hamband_core::object::{ObjectSpec, WorkloadSupport};
 use hamband_core::wire::Wire;
 use rdma_sim::{
-    App, AppFault, CompletionStatus, Ctx, Event, NodeId, SimTime, WrId,
+    App, AppFault, CompletionStatus, Ctx, Event, NodeId, Phase, RingKind, SimTime, TraceEvent,
+    WrId,
 };
 
 use crate::codec::{Entry, SummarySlot};
@@ -48,7 +49,6 @@ use crate::layout::Layout;
 use crate::messages::ControlMsg;
 use crate::metrics::NodeMetrics;
 use crate::rings::{RingReader, RingWriter};
-use crate::trace_enabled;
 
 const TAG_POLL: u64 = 0;
 const TAG_HEARTBEAT: u64 = 1;
@@ -72,6 +72,10 @@ enum Route {
 struct Outstanding {
     issued_at: SimTime,
     method: MethodId,
+    /// Protocol path this call travels (REDUCE/FREE/CONF).
+    phase: Phase,
+    /// For conflicting calls: (synchronization group, L-ring seq).
+    conf: Option<(usize, u64)>,
     /// Remote completions still needed before the client is acked.
     ack_remaining: usize,
     /// Remote completions still outstanding in total (backup clear).
@@ -418,6 +422,7 @@ where
                 continue;
             }
             self.free_writers.push(Some(RingWriter::new(
+                RingKind::Free,
                 node,
                 self.layout.free_rings,
                 self.layout.free_ring_base(self.me),
@@ -427,6 +432,7 @@ where
                 self.layout.free_head_offset(self.me),
             )));
             self.free_readers.push(Some(RingReader::new(
+                RingKind::Free,
                 self.layout.free_rings,
                 self.layout.free_ring_base(node),
                 self.layout.free_cap(),
@@ -437,6 +443,7 @@ where
         }
         for g in 0..self.groups.len() {
             self.conf_readers.push(RingReader::new(
+                RingKind::Conf,
                 self.layout.conf[g],
                 self.layout.conf_ring_base(),
                 self.layout.conf_cap(),
@@ -474,6 +481,7 @@ where
                 writers.push(None);
             } else {
                 let mut w = RingWriter::new(
+                    RingKind::Conf,
                     NodeId(q),
                     self.layout.conf[g],
                     self.layout.conf_ring_base(),
@@ -604,11 +612,19 @@ where
         let offset = self.layout.summary_offset(g, self.me);
         ctx.local_write(self.layout.summaries, offset, &slot);
         let mut remotes = 0;
+        let version = self.sum_cache[g][me].version;
         for q in 0..self.n {
             if q == me {
                 continue;
             }
             let wr = ctx.post_write(NodeId(q), self.layout.summaries, offset, &slot);
+            let issuer = self.me;
+            ctx.emit(|| TraceEvent::SummaryWrite {
+                issuer,
+                target: NodeId(q),
+                method: method.index(),
+                version,
+            });
             self.wr_routes.insert(wr, Route::SummaryWrite { call_id });
             remotes += 1;
         }
@@ -617,6 +633,8 @@ where
             Outstanding {
                 issued_at: ctx.now(),
                 method,
+                phase: Phase::Reduce,
+                conf: None,
                 ack_remaining: remotes,
                 total_remaining: remotes,
                 backup_slot: Some(backup_slot),
@@ -668,6 +686,8 @@ where
             Outstanding {
                 issued_at: ctx.now(),
                 method,
+                phase: Phase::Free,
+                conf: None,
                 ack_remaining: remotes,
                 total_remaining: remotes,
                 backup_slot,
@@ -712,9 +732,6 @@ where
                 debug_assert_eq!(s, seq, "conf rings advance with the group ordinal");
             }
         }
-        if trace_enabled() {
-            eprintln!("[{}] n{} ISSUE-CONF g{} seq={}", ctx.now(), self.me.index(), g, seq);
-        }
         self.groups[g].pending_acks.insert(seq, 0);
         self.groups[g].client_by_seq.insert(seq, call_id);
         self.outstanding.insert(
@@ -722,6 +739,8 @@ where
             Outstanding {
                 issued_at: ctx.now(),
                 method,
+                phase: Phase::Conf,
+                conf: Some((g, seq)),
                 // Acked when the commit index passes this seq.
                 ack_remaining: usize::MAX,
                 total_remaining: 0,
@@ -767,7 +786,17 @@ where
             }
             let method = o.method;
             let issued_at = o.issued_at;
-            self.metrics.ack_update(method.index(), issued_at, ctx.now());
+            let phase = o.phase;
+            let conf = o.conf;
+            self.metrics.ack_update(method.index(), phase, issued_at, ctx.now());
+            let node = self.me;
+            ctx.emit(|| TraceEvent::Ack {
+                node,
+                method: method.index(),
+                phase,
+                group: conf.map(|(g, _)| g),
+                seq: conf.map(|(_, s)| s),
+            });
             self.driver.on_ack();
             let done = o.total_remaining == 0;
             if done {
@@ -900,7 +929,7 @@ where
                 self.applied.increment(entry.rid.issuer, method);
                 self.metrics.remote_applied += 1;
                 self.metrics.last_apply = ctx.now();
-                self.free_readers[src].as_mut().expect("reader").advance(ctx);
+                self.free_readers[src].as_mut().expect("reader").advance(ctx, NodeId(src));
             }
         }
     }
@@ -951,7 +980,8 @@ where
                     self.metrics.remote_applied += 1;
                 }
                 self.metrics.last_apply = ctx.now();
-                self.conf_readers[g].advance(ctx);
+                // The entry's issuer is the leader that appended it.
+                self.conf_readers[g].advance(ctx, NodeId(entry.rid.issuer.index()));
             }
         }
     }
@@ -966,6 +996,7 @@ where
 
     fn advance_commit(&mut self, ctx: &mut Ctx<'_>, g: usize) {
         let need = self.majority_remote();
+        let before = self.groups[g].commit;
         loop {
             let gs = &mut self.groups[g];
             let next = gs.commit + 1;
@@ -978,6 +1009,13 @@ where
             }
         }
         let commit = self.groups[g].commit;
+        if commit > before {
+            // Recorded before the client acks below, so a collected
+            // trace always shows CommitAdvance ahead of the Acks it
+            // enables.
+            let node = self.me;
+            ctx.emit(|| TraceEvent::CommitAdvance { node, group: g, commit });
+        }
         // Acknowledge committed client calls.
         let acked: Vec<u64> = self.groups[g]
             .client_by_seq
@@ -1134,17 +1172,6 @@ where
         seq: u64,
         status: CompletionStatus,
     ) {
-        if trace_enabled() {
-            eprintln!(
-                "[{}] n{} CONF-DONE g{} seq={} to={} ok={}",
-                ctx.now(),
-                self.me.index(),
-                g,
-                seq,
-                target.index(),
-                status.is_success()
-            );
-        }
         if !status.is_success() {
             // The target has not granted us write permission (it may
             // simply not have processed our election yet, or a newer
@@ -1189,9 +1216,8 @@ where
         if gs.deposed {
             return;
         }
-        if trace_enabled() {
-            eprintln!("[{}] n{} DEPOSE g{}", ctx.now(), self.me.index(), g);
-        }
+        let (node, epoch) = (self.me, gs.promised);
+        ctx.emit(|| TraceEvent::Deposed { group: g, node, epoch });
         let gs = &mut self.groups[g];
         gs.deposed = true;
         gs.writers = None;
@@ -1211,7 +1237,6 @@ where
                 self.driver.on_abort();
             }
         }
-        let _ = ctx;
     }
 
     // ------------------------------------------------------------------
@@ -1219,6 +1244,8 @@ where
     // ------------------------------------------------------------------
 
     fn on_suspect(&mut self, ctx: &mut Ctx<'_>, suspect: NodeId) {
+        let node = self.me;
+        ctx.emit(|| TraceEvent::FdSuspect { node, suspect });
         // 1. Reliable-broadcast recovery: the lowest alive node reads
         //    the suspect's backup slots and re-executes pending writes.
         if self.fd.lowest_alive(Some(suspect)) == self.me {
@@ -1232,15 +1259,19 @@ where
         if adopter == self.me && !self.adopted[suspect.index()] {
             self.adopted[suspect.index()] = true;
             let their = Driver::new(&self.workload, &self.coord, suspect.index(), self.n);
-            let mut remaining = vec![0u64; self.coord.method_count()];
-            for m in 0..self.coord.method_count() {
-                if !matches!(self.coord.category(MethodId(m)), MethodCategory::Conflicting { .. })
-                {
+            let remaining: Vec<u64> = (0..self.coord.method_count())
+                .map(|m| {
+                    if matches!(
+                        self.coord.category(MethodId(m)),
+                        MethodCategory::Conflicting { .. }
+                    ) {
+                        return 0;
+                    }
                     let planned = their.initial_free_quota(m);
                     let seen = self.applied.get(Pid(suspect.index()), MethodId(m));
-                    remaining[m] = planned.saturating_sub(seen);
-                }
-            }
+                    planned.saturating_sub(seen)
+                })
+                .collect();
             // Query progress at the suspect is unobservable directly;
             // estimate it from its observable update progress (the
             // driver interleaves both uniformly) and adopt the rest.
@@ -1250,11 +1281,10 @@ where
                 .map(|m| self.applied.get(Pid(suspect.index()), MethodId(m)))
                 .sum::<u64>()
                 .min(planned_updates);
-            let remaining_queries = if planned_updates == 0 {
-                their.initial_queries()
-            } else {
-                their.initial_queries() * (planned_updates - seen_updates) / planned_updates
-            };
+            let remaining_queries = (their.initial_queries()
+                * (planned_updates - seen_updates))
+                .checked_div(planned_updates)
+                .unwrap_or_else(|| their.initial_queries());
             self.driver.adopt_free_quota(&remaining, remaining_queries);
         }
         // 3. Leader change for groups led by the suspect.
@@ -1425,9 +1455,8 @@ where
     }
 
     fn finish_takeover(&mut self, ctx: &mut Ctx<'_>, g: usize, max_tail: u64) {
-        if trace_enabled() {
-            eprintln!("[{}] n{} TAKEOVER g{} tail={} commit={}", ctx.now(), self.me.index(), g, max_tail, self.groups[g].commit);
-        }
+        let (leader, epoch) = (self.me, self.groups[g].epoch);
+        ctx.emit(|| TraceEvent::LeaderChange { group: g, leader, epoch });
         self.groups[g].catching_up = false;
         self.become_writer(g, max_tail);
         // Rebroadcast the window between the adopted commit and the

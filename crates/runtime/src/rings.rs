@@ -22,7 +22,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use hamband_core::wire::Wire;
-use rdma_sim::{CompletionStatus, Ctx, NodeId, RegionId, WrId};
+use rdma_sim::{CompletionStatus, Ctx, NodeId, RegionId, RingKind, TraceEvent, WrId};
 
 use crate::codec::Entry;
 
@@ -30,6 +30,7 @@ use crate::codec::Entry;
 /// buffers; one per reader for each `L` buffer the leader feeds).
 #[derive(Debug)]
 pub struct RingWriter {
+    kind: RingKind,
     target: NodeId,
     region: RegionId,
     base: usize,
@@ -60,10 +61,12 @@ pub struct AppendDone {
 }
 
 impl RingWriter {
-    /// A writer feeding the ring at `(target, region, base)` with
-    /// `cap` slots of `slot_size` bytes, reading the head counter from
-    /// `(head_region, head_offset)` on the same target.
+    /// A writer of `kind` feeding the ring at `(target, region, base)`
+    /// with `cap` slots of `slot_size` bytes, reading the head counter
+    /// from `(head_region, head_offset)` on the same target.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
+        kind: RingKind,
         target: NodeId,
         region: RegionId,
         base: usize,
@@ -74,6 +77,7 @@ impl RingWriter {
     ) -> Self {
         assert!(cap > 1, "ring needs at least two slots");
         RingWriter {
+            kind,
             target,
             region,
             base,
@@ -119,6 +123,8 @@ impl RingWriter {
     pub fn append<U: Wire>(&mut self, ctx: &mut Ctx<'_>, entry: &Entry<U>) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
+        let (kind, writer, reader) = (self.kind, ctx.node(), self.target);
+        ctx.emit(|| TraceEvent::RingAppend { ring: kind, writer, reader, seq });
         let slot = entry.to_slot(seq, self.slot_size);
         self.push_slot(ctx, seq, slot);
         seq
@@ -201,6 +207,7 @@ impl RingWriter {
 /// Reader-side state of one ring.
 #[derive(Debug)]
 pub struct RingReader {
+    kind: RingKind,
     region: RegionId,
     base: usize,
     cap: u64,
@@ -213,9 +220,11 @@ pub struct RingReader {
 }
 
 impl RingReader {
-    /// A reader of the local ring at `(region, base)`; its head counter
-    /// lives at `(head_region, head_offset)` in local memory.
+    /// A reader of `kind` over the local ring at `(region, base)`; its
+    /// head counter lives at `(head_region, head_offset)` in local
+    /// memory.
     pub fn new(
+        kind: RingKind,
         region: RegionId,
         base: usize,
         cap: usize,
@@ -224,6 +233,7 @@ impl RingReader {
         head_offset: usize,
     ) -> Self {
         RingReader {
+            kind,
             region,
             base,
             cap: cap as u64,
@@ -262,9 +272,14 @@ impl RingReader {
     }
 
     /// Consume the entry just peeked: advance the head and publish the
-    /// new head counter for the writer's flow-control reads.
-    pub fn advance(&mut self, ctx: &mut Ctx<'_>) {
+    /// new head counter for the writer's flow-control reads. `writer`
+    /// is the node that appended the consumed entry (the ring's feeder
+    /// for `F` rings, the appending leader for `L` rings).
+    pub fn advance(&mut self, ctx: &mut Ctx<'_>, writer: NodeId) {
+        let seq = self.next;
         self.next += 1;
+        let (kind, reader) = (self.kind, ctx.node());
+        ctx.emit(|| TraceEvent::RingApply { ring: kind, reader, writer, seq });
         let head = self.next - 1;
         ctx.local_write(self.head_region, self.head_offset, &head.to_le_bytes());
     }
@@ -306,10 +321,10 @@ mod tests {
     impl RingApp {
         fn new(node: usize, ring_region: RegionId, heads_region: RegionId, to_send: u64) -> Self {
             let writer = (node == 0).then(|| {
-                RingWriter::new(NodeId(1), ring_region, 0, CAP, SLOT, heads_region, 0)
+                RingWriter::new(RingKind::Free, NodeId(1), ring_region, 0, CAP, SLOT, heads_region, 0)
             });
-            let reader =
-                (node == 1).then(|| RingReader::new(ring_region, 0, CAP, SLOT, heads_region, 0));
+            let reader = (node == 1)
+                .then(|| RingReader::new(RingKind::Free, ring_region, 0, CAP, SLOT, heads_region, 0));
             RingApp {
                 ring_region,
                 heads_region,
@@ -341,7 +356,7 @@ mod tests {
                 while let Some(e) = r.peek::<AccountUpdate>(ctx) {
                     let AccountUpdate::Deposit(v) = e.update else { panic!("deposit") };
                     self.received.push(v);
-                    r.advance(ctx);
+                    r.advance(ctx, NodeId(0));
                 }
             }
         }
@@ -412,7 +427,7 @@ mod tests {
 
     #[test]
     fn adopt_tail_continues_numbering() {
-        let mut w = RingWriter::new(NodeId(1), RegionId(0), 0, 8, 64, RegionId(1), 0);
+        let mut w = RingWriter::new(RingKind::Free, NodeId(1), RegionId(0), 0, 8, 64, RegionId(1), 0);
         w.adopt_tail(12);
         assert_eq!(w.next_seq(), 13);
         assert_eq!(w.appended(), 12);

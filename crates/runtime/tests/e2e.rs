@@ -2,16 +2,15 @@
 //! driven to convergence over the simulated fabric.
 
 use hamband_core::demo::Account;
-use hamband_runtime::harness::{run_hamband, run_msg, smr_coord, RunConfig};
-use hamband_runtime::Workload;
+use hamband_runtime::{RunConfig, Runner, System, Workload};
 use hamband_types::{Counter, Courseware, GSet, Movie, OrSet, Project};
 use rdma_sim::{Fault, FaultPlan, NodeId, SimTime};
 
 #[test]
 fn counter_reducible_converges() {
     let c = Counter::default();
-    let run = RunConfig::new(3, Workload::new(600, 0.5));
-    let report = run_hamband(&c, &c.coord_spec(), &run, "hamband");
+    let config = RunConfig::new(3, Workload::new(600, 0.5));
+    let report = Runner::new(System::Hamband, config).run(&c, &c.coord_spec()).report;
     assert!(report.converged, "{report}");
     assert!(report.total_updates >= 295, "most updates acked: {report}");
     assert!(report.throughput_ops_per_us > 0.1, "{report}");
@@ -20,51 +19,54 @@ fn counter_reducible_converges() {
 #[test]
 fn gset_buffered_converges() {
     let g = GSet::default();
-    let run = RunConfig::new(3, Workload::new(400, 0.5));
-    let report = run_hamband(&g, &g.coord_spec_buffered(), &run, "hamband");
+    let config = RunConfig::new(3, Workload::new(400, 0.5));
+    let report = Runner::new(System::Hamband, config).run(&g, &g.coord_spec_buffered()).report;
     assert!(report.converged, "{report}");
 }
 
 #[test]
 fn orset_with_dependencies_converges() {
     let o = OrSet::default();
-    let run = RunConfig::new(4, Workload::new(600, 0.5));
-    let report = run_hamband(&o, &o.coord_spec(), &run, "hamband");
+    let config = RunConfig::new(4, Workload::new(600, 0.5));
+    let report = Runner::new(System::Hamband, config).run(&o, &o.coord_spec()).report;
     assert!(report.converged, "{report}");
 }
 
 #[test]
 fn account_all_categories_converges() {
     let a = Account::new(50);
-    let run = RunConfig::new(3, Workload::new(600, 0.5));
-    let report = run_hamband(&a, &a.coord_spec(), &run, "hamband");
+    let config = RunConfig::new(3, Workload::new(600, 0.5));
+    let report = Runner::new(System::Hamband, config).run(&a, &a.coord_spec()).report;
     assert!(report.converged, "{report}");
     // Some withdrawals must actually have committed.
     assert!(report.per_method_rt_us.contains_key("withdraw"), "{report:?}");
+    // Withdrawals go through consensus, so the report must carry a CONF
+    // phase distribution alongside REDUCE/FREE.
+    assert!(report.phases.contains_key("conf"), "{report:?}");
 }
 
 #[test]
 fn project_schema_converges() {
     let p = Project::default();
-    let run = RunConfig::new(4, Workload::new(600, 0.5));
-    let report = run_hamband(&p, &p.coord_spec(), &run, "hamband");
+    let config = RunConfig::new(4, Workload::new(600, 0.5));
+    let report = Runner::new(System::Hamband, config).run(&p, &p.coord_spec()).report;
     assert!(report.converged, "{report}");
 }
 
 #[test]
 fn movie_two_leaders_converges() {
     let m = Movie::default();
-    let run = RunConfig::new(4, Workload::new(600, 1.0));
-    let report = run_hamband(&m, &m.coord_spec(), &run, "hamband");
+    let config = RunConfig::new(4, Workload::new(600, 1.0));
+    let report = Runner::new(System::Hamband, config).run(&m, &m.coord_spec()).report;
     assert!(report.converged, "{report}");
 }
 
 #[test]
 fn smr_baseline_converges_and_is_slower() {
     let c = Counter::default();
-    let run = RunConfig::new(3, Workload::new(600, 0.5));
-    let hb = run_hamband(&c, &c.coord_spec(), &run, "hamband");
-    let smr = run_hamband(&c, &smr_coord(1), &run, "mu-smr");
+    let config = RunConfig::new(3, Workload::new(600, 0.5));
+    let hb = Runner::new(System::Hamband, config.clone()).run(&c, &c.coord_spec()).report;
+    let smr = Runner::new(System::MuSmr, config).run(&c, &c.coord_spec()).report;
     assert!(smr.converged, "{smr}");
     assert!(
         hb.throughput_ops_per_us > smr.throughput_ops_per_us,
@@ -75,9 +77,9 @@ fn smr_baseline_converges_and_is_slower() {
 #[test]
 fn msg_baseline_converges_and_is_much_slower() {
     let c = Counter::default();
-    let run = RunConfig::new(3, Workload::new(600, 0.5));
-    let hb = run_hamband(&c, &c.coord_spec(), &run, "hamband");
-    let msg = run_msg(&c, &c.coord_spec(), &run);
+    let config = RunConfig::new(3, Workload::new(600, 0.5));
+    let hb = Runner::new(System::Hamband, config.clone()).run(&c, &c.coord_spec()).report;
+    let msg = Runner::new(System::Msg, config).run(&c, &c.coord_spec()).report;
     assert!(msg.converged, "{msg}");
     assert!(
         hb.throughput_ops_per_us > 3.0 * msg.throughput_ops_per_us,
@@ -89,18 +91,18 @@ fn msg_baseline_converges_and_is_much_slower() {
 #[test]
 fn follower_failure_is_tolerated() {
     let c = Counter::default();
-    let mut run = RunConfig::new(4, Workload::new(800, 0.5));
-    run.faults = FaultPlan::new().at(SimTime(40_000), Fault::SuspendHeartbeat(NodeId(3)));
-    let report = run_hamband(&c, &c.coord_spec(), &run, "hamband");
+    let config = RunConfig::new(4, Workload::new(800, 0.5))
+        .with_faults(FaultPlan::new().at(SimTime(40_000), Fault::SuspendHeartbeat(NodeId(3))));
+    let report = Runner::new(System::Hamband, config).run(&c, &c.coord_spec()).report;
     assert!(report.converged, "{report}");
 }
 
 #[test]
 fn leader_failure_elects_new_leader() {
     let cw = Courseware::default();
-    let mut run = RunConfig::new(4, Workload::new(600, 0.5));
     // Group leader is node 0 by default; suspend its heartbeat mid-run.
-    run.faults = FaultPlan::new().at(SimTime(60_000), Fault::SuspendHeartbeat(NodeId(0)));
-    let report = run_hamband(&cw, &cw.coord_spec(), &run, "hamband");
+    let config = RunConfig::new(4, Workload::new(600, 0.5))
+        .with_faults(FaultPlan::new().at(SimTime(60_000), Fault::SuspendHeartbeat(NodeId(0))));
+    let report = Runner::new(System::Hamband, config).run(&cw, &cw.coord_spec()).report;
     assert!(report.converged, "{report}");
 }

@@ -9,8 +9,8 @@ use hamband_runtime::codec::Entry;
 use hamband_runtime::rings::{RingReader, RingWriter};
 use proptest::prelude::*;
 use rdma_sim::{
-    App, Ctx, Event, Fault, FaultPlan, LatencyModel, NodeId, RegionId, SimDuration, SimTime,
-    Simulator,
+    App, Ctx, Event, Fault, FaultPlan, LatencyModel, NodeId, RegionId, RingKind, SimDuration,
+    SimTime, Simulator,
 };
 
 const SLOT: usize = 64;
@@ -37,7 +37,7 @@ impl App for RingApp {
                     while let Some(e) = r.peek::<AccountUpdate>(ctx) {
                         let AccountUpdate::Deposit(v) = e.update else { panic!("deposit") };
                         self.received.push(v);
-                        r.advance(ctx);
+                        r.advance(ctx, NodeId(0));
                     }
                 }
                 self.pump_writer(ctx);
@@ -81,8 +81,8 @@ fn run_ring(count: u64, cap: usize, poll_every: u64, torn: bool, seed: u64) -> V
     }
     sim.set_apps(|id| RingApp {
         writer: (id.index() == 0)
-            .then(|| RingWriter::new(NodeId(1), ring, 0, cap, SLOT, heads, 0)),
-        reader: (id.index() == 1).then(|| RingReader::new(ring, 0, cap, SLOT, heads, 0)),
+            .then(|| RingWriter::new(RingKind::Free, NodeId(1), ring, 0, cap, SLOT, heads, 0)),
+        reader: (id.index() == 1).then(|| RingReader::new(RingKind::Free, ring, 0, cap, SLOT, heads, 0)),
         to_send: count,
         sent: 0,
         poll_every,

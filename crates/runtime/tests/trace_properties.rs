@@ -1,0 +1,81 @@
+//! Properties of the structured trace and the metric accounting:
+//! commit ordering is observable in the event stream, and the latency
+//! histograms account for exactly the acknowledged calls.
+
+use hamband_core::demo::Account;
+use hamband_runtime::{Phase, RunConfig, Runner, System, TraceEvent, TraceMode, Workload};
+use hamband_types::Counter;
+
+/// Every acknowledged conflicting update is covered by a
+/// `CommitAdvance` earlier in the trace: the acking node advanced its
+/// commit index past the call's ring seq before acking the client.
+#[test]
+fn conf_acks_follow_commit_advance() {
+    let a = Account::new(100);
+    let config = RunConfig::for_nodes(3)
+        .with_workload(Workload::new(600, 0.5))
+        .with_trace(TraceMode::Collect);
+    let outcome = Runner::new(System::Hamband, config).run(&a, &a.coord_spec());
+    assert!(outcome.report.converged, "{}", outcome.report);
+    assert!(!outcome.events.is_empty(), "collect mode must record events");
+
+    let mut conf_acks = 0usize;
+    for (i, rec) in outcome.events.iter().enumerate() {
+        let TraceEvent::Ack { node, phase: Phase::Conf, group: Some(g), seq: Some(s), .. } =
+            rec.event
+        else {
+            continue;
+        };
+        conf_acks += 1;
+        let committed = outcome.events[..i].iter().any(|earlier| {
+            matches!(
+                earlier.event,
+                TraceEvent::CommitAdvance { node: n, group, commit }
+                    if n == node && group == g && commit >= s
+            )
+        });
+        assert!(
+            committed,
+            "ack of seq {s} in group {g} on node {node:?} (event {i}) \
+             has no earlier CommitAdvance covering it"
+        );
+    }
+    assert!(conf_acks > 0, "the account workload must exercise the CONF path");
+}
+
+/// The overall latency histogram of each node holds exactly one sample
+/// per acknowledged call (updates and queries alike) — nothing dropped,
+/// nothing double-counted.
+#[test]
+fn histograms_account_for_every_ack() {
+    for system in [System::Hamband, System::Msg] {
+        let c = Counter::default();
+        let config = RunConfig::for_nodes(3).with_workload(Workload::new(400, 0.5));
+        let outcome = Runner::new(system, config).run(&c, &c.coord_spec());
+        assert!(outcome.report.converged, "{}", outcome.report);
+        for (i, m) in outcome.node_metrics.iter().enumerate() {
+            assert_eq!(
+                m.rt.count(),
+                m.updates_acked + m.queries,
+                "node {i} of {} histogram vs counters",
+                system.label()
+            );
+            let phase_total: u64 =
+                Phase::ALL.iter().map(|p| m.rt_per_phase[p.index()].count()).sum();
+            assert_eq!(phase_total, m.rt.count(), "node {i} phase split sums to total");
+        }
+    }
+}
+
+/// Trace collection must not change the run itself: same seed, same
+/// workload, identical report with tracing off and on.
+#[test]
+fn tracing_does_not_perturb_the_run() {
+    let a = Account::new(100);
+    let base = RunConfig::for_nodes(3).with_workload(Workload::new(300, 0.5)).with_seed(11);
+    let quiet = Runner::new(System::Hamband, base.clone()).run(&a, &a.coord_spec());
+    let traced = Runner::new(System::Hamband, base.with_trace(TraceMode::Collect))
+        .run(&a, &a.coord_spec());
+    assert_eq!(quiet.report.to_json(), traced.report.to_json());
+    assert!(quiet.events.is_empty() && !traced.events.is_empty());
+}

@@ -389,6 +389,9 @@ mod tests {
         let dep = bank.gen_update(&s, 0, 0, DEPOSIT, &mut rng).expect("account open");
         assert!(bank.permissible(&s, &dep));
         s = bank.apply(&s, &dep);
+        // Top up so a withdraw is visible whatever amount the sampled
+        // deposit had (gen_update only withdraws from balances >= 2).
+        s = bank.apply(&s, &BankUpdate::Deposit(4, 2));
         let wd = bank.gen_update(&s, 0, 1, WITHDRAW, &mut rng).expect("funds available");
         assert!(bank.permissible(&s, &wd));
     }

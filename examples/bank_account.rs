@@ -9,7 +9,7 @@
 use hamband::core::demo::Account;
 use hamband::core::object::ObjectSpec;
 use hamband::core::relations::BoundedRelations;
-use hamband::runtime::harness::{run_hamband, run_msg, smr_coord, RunConfig};
+use hamband::runtime::{RunConfig, Runner, System};
 use hamband::runtime::Workload;
 
 fn main() {
@@ -62,8 +62,8 @@ fn main() {
     // Run the account on the cluster under all three systems.
     println!("\n== 4-node cluster, 4000 calls, 50% updates ==");
     let run = RunConfig::new(4, Workload::new(4_000, 0.5));
-    let hb = run_hamband(&account, &coord, &run, "hamband");
-    let mu = run_hamband(&account, &smr_coord(2), &run, "mu-smr");
+    let hb = Runner::new(System::Hamband, run.clone()).run(&account, &coord).report;
+    let mu = Runner::new(System::MuSmr, run).run(&account, &coord).report;
     println!("  {hb}");
     println!("  {mu}");
     assert!(hb.converged && mu.converged);
@@ -78,7 +78,7 @@ fn main() {
     std::panic::set_hook(Box::new(|_| {})); // silence the expected panic
     let msg_attempt = std::panic::catch_unwind(|| {
         let run = RunConfig::new(4, Workload::new(400, 0.5));
-        run_msg(&account, &coord, &run)
+        Runner::new(System::Msg, run).run(&account, &coord).report
     });
     std::panic::set_hook(default_hook);
     assert!(msg_attempt.is_err());

@@ -16,7 +16,7 @@ use hamband::core::analysis::{infer, validate, AnalysisConfig};
 use hamband::core::ids::MethodId;
 use hamband::core::object::{ObjectSpec, SpecSampler, WorkloadSupport};
 use hamband::core::wire::{DecodeError, Reader, Wire, Writer};
-use hamband::runtime::harness::{run_hamband, RunConfig};
+use hamband::runtime::{RunConfig, Runner, System};
 use hamband::runtime::Workload;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -233,7 +233,7 @@ fn main() {
 
     // Run it on a 5-node cluster.
     let run = RunConfig::new(5, Workload::new(3_000, 0.4));
-    let rep = run_hamband(&inv, &coord, &run, "hamband");
+    let rep = Runner::new(System::Hamband, run).run(&inv, &coord).report;
     println!("  {rep}");
     assert!(rep.converged, "inventory cluster must converge");
 }

@@ -11,7 +11,7 @@ use hamband::core::demo::{Account, AccountQuery};
 use hamband::core::object::ObjectSpec;
 use hamband::core::rdma_sem::RdmaWrdt;
 use hamband::core::refinement::replay;
-use hamband::runtime::harness::{run_hamband, RunConfig};
+use hamband::runtime::{RunConfig, Runner, System};
 use hamband::runtime::Workload;
 
 fn main() {
@@ -55,7 +55,7 @@ fn main() {
     // 5. The full runtime on a simulated 4-node RDMA cluster: summary
     //    slots, ring buffers, reliable broadcast, Mu-style consensus.
     let run = RunConfig::new(4, Workload::new(2_000, 0.5));
-    let report = run_hamband(&account, &coord, &run, "hamband");
+    let report = Runner::new(System::Hamband, run).run(&account, &coord).report;
     println!("  cluster:  {report}");
     assert!(report.converged);
 }

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repository gate: build, tier-1 tests, lints. CI entry point — run it
+# locally before pushing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tests =="
+cargo test -q
+
+echo "== tests (workspace) =="
+cargo test -q --workspace
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "all checks passed"

@@ -7,9 +7,11 @@
 //! become one global conflicting quota at the leader), so for it we
 //! assert convergence and the exact acknowledged update count instead.
 
+use hamband::core::coord::CoordSpec;
 use hamband::core::ids::Pid;
-use hamband::runtime::harness::{smr_coord, RunConfig};
-use hamband::runtime::{HambandNode, Layout, MsgCrdtNode, RuntimeConfig, Workload};
+use hamband::runtime::{
+    HambandNode, Layout, MsgCrdtNode, RunConfig, Runner, RuntimeConfig, System, Workload,
+};
 use hamband::sim::{LatencyModel, NodeId, SimDuration, Simulator};
 use hamband::types::Counter;
 
@@ -21,7 +23,14 @@ fn workload() -> Workload {
     Workload::new(OPS, 0.5).with_seed(SEED)
 }
 
-fn run_hamband_like(coord: hamband::core::coord::CoordSpec) -> i64 {
+/// The complete conflict relation over one method (the SMR special
+/// case, built explicitly so the test does not depend on harness
+/// internals).
+fn complete_coord() -> CoordSpec {
+    CoordSpec::builder(1).conflict(0, 0).build()
+}
+
+fn run_hamband_like(coord: CoordSpec) -> i64 {
     let c = Counter::default();
     let cfg = RuntimeConfig::default();
     let mut sim: Simulator<HambandNode<Counter>> =
@@ -98,8 +107,8 @@ fn smr_converges_with_full_quota() {
     // Under the complete conflict relation the update quota is global
     // (consumed at the leader); the value differs from Hamband's
     // per-node streams but the count and convergence must not.
-    let smr = run_hamband_like(smr_coord(1));
-    let again = run_hamband_like(smr_coord(1));
+    let smr = run_hamband_like(complete_coord());
+    let again = run_hamband_like(complete_coord());
     assert_eq!(smr, again, "SMR runs are deterministic");
 }
 
@@ -107,13 +116,12 @@ fn smr_converges_with_full_quota() {
 /// update counts agree across systems for the same workload.
 #[test]
 fn harnessed_update_counts_agree() {
-    use hamband::runtime::harness::{run_hamband, run_msg};
     let c = Counter::default();
     let coord = c.coord_spec();
     let rc = RunConfig::new(N, workload());
-    let hb = run_hamband(&c, &coord, &rc, "hamband");
-    let smr = run_hamband(&c, &smr_coord(1), &rc, "mu-smr");
-    let msg = run_msg(&c, &coord, &rc);
+    let hb = Runner::new(System::Hamband, rc.clone()).run(&c, &coord).report;
+    let smr = Runner::new(System::MuSmr, rc.clone()).run(&c, &coord).report;
+    let msg = Runner::new(System::Msg, rc).run(&c, &coord).report;
     assert!(hb.converged && smr.converged && msg.converged);
     assert_eq!(hb.total_updates, smr.total_updates);
     assert_eq!(hb.total_updates, msg.total_updates);

@@ -6,8 +6,7 @@
 use hamband::core::coord::CoordSpec;
 use hamband::core::object::{ObjectSpec, WorkloadSupport};
 use hamband::core::wire::Wire;
-use hamband::runtime::harness::{run_hamband, run_msg, smr_coord, RunConfig};
-use hamband::runtime::Workload;
+use hamband::runtime::{RunConfig, Runner, System, Workload};
 use hamband::types::{
     Account, Cart, Counter, Courseware, GSet, LwwRegister, Movie, OrSet, Project,
 };
@@ -18,7 +17,7 @@ where
     O::Update: Wire,
 {
     let run = RunConfig::new(nodes, Workload::new(600, 0.4).with_seed(0xc0de));
-    let rep = run_hamband(spec, coord, &run, "hamband");
+    let rep = Runner::new(System::Hamband, run).run(spec, coord).report;
     assert!(rep.converged, "{} did not converge: {rep}", spec.name());
     assert!(rep.total_updates > 0, "{} acked no updates", spec.name());
 }
@@ -29,7 +28,9 @@ where
     O::Update: Wire,
 {
     let run = RunConfig::new(nodes, Workload::new(600, 0.4).with_seed(0xc0de));
-    let rep = run_hamband(spec, &smr_coord(spec.method_count()), &run, "mu-smr");
+    let rep = Runner::new(System::MuSmr, run)
+        .run(spec, &CoordSpec::builder(spec.method_count()).build())
+        .report;
     assert!(rep.converged, "{} SMR did not converge: {rep}", spec.name());
 }
 
@@ -39,7 +40,7 @@ where
     O::Update: Wire,
 {
     let run = RunConfig::new(nodes, Workload::new(600, 0.4).with_seed(0xc0de));
-    let rep = run_msg(spec, coord, &run);
+    let rep = Runner::new(System::Msg, run).run(spec, coord).report;
     assert!(rep.converged, "{} MSG did not converge: {rep}", spec.name());
 }
 

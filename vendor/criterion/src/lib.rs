@@ -1,0 +1,145 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! The build environment has no registry access, so the workspace
+//! vendors the benchmarking surface its benches use:
+//! `criterion_group!` / `criterion_main!`, `Criterion::bench_function`,
+//! and `Bencher::{iter, iter_batched}`. Each benchmark is timed with a
+//! plain wall-clock mean over `sample_size` batches — enough to run the
+//! suites and eyeball regressions, with none of real criterion's
+//! statistics.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// Hints about per-iteration setup cost for `iter_batched` (accepted
+/// for API compatibility; the shim batches one iteration at a time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: real criterion batches many per setup.
+    SmallInput,
+    /// Large inputs: fewer per batch.
+    LargeInput,
+    /// One input per setup call.
+    PerIteration,
+}
+
+/// Times closures handed to [`Criterion::bench_function`].
+pub struct Bencher {
+    iters: u64,
+    total_nanos: u128,
+}
+
+impl Bencher {
+    /// Time `f`, called repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f()); // warm-up, untimed
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.total_nanos += start.elapsed().as_nanos();
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is not
+    /// counted.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup())); // warm-up, untimed
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.total_nanos += start.elapsed().as_nanos();
+        }
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Set how many timed iterations each benchmark runs.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { iters: self.sample_size, total_nanos: 0 };
+        f(&mut b);
+        let per_iter = if b.iters == 0 { 0 } else { b.total_nanos / u128::from(b.iters) };
+        println!("{id:<48} time: {:>12} ns/iter  ({} iters)", per_iter, b.iters);
+        self
+    }
+}
+
+/// Declare a group of benchmark functions, optionally with a custom
+/// `Criterion` config (same two forms as real criterion).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit a `main` that runs the given groups (for `harness = false`
+/// bench targets).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut calls = 0u64;
+        Criterion::default().sample_size(3).bench_function("shim/self", |b| {
+            b.iter(|| {
+                calls += 1;
+            });
+        });
+        assert_eq!(calls, 4); // 1 warm-up + 3 timed
+
+        let mut routines = 0u64;
+        Criterion::default().sample_size(2).bench_function("shim/batched", |b| {
+            b.iter_batched(|| 7u64, |x| {
+                routines += x / 7;
+            }, BatchSize::SmallInput);
+        });
+        assert_eq!(routines, 3);
+    }
+}

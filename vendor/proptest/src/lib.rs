@@ -1,0 +1,443 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build environment has no registry access, so the workspace
+//! vendors the property-testing surface its tests actually use:
+//! `proptest!`, range/tuple/vec strategies, `prop_map`, `prop_oneof!`,
+//! and the `prop_assert*` / `prop_assume!` macros. Cases are generated
+//! deterministically from a fixed base seed; there is no shrinking — a
+//! failure reports the case seed so it can be replayed by rerunning
+//! the test (the stream is stable across runs).
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// How a generated test case ended, other than passing.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed; the message explains what.
+    Fail(String),
+    /// The case was rejected by `prop_assume!` and is not counted.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Build a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of passing cases required.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config that runs `cases` passing cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of values for property tests.
+///
+/// Unlike real proptest there is no value tree / shrinking: a strategy
+/// simply samples a value from the deterministic case RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+    fn sample(&self, rng: &mut StdRng) -> V {
+        (**self).sample(rng)
+    }
+}
+
+/// Box a strategy for storage in a [`Union`] (used by `prop_oneof!`).
+pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draw an arbitrary value of this type.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rng.gen_range(<$t>::MIN..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy for any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Uniform choice between strategies with a common value type (the
+/// result of `prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// Build from the (non-empty) list of arms.
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Union<V> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut StdRng) -> V {
+        let idx = rng.gen_range(0..self.arms.len());
+        self.arms[idx].sample(rng)
+    }
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($($s:ident => $v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($v,)+) = self;
+                ($($v.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A => a);
+tuple_strategy!(A => a, B => b);
+tuple_strategy!(A => a, B => b, C => c);
+tuple_strategy!(A => a, B => b, C => c, D => d);
+tuple_strategy!(A => a, B => b, C => c, D => d, E => e);
+tuple_strategy!(A => a, B => b, C => c, D => d, E => e, F => f);
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{StdRng, Strategy};
+
+    /// Lengths `vec` accepts: a fixed size or a half-open/inclusive
+    /// range of sizes.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        /// Exclusive.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { min: r.start, max: r.end }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            assert!(r.start() <= r.end(), "empty vec size range");
+            SizeRange { min: *r.start(), max: *r.end() + 1 }
+        }
+    }
+
+    /// A strategy for `Vec`s of values from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generate `Vec`s whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rand::Rng::gen_range(rng, self.size.min..self.size.max);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Drive one property: sample inputs per case until `config.cases`
+/// cases pass, panicking on the first failure. Used by `proptest!`.
+pub fn run_proptest<F>(config: ProptestConfig, test_name: &str, mut f: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    // A fixed base seed keeps runs reproducible; the per-case seed is
+    // reported on failure so a failing case can be replayed.
+    let base: u64 = 0x48_41_4d_42_41_4e_44_00;
+    let mut passed: u32 = 0;
+    let mut rejected: u64 = 0;
+    let mut case: u64 = 0;
+    while passed < config.cases {
+        let seed = base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        case += 1;
+        let mut rng = StdRng::seed_from_u64(seed);
+        match f(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected < 1_024 + 16 * u64::from(config.cases),
+                    "{test_name}: too many prop_assume! rejections ({rejected})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{test_name}: case {} (seed {seed:#x}) failed: {msg}", case - 1)
+            }
+        }
+    }
+}
+
+/// Declare property tests. Supports the subset of real proptest syntax
+/// this workspace uses: an optional `#![proptest_config(...)]` header
+/// and `fn name(arg in strategy, ...) { body }` items (each already
+/// carrying its own `#[test]` attribute).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = $cfg:expr; $($(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_proptest($cfg, stringify!($name), |__rng| {
+                    $(let $arg = $crate::Strategy::sample(&($strat), __rng);)*
+                    (move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })()
+                });
+            }
+        )*
+    };
+}
+
+/// `assert!` that fails the current case instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `assert_eq!` that fails the current case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), __l, __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+), __l, __r
+            )));
+        }
+    }};
+}
+
+/// Discard the current case (it is regenerated, not counted).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::boxed($strat)),+])
+    };
+}
+
+/// The glob-import surface (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+    pub use crate::{any, Arbitrary, Just, ProptestConfig, Strategy, TestCaseError};
+
+    /// The `prop::` path used for `prop::collection::vec`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (usize, u64)> {
+        (0..4usize, 1..100u64)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples(p in arb_pair(), v in prop::collection::vec(0..10u8, 1..5)) {
+            prop_assert!(p.0 < 4);
+            prop_assert!((1..100).contains(&p.1));
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn oneof_and_map_cover_all_arms(x in prop_oneof![
+            (0..10u64).prop_map(|v| v),
+            (100..110u64).prop_map(|v| v),
+        ]) {
+            prop_assert!(x < 10 || (100..110).contains(&x), "arm escaped: {}", x);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0..100u64) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "case")]
+    fn failures_panic_with_seed() {
+        crate::run_proptest(ProptestConfig::with_cases(4), "demo", |_rng| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+}
