@@ -1,0 +1,154 @@
+//! Chaos campaigns on the command line: run N seeded randomized fault
+//! schedules against a mix of objects (Counter, buffered GSet, Bank),
+//! check convergence + integrity + trace invariants, and shrink any
+//! failing schedule to a minimal paste-able repro.
+//!
+//! ```text
+//! chaos [--seeds N] [--start S] [--nodes N] [--ops N] [--max-faults N]
+//!       [--seed S] [--canary]
+//! ```
+//!
+//! * `--seeds N`     number of campaign cases (default 100)
+//! * `--start S`     first seed (default 0)
+//! * `--seed S`      run exactly one seed (overrides --seeds/--start)
+//! * `--nodes N`     cluster size (default 4)
+//! * `--ops N`       calls per case (default 300)
+//! * `--max-faults N` schedule length cap (default 6)
+//! * `--canary`      arm the deliberate checker bug: any schedule that
+//!   silences a node is flagged, and the campaign must both catch it
+//!   and shrink it to a repro of at most 3 entries. Exit code 0 then
+//!   means the detection+shrinking machinery works end to end.
+//!   Also armed by `HAMBAND_CHAOS_CANARY=1`.
+//!
+//! Exit code: 0 iff the campaign is clean (or, with the canary armed,
+//! iff the canary was caught and every repro shrank to <= 3 entries).
+
+use hamband_core::coord::CoordSpec;
+use hamband_core::object::WorkloadSupport;
+use hamband_core::wire::Wire;
+use hamband_runtime::chaos::{run_seed, shrink_case, ChaosOptions};
+use hamband_types::{Bank, Counter, GSet};
+
+/// What one case contributed to the campaign tally.
+struct CaseResult {
+    failed: bool,
+    /// Length of the shrunk repro, when the case failed.
+    shrunk_len: Option<usize>,
+}
+
+fn run_one<O>(name: &str, spec: &O, coord: &CoordSpec, seed: u64, opts: &ChaosOptions) -> CaseResult
+where
+    O: WorkloadSupport + Clone,
+    O::Update: Wire,
+{
+    let case = run_seed(spec, coord, seed, opts);
+    if case.passed() {
+        return CaseResult { failed: false, shrunk_len: None };
+    }
+    println!("seed {seed} ({name}): {} violation(s)", case.violations.len());
+    for v in &case.violations {
+        println!("  {v}");
+    }
+    let minimal = shrink_case(spec, coord, seed, &case.plan, opts);
+    println!(
+        "  shrunk {} -> {} entries; minimal repro (replay with --seed {seed}):",
+        case.plan.len(),
+        minimal.len()
+    );
+    for line in minimal.to_literal().lines() {
+        println!("    {line}");
+    }
+    CaseResult { failed: true, shrunk_len: Some(minimal.len()) }
+}
+
+/// One seed against the seed-selected object: campaigns interleave a
+/// reducible type (Counter), an irreducible conflict-free one
+/// (buffered GSet), and a conflicting one (Bank) so all three issue
+/// paths face the fault schedules.
+fn dispatch(seed: u64, opts: &ChaosOptions) -> CaseResult {
+    match seed % 3 {
+        0 => {
+            let c = Counter::default();
+            run_one("counter", &c, &c.coord_spec(), seed, opts)
+        }
+        1 => {
+            let g = GSet::default();
+            run_one("gset-buffered", &g, &g.coord_spec_buffered(), seed, opts)
+        }
+        _ => {
+            let b = Bank::default();
+            run_one("bank", &b, &b.coord_spec(), seed, opts)
+        }
+    }
+}
+
+fn parse_flag(args: &[String], flag: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().unwrap_or_else(|_| panic!("{flag} wants a number, got {v:?}")))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = ChaosOptions::default();
+    if let Some(n) = parse_flag(&args, "--nodes") {
+        opts.nodes = n as usize;
+    }
+    if let Some(n) = parse_flag(&args, "--ops") {
+        opts.ops = n;
+    }
+    if let Some(n) = parse_flag(&args, "--max-faults") {
+        opts.max_faults = n as usize;
+    }
+    opts.canary = args.iter().any(|a| a == "--canary")
+        || std::env::var("HAMBAND_CHAOS_CANARY").map(|v| v == "1").unwrap_or(false);
+
+    let (start, count) = match parse_flag(&args, "--seed") {
+        Some(s) => (s, 1),
+        None => (parse_flag(&args, "--start").unwrap_or(0), parse_flag(&args, "--seeds").unwrap_or(100)),
+    };
+
+    println!(
+        "chaos campaign: seeds {start}..{} | {} nodes, {} ops, <= {} faults{}",
+        start + count,
+        opts.nodes,
+        opts.ops,
+        opts.max_faults,
+        if opts.canary { " | CANARY ARMED" } else { "" }
+    );
+
+    let wall = std::time::Instant::now();
+    let mut failures = 0u64;
+    let mut worst_repro = 0usize;
+    for seed in start..start + count {
+        let r = dispatch(seed, &opts);
+        if r.failed {
+            failures += 1;
+            worst_repro = worst_repro.max(r.shrunk_len.unwrap_or(0));
+        }
+    }
+    let secs = wall.elapsed().as_secs_f64();
+
+    if opts.canary {
+        // Self-test mode: success means the planted bug was caught at
+        // least once and every repro shrank to a tiny schedule.
+        let caught = failures > 0;
+        let tiny = worst_repro <= 3;
+        println!(
+            "canary: {failures} case(s) caught, worst repro {worst_repro} entries \
+             ({count} seeds in {secs:.1}s)"
+        );
+        if caught && tiny {
+            println!("canary self-test PASSED (caught and shrunk)");
+        } else {
+            println!("canary self-test FAILED (caught={caught}, shrunk<=3={tiny})");
+            std::process::exit(1);
+        }
+    } else if failures == 0 {
+        println!("campaign clean: {count} seeds, 0 violations ({secs:.1}s)");
+    } else {
+        println!("campaign FAILED: {failures} of {count} seeds had violations ({secs:.1}s)");
+        std::process::exit(1);
+    }
+}

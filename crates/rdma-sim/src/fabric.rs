@@ -48,6 +48,14 @@ pub(crate) struct NodeFabric {
     pub(crate) crashed: bool,
     /// Writes landing at this node are torn in two (fault mode).
     pub(crate) torn_writes: bool,
+    /// Latency multiplier applied to traffic touching this node while
+    /// a delay spike is active (fault mode; 1 = no spike).
+    pub(crate) delay_factor: u32,
+    /// The delay spike is active for posts strictly before this time.
+    pub(crate) delay_until: SimTime,
+    /// One-shot fault mode: the next completion event delivered to
+    /// this node is delivered twice.
+    pub(crate) duplicate_next_completion: bool,
     pub(crate) next_wr: u64,
     pub(crate) next_timer: u64,
     pub(crate) cancelled: HashSet<TimerId>,
@@ -97,6 +105,22 @@ pub(crate) enum Action {
     InjectFault(Fault),
 }
 
+impl Action {
+    /// The (issuer, target) pair for actions that cross the network —
+    /// the partition check applies to these.
+    pub(crate) fn endpoints(&self) -> Option<(NodeId, NodeId)> {
+        match self {
+            Action::Land { issuer, target, .. }
+            | Action::ReadAt { issuer, target, .. }
+            | Action::CasAt { issuer, target, .. } => Some((*issuer, *target)),
+            Action::Deliver { node, event: Event::Message { from, .. } } => {
+                Some((*from, *node))
+            }
+            _ => None,
+        }
+    }
+}
+
 #[derive(Debug)]
 pub(crate) struct QueueEntry {
     pub(crate) time: SimTime,
@@ -136,6 +160,13 @@ pub struct Fabric {
     pub(crate) chan_free: Vec<Vec<SimTime>>,
     /// FIFO delivery clock per (issuer, target) pair of messages.
     pub(crate) msg_chan_free: Vec<Vec<SimTime>>,
+    /// Active partition sides (both empty when no partition is active).
+    /// Traffic between a side-A and a side-B node is parked.
+    pub(crate) part_a: Vec<bool>,
+    pub(crate) part_b: Vec<bool>,
+    /// Actions held back by the active partition, with their original
+    /// sequence numbers; released in order by [`Fault::Heal`].
+    pub(crate) parked: Vec<(u64, Action)>,
 }
 
 impl Fabric {
@@ -152,6 +183,9 @@ impl Fabric {
                     nic_free: SimTime::ZERO,
                     crashed: false,
                     torn_writes: false,
+                    delay_factor: 1,
+                    delay_until: SimTime::ZERO,
+                    duplicate_next_completion: false,
                     next_wr: 0,
                     next_timer: 0,
                     cancelled: HashSet::new(),
@@ -164,6 +198,9 @@ impl Fabric {
             trace: TraceHandle::default(),
             chan_free: vec![vec![SimTime::ZERO; n]; n],
             msg_chan_free: vec![vec![SimTime::ZERO; n]; n],
+            part_a: vec![false; n],
+            part_b: vec![false; n],
+            parked: Vec::new(),
         }
     }
 
@@ -248,6 +285,36 @@ impl Fabric {
         let t = (*slot).max(earliest);
         *slot = t;
         t
+    }
+
+    /// Whether the active partition separates `a` from `b`.
+    pub(crate) fn partition_blocks(&self, a: NodeId, b: NodeId) -> bool {
+        (self.part_a[a.index()] && self.part_b[b.index()])
+            || (self.part_a[b.index()] && self.part_b[a.index()])
+    }
+
+    /// Scale a fabric latency by the strongest delay spike active at
+    /// either endpoint (no spike → unchanged).
+    pub(crate) fn spiked(
+        &self,
+        issuer: NodeId,
+        target: NodeId,
+        base: SimDuration,
+    ) -> SimDuration {
+        let active = |n: &NodeFabric| {
+            if self.now < n.delay_until {
+                n.delay_factor.max(1)
+            } else {
+                1
+            }
+        };
+        let factor = active(&self.nodes[issuer.index()])
+            .max(active(&self.nodes[target.index()]));
+        if factor <= 1 {
+            base
+        } else {
+            SimDuration::nanos(base.as_nanos() * factor as u64)
+        }
     }
 
     pub(crate) fn check_access(
@@ -352,6 +419,7 @@ impl Ctx<'_> {
         self.fabric.charge_cpu(self.node, post_cost);
         let tx = self.fabric.reserve_nic(self.node);
         let lat = self.fabric.latency.write_latency(data.len(), &mut self.fabric.rng);
+        let lat = self.fabric.spiked(self.node, target, lat);
         let land = self.fabric.fifo_land(self.node, target, tx + lat);
         self.fabric.stats.writes += 1;
         self.fabric.stats.one_sided_bytes += data.len() as u64;
@@ -393,6 +461,7 @@ impl Ctx<'_> {
         self.fabric.charge_cpu(self.node, post_cost);
         let tx = self.fabric.reserve_nic(self.node);
         let rtt = self.fabric.latency.read_latency(len, &mut self.fabric.rng);
+        let rtt = self.fabric.spiked(self.node, target, rtt);
         let half = SimDuration::nanos(rtt.as_nanos() / 2);
         self.fabric.stats.reads += 1;
         self.fabric.stats.one_sided_bytes += len as u64;
@@ -436,6 +505,7 @@ impl Ctx<'_> {
         self.fabric.charge_cpu(self.node, post_cost);
         let tx = self.fabric.reserve_nic(self.node);
         let rtt = self.fabric.latency.cas_latency(&mut self.fabric.rng);
+        let rtt = self.fabric.spiked(self.node, target, rtt);
         let half = SimDuration::nanos(rtt.as_nanos() / 2);
         self.fabric.stats.cas += 1;
         self.fabric.stats.per_node_ops[self.node.index()] += 1;
@@ -471,6 +541,7 @@ impl Ctx<'_> {
         self.fabric.charge_cpu(self.node, post_cost);
         let tx = self.fabric.reserve_nic(self.node);
         let lat = self.fabric.latency.msg_latency(payload.len(), &mut self.fabric.rng);
+        let lat = self.fabric.spiked(self.node, target, lat);
         let deliver = self.fabric.fifo_msg(self.node, target, tx + lat);
         self.fabric.stats.messages += 1;
         self.fabric.stats.message_bytes += payload.len() as u64;
@@ -579,6 +650,33 @@ mod tests {
         let b = f.fifo_land(NodeId(0), NodeId(1), SimTime(50));
         assert_eq!(a, SimTime(100));
         assert_eq!(b, SimTime(100), "later post cannot land earlier");
+    }
+
+    #[test]
+    fn delay_spike_scales_latency_within_window() {
+        let mut f = Fabric::new(2, LatencyModel::deterministic(), 0);
+        f.nodes[1].delay_factor = 4;
+        f.nodes[1].delay_until = SimTime(1_000);
+        let base = SimDuration::nanos(100);
+        // Either endpoint being spiked scales the latency.
+        assert_eq!(f.spiked(NodeId(0), NodeId(1), base), SimDuration::nanos(400));
+        assert_eq!(f.spiked(NodeId(1), NodeId(0), base), SimDuration::nanos(400));
+        assert_eq!(f.spiked(NodeId(0), NodeId(0), base), base);
+        // Expired spike no longer applies.
+        f.now = SimTime(1_000);
+        assert_eq!(f.spiked(NodeId(0), NodeId(1), base), base);
+    }
+
+    #[test]
+    fn partition_blocks_cross_side_only() {
+        let mut f = Fabric::new(3, LatencyModel::deterministic(), 0);
+        f.part_a[0] = true;
+        f.part_b[1] = true;
+        f.part_b[2] = true;
+        assert!(f.partition_blocks(NodeId(0), NodeId(1)));
+        assert!(f.partition_blocks(NodeId(2), NodeId(0)));
+        assert!(!f.partition_blocks(NodeId(1), NodeId(2)));
+        assert!(!f.partition_blocks(NodeId(0), NodeId(0)));
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod trace;
 pub mod verbs;
 
 pub use fabric::{Ctx, Fabric};
-pub use fault::{Fault, FaultPlan};
+pub use fault::{Fault, FaultGenConfig, FaultPlan};
 pub use latency::LatencyModel;
 pub use sim::{App, Simulator};
 pub use stats::Stats;

@@ -185,6 +185,22 @@ pub enum TraceEvent {
         /// The peer whose heartbeat stalled.
         suspect: NodeId,
     },
+    /// The pull failure detector observed counter progress on a peer
+    /// it had suspected, and cleared the suspicion.
+    FdRecover {
+        /// The observing node.
+        node: NodeId,
+        /// The peer whose heartbeat resumed.
+        peer: NodeId,
+    },
+    /// A node resumed its heartbeat but stays excluded from the
+    /// workload: the suspension already halted its driver, and quota
+    /// adoption or leader takeover by peers is not rolled back
+    /// (crash-stop at the protocol level).
+    ResumedButExcluded {
+        /// The resumed node.
+        node: NodeId,
+    },
 }
 
 /// A trace event stamped with the virtual time it was recorded at.

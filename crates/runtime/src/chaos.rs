@@ -1,0 +1,366 @@
+//! Deterministic chaos campaigns: randomized fault schedules, invariant
+//! checks, and shrinking of failing schedules to minimal repros.
+//!
+//! A *campaign* runs many seeded cases. Each case derives a randomized
+//! [`FaultPlan`] from its seed ([`FaultPlan::generate`]), runs the full
+//! Hamband (or MSG) cluster under that plan through [`Runner`], and
+//! checks three families of properties:
+//!
+//! * **convergence** — the run's own convergence verdict (all alive
+//!   nodes finished the workload and agree on the final state);
+//! * **integrity** — every node's final state satisfies the object's
+//!   invariant `I` (Lemma 1 of the paper; checked for crashed nodes
+//!   too, since integrity must hold at every step, including the
+//!   moment a node stopped);
+//! * **trace invariants** — structured-trace properties, currently:
+//!   every acknowledged conflicting call is covered by an earlier
+//!   `CommitAdvance` on the acking node (acks never outrun commit).
+//!
+//! Everything is deterministic: the same `(object, seed, options)`
+//! triple replays the same schedule, the same fabric timings, and the
+//! same verdict. When a case fails, [`shrink_case`] re-runs the case
+//! under subsets of the schedule (ddmin-style: chunked removal, then
+//! single entries) until no entry can be dropped, and the resulting
+//! minimal plan is printable as a paste-able literal
+//! ([`FaultPlan::to_literal`]) for a regression test.
+//!
+//! The `chaos` binary in `hamband-bench` fronts this module on the
+//! command line; `--canary` (or `HAMBAND_CHAOS_CANARY=1`) plants a
+//! deliberate checker bug to prove end-to-end that the campaign both
+//! *catches* a violation and *shrinks* it to a tiny repro.
+
+use hamband_core::coord::CoordSpec;
+use hamband_core::object::WorkloadSupport;
+use hamband_core::wire::Wire;
+use rdma_sim::{Fault, FaultGenConfig, FaultPlan, NodeId, Phase, SimTime, TraceEvent};
+
+use crate::driver::Workload;
+use crate::harness::{RunConfig, Runner, System, TraceMode};
+
+/// Knobs of one chaos campaign (shared by every case in it).
+#[derive(Debug, Clone)]
+pub struct ChaosOptions {
+    /// Cluster size.
+    pub nodes: usize,
+    /// Calls per case (all nodes together).
+    pub ops: u64,
+    /// Fraction of calls that are updates.
+    pub update_ratio: f64,
+    /// Upper bound on faults per generated schedule.
+    pub max_faults: usize,
+    /// Faults are scheduled within `[horizon/8, horizon]` virtual time.
+    pub horizon: SimTime,
+    /// Hard cap on virtual time per case.
+    pub max_time: SimTime,
+    /// Which system to run the cases against.
+    pub system: System,
+    /// Plant the deliberate checker bug (shrinker self-test): any
+    /// schedule containing a `Crash` or `SuspendHeartbeat` is flagged
+    /// as a violation, which a correct campaign must catch and shrink
+    /// to a single-entry repro.
+    pub canary: bool,
+}
+
+impl Default for ChaosOptions {
+    fn default() -> Self {
+        ChaosOptions {
+            nodes: 4,
+            ops: 300,
+            update_ratio: 0.5,
+            max_faults: 6,
+            horizon: SimTime(120_000),
+            max_time: SimTime(20_000_000),
+            system: System::Hamband,
+            canary: false,
+        }
+    }
+}
+
+/// One property failure observed in a case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which check failed ("convergence", "integrity", "trace-commit",
+    /// "canary").
+    pub check: &'static str,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.check, self.detail)
+    }
+}
+
+/// The verdict of one seeded case.
+#[derive(Debug, Clone)]
+pub struct CaseReport {
+    /// The seed the schedule was generated from.
+    pub seed: u64,
+    /// The generated fault schedule.
+    pub plan: FaultPlan,
+    /// Failures (empty = the case passed).
+    pub violations: Vec<Violation>,
+}
+
+impl CaseReport {
+    /// Whether the case passed every check.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Run one case: the given object under the given fault plan, with the
+/// workload and fabric seeded from `seed`. Returns every check failure.
+pub fn run_case<O>(
+    spec: &O,
+    coord: &CoordSpec,
+    seed: u64,
+    plan: &FaultPlan,
+    opts: &ChaosOptions,
+) -> Vec<Violation>
+where
+    O: WorkloadSupport + Clone,
+    O::Update: Wire,
+{
+    let workload = Workload::new(opts.ops, opts.update_ratio).with_seed(seed);
+    let config = RunConfig::new(opts.nodes, workload)
+        .with_seed(seed)
+        .with_faults(plan.clone())
+        .with_trace(TraceMode::Collect)
+        .with_max_time(opts.max_time);
+    let (outcome, states) = Runner::new(opts.system, config).run_with_states(spec, coord);
+
+    let mut violations = Vec::new();
+
+    if !outcome.report.converged {
+        violations.push(Violation {
+            check: "convergence",
+            detail: format!(
+                "run did not converge (completed_at={}, {} of {} nodes alive)",
+                outcome.report.completed_at,
+                states.iter().filter(|s| s.alive).count(),
+                opts.nodes,
+            ),
+        });
+    }
+
+    // Integrity (Lemma 1): the invariant holds in every node's final
+    // state — crashed nodes included, at the moment they stopped.
+    for (i, st) in states.iter().enumerate() {
+        if !spec.invariant(&st.state) {
+            violations.push(Violation {
+                check: "integrity",
+                detail: format!(
+                    "node {i} ({}) final state violates the invariant: {:?}",
+                    if st.alive { "alive" } else { "stopped" },
+                    st.state,
+                ),
+            });
+        }
+    }
+
+    // Trace invariant: a conflicting ack on a node is covered by an
+    // earlier CommitAdvance on that node (same group, commit >= seq).
+    for (i, rec) in outcome.events.iter().enumerate() {
+        let TraceEvent::Ack { node, phase: Phase::Conf, group: Some(g), seq: Some(s), .. } =
+            rec.event
+        else {
+            continue;
+        };
+        let committed = outcome.events[..i].iter().any(|earlier| {
+            matches!(
+                earlier.event,
+                TraceEvent::CommitAdvance { node: n, group, commit }
+                    if n == node && group == g && commit >= s
+            )
+        });
+        if !committed {
+            violations.push(Violation {
+                check: "trace-commit",
+                detail: format!(
+                    "conf ack of seq {s} in group {g} on node {node:?} \
+                     has no earlier CommitAdvance covering it"
+                ),
+            });
+        }
+    }
+
+    // The planted checker bug: with the canary armed, flag any
+    // schedule that silences a node. A correct campaign must catch
+    // this and shrink the schedule to a single Crash/Suspend entry —
+    // an honest end-to-end test of detection *and* shrinking.
+    if opts.canary {
+        let silencing = plan
+            .entries()
+            .iter()
+            .any(|(_, f)| matches!(f, Fault::Crash(_) | Fault::SuspendHeartbeat(_)));
+        if silencing {
+            violations.push(Violation {
+                check: "canary",
+                detail: "canary armed: schedule silences a node".to_string(),
+            });
+        }
+    }
+
+    violations
+}
+
+/// Generate the schedule for `seed` (biased toward the object's group
+/// leaders) and run the case.
+pub fn run_seed<O>(spec: &O, coord: &CoordSpec, seed: u64, opts: &ChaosOptions) -> CaseReport
+where
+    O: WorkloadSupport + Clone,
+    O::Update: Wire,
+{
+    let leaders: Vec<NodeId> =
+        coord.default_leaders(opts.nodes).into_iter().map(|p| NodeId(p.index())).collect();
+    let gen = FaultGenConfig::for_cluster(opts.nodes, opts.horizon)
+        .with_leaders(leaders)
+        .with_max_faults(opts.max_faults);
+    let plan = FaultPlan::generate(seed, &gen);
+    let violations = run_case(spec, coord, seed, &plan, opts);
+    CaseReport { seed, plan, violations }
+}
+
+/// Whether every `Partition` in the plan is healed by a later `Heal`.
+///
+/// The shrinker must not strip a `Heal` while keeping its `Partition`:
+/// an eternally partitioned cluster fails convergence by construction,
+/// and "minimizing" into that artifact would mask the original bug.
+pub fn plan_well_formed(plan: &FaultPlan) -> bool {
+    let mut open = 0usize;
+    for (_, f) in plan.entries() {
+        match f {
+            Fault::Partition(_, _) => open += 1,
+            Fault::Heal => {
+                if open == 0 {
+                    return false;
+                }
+                open -= 1;
+            }
+            _ => {}
+        }
+    }
+    open == 0
+}
+
+/// Shrink a failing schedule to a locally minimal one: ddmin-style
+/// chunked removal (halving chunk sizes), finishing with single-entry
+/// removal, keeping any candidate for which `still_fails` holds.
+/// Candidates with an unhealed partition are never proposed (see
+/// [`plan_well_formed`]).
+///
+/// `still_fails` must be deterministic; it is called O(n²) times in the
+/// worst case for an n-entry schedule.
+pub fn shrink(plan: &FaultPlan, mut still_fails: impl FnMut(&FaultPlan) -> bool) -> FaultPlan {
+    let mut entries = plan.entries();
+    let mut chunk = entries.len().div_ceil(2).max(1);
+    loop {
+        let mut removed_any = false;
+        let mut i = 0;
+        while i < entries.len() {
+            let end = (i + chunk).min(entries.len());
+            let mut candidate = entries.clone();
+            candidate.drain(i..end);
+            let cand = FaultPlan::from_entries(candidate.clone());
+            if plan_well_formed(&cand) && still_fails(&cand) {
+                entries = candidate;
+                removed_any = true;
+                // Do not advance: position i now holds fresh entries.
+            } else {
+                i = end;
+            }
+        }
+        if chunk == 1 {
+            if !removed_any {
+                break;
+            }
+        } else {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+    FaultPlan::from_entries(entries)
+}
+
+/// Shrink a failing case's schedule by re-running the case under
+/// candidate sub-schedules (same seed, same options) and keeping those
+/// that still fail *any* check.
+pub fn shrink_case<O>(
+    spec: &O,
+    coord: &CoordSpec,
+    seed: u64,
+    plan: &FaultPlan,
+    opts: &ChaosOptions,
+) -> FaultPlan
+where
+    O: WorkloadSupport + Clone,
+    O::Update: Wire,
+{
+    shrink(plan, |candidate| !run_case(spec, coord, seed, candidate, opts).is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdma_sim::SimDuration;
+
+    fn plan_of(faults: &[(u64, Fault)]) -> FaultPlan {
+        FaultPlan::from_entries(
+            faults.iter().map(|(t, f)| (SimTime(*t), f.clone())).collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn well_formedness_requires_paired_heals() {
+        assert!(plan_well_formed(&FaultPlan::new()));
+        assert!(plan_well_formed(&plan_of(&[
+            (10, Fault::Partition(vec![NodeId(0)], vec![NodeId(1)])),
+            (20, Fault::Heal),
+        ])));
+        assert!(!plan_well_formed(&plan_of(&[(
+            10,
+            Fault::Partition(vec![NodeId(0)], vec![NodeId(1)])
+        )])));
+        assert!(!plan_well_formed(&plan_of(&[(10, Fault::Heal)])));
+    }
+
+    #[test]
+    fn shrink_finds_the_single_culprit() {
+        let plan = plan_of(&[
+            (10, Fault::TornWrites(NodeId(1))),
+            (20, Fault::Crash(NodeId(2))),
+            (30, Fault::DuplicateCompletion(NodeId(0))),
+            (40, Fault::DelaySpike(NodeId(3), 4, SimDuration::micros(10))),
+            (50, Fault::TornWrites(NodeId(0))),
+        ]);
+        // "Fails" iff the schedule still crashes node 2.
+        let shrunk =
+            shrink(&plan, |p| p.entries().iter().any(|(_, f)| *f == Fault::Crash(NodeId(2))));
+        assert_eq!(shrunk.len(), 1);
+        assert_eq!(shrunk.entries()[0], (SimTime(20), Fault::Crash(NodeId(2))));
+    }
+
+    #[test]
+    fn shrink_keeps_partitions_healed() {
+        let plan = plan_of(&[
+            (10, Fault::Partition(vec![NodeId(0)], vec![NodeId(1), NodeId(2)])),
+            (20, Fault::TornWrites(NodeId(1))),
+            (30, Fault::Heal),
+        ]);
+        // "Fails" iff a partition is present — the minimal failing
+        // well-formed schedule must keep the heal.
+        let shrunk = shrink(&plan, |p| {
+            p.entries().iter().any(|(_, f)| matches!(f, Fault::Partition(_, _)))
+        });
+        assert_eq!(shrunk.len(), 2);
+        assert!(plan_well_formed(&shrunk));
+    }
+
+    #[test]
+    fn shrink_of_fault_independent_failure_is_empty() {
+        let plan = plan_of(&[(10, Fault::Crash(NodeId(1))), (20, Fault::TornWrites(NodeId(0)))]);
+        let shrunk = shrink(&plan, |_| true);
+        assert!(shrunk.is_empty(), "a failure independent of faults shrinks to no faults");
+    }
+}

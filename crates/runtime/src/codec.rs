@@ -94,6 +94,14 @@ impl<U: Wire> Entry<U> {
     /// `RuntimeConfig::payload_cap`).
     pub fn to_slot(&self, seq: u64, slot_size: usize) -> Vec<u8> {
         let payload = self.encode_payload();
+        // The length field is a u16: a longer payload would silently
+        // truncate its recorded length and corrupt the decoded entry
+        // even when the slot itself is large enough.
+        assert!(
+            payload.len() <= u16::MAX as usize,
+            "entry payload of {} bytes overflows the u16 length field",
+            payload.len()
+        );
         assert!(
             payload.len() <= slot_size - 11,
             "payload of {} bytes exceeds slot capacity {}",
@@ -150,6 +158,16 @@ impl<U: Wire> SummarySlot<U> {
             None => Vec::new(),
         };
         let head = 8 + 8 * g + 2;
+        // The summary slot capacity scales with the workload
+        // (`RuntimeConfig::summary_payload_cap`), so unlike ring
+        // entries it can legitimately exceed 64 KiB — the u16 length
+        // field is the binding limit and must be checked explicitly or
+        // `payload.len() as u16` truncates silently.
+        assert!(
+            payload.len() <= u16::MAX as usize,
+            "summary payload of {} bytes overflows the u16 length field",
+            payload.len()
+        );
         assert!(
             head + payload.len() + 8 <= slot_size,
             "summary payload of {} bytes exceeds slot capacity {}",
@@ -192,6 +210,69 @@ impl<U: Wire> SummarySlot<U> {
         };
         Some(SummarySlot { version, counts, summary })
     }
+}
+
+/// Marker in backup slots: a conflict-free ring entry.
+pub const BACKUP_FREE: u8 = 1;
+/// Marker in backup slots: a summary slot.
+pub const BACKUP_SUMMARY: u8 = 2;
+
+/// Compose a backup-slot image of `slot_size` bytes:
+///
+/// ```text
+/// [0]       kind (BACKUP_FREE / BACKUP_SUMMARY; 0 = cleared)
+/// [1]       group (sync group for summaries, 0xff for free entries)
+/// [2..10)   seq (ring seq for free entries, version for summaries)
+/// [10..12)  inner length (u16 LE)
+/// [12..)    inner slot image
+/// ```
+///
+/// # Panics
+///
+/// Panics if the inner image exceeds the u16 length field or the slot.
+pub fn compose_backup_slot(
+    kind: u8,
+    group: u8,
+    seq: u64,
+    inner: &[u8],
+    slot_size: usize,
+) -> Vec<u8> {
+    assert!(
+        inner.len() <= u16::MAX as usize,
+        "backup inner image of {} bytes overflows the u16 length field",
+        inner.len()
+    );
+    assert!(
+        12 + inner.len() <= slot_size,
+        "backup inner image of {} bytes exceeds slot capacity {}",
+        inner.len(),
+        slot_size - 12
+    );
+    let mut buf = vec![0u8; slot_size];
+    buf[0] = kind;
+    buf[1] = group;
+    buf[2..10].copy_from_slice(&seq.to_le_bytes());
+    buf[10..12].copy_from_slice(&(inner.len() as u16).to_le_bytes());
+    buf[12..12 + inner.len()].copy_from_slice(inner);
+    buf
+}
+
+/// Parse a backup-slot image composed by [`compose_backup_slot`].
+/// Returns `(kind, group, seq, inner)` or `None` for a cleared slot,
+/// an unknown kind, or a length past the slot end.
+pub fn parse_backup_slot(slot: &[u8]) -> Option<(u8, u8, u64, &[u8])> {
+    if slot.len() < 12 {
+        return None;
+    }
+    let kind = slot[0];
+    if kind != BACKUP_FREE && kind != BACKUP_SUMMARY {
+        return None;
+    }
+    let group = slot[1];
+    let seq = u64::from_le_bytes(slot[2..10].try_into().ok()?);
+    let len = u16::from_le_bytes(slot[10..12].try_into().ok()?) as usize;
+    let inner = slot.get(12..12 + len)?;
+    Some((kind, group, seq, inner))
 }
 
 #[cfg(test)]
@@ -300,5 +381,94 @@ mod tests {
             deps: DepMap::empty(),
         };
         let _ = e.to_slot(1, 12);
+    }
+
+    /// Test-only update whose encoding is an arbitrary-length blob, to
+    /// drive payloads past the u16 length field.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Blob(Vec<u8>);
+
+    impl Wire for Blob {
+        fn encode(&self, w: &mut Writer) {
+            w.lp_bytes(&self.0);
+        }
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            Ok(Blob(r.lp_bytes()?.to_vec()))
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows the u16 length field")]
+    fn entry_payload_past_u16_panics_instead_of_truncating() {
+        // Regression: with a slot large enough to hold it, a >64 KiB
+        // payload used to have its length silently truncated by
+        // `as u16`, producing a decodable-but-corrupt entry.
+        let e = Entry {
+            rid: Rid::new(Pid(0), 1),
+            update: Blob(vec![0x5a; (u16::MAX as usize) + 10]),
+            deps: DepMap::empty(),
+        };
+        let _ = e.to_slot(1, 2 * 1024 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows the u16 length field")]
+    fn summary_payload_past_u16_panics_instead_of_truncating() {
+        // Regression: the summary payload cap scales with the workload
+        // (`total_ops * 16`) and can legitimately exceed u16::MAX, at
+        // which point `as u16` used to truncate the recorded length.
+        let s = SummarySlot {
+            version: 1,
+            counts: vec![1],
+            summary: Some(Blob(vec![0xa5; (u16::MAX as usize) + 1])),
+        };
+        let _ = s.to_slot(2 * 1024 * 1024);
+    }
+
+    #[test]
+    fn biggest_legal_payload_roundtrips() {
+        // The u16 boundary itself is fine in both directions.
+        let e = Entry {
+            rid: Rid::new(Pid(1), 2),
+            // lp_bytes spends 3 varint bytes on the length, and the
+            // rid/deps header a few more; stay just under the field max.
+            update: Blob(vec![7u8; (u16::MAX as usize) - 8]),
+            deps: DepMap::empty(),
+        };
+        let slot = e.to_slot(3, 128 * 1024);
+        let back = Entry::<Blob>::from_slot(&slot, 3).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn backup_slot_roundtrip() {
+        let inner = entry().to_slot(17, 107);
+        let slot = compose_backup_slot(BACKUP_FREE, 0xff, 17, &inner, 256);
+        assert_eq!(slot.len(), 256);
+        let (kind, group, seq, got) = parse_backup_slot(&slot).unwrap();
+        assert_eq!(kind, BACKUP_FREE);
+        assert_eq!(group, 0xff);
+        assert_eq!(seq, 17);
+        assert_eq!(got, &inner[..]);
+        // The inner image parses back to the original entry.
+        let back = Entry::<AccountUpdate>::from_slot(got, 17).unwrap();
+        assert_eq!(back, entry());
+    }
+
+    #[test]
+    fn backup_slot_rejects_cleared_and_garbage() {
+        assert!(parse_backup_slot(&[0u8; 64]).is_none(), "cleared slot");
+        assert!(parse_backup_slot(&[9u8; 64]).is_none(), "unknown kind");
+        assert!(parse_backup_slot(&[1u8; 8]).is_none(), "too short");
+        let mut slot = compose_backup_slot(BACKUP_SUMMARY, 2, 3, &[1, 2, 3], 64);
+        // Corrupt the length so it points past the slot end.
+        slot[10..12].copy_from_slice(&1000u16.to_le_bytes());
+        assert!(parse_backup_slot(&slot).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds slot capacity")]
+    fn backup_slot_overflow_panics() {
+        let _ = compose_backup_slot(BACKUP_FREE, 0xff, 1, &[0u8; 64], 32);
     }
 }

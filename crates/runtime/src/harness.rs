@@ -203,6 +203,21 @@ pub struct RunOutcome {
     pub stats: Stats,
 }
 
+/// A node's final object state at the end of a run, alongside whether
+/// the node was still participating. Produced by
+/// [`Runner::run_with_states`] for integrity checks that need to look
+/// at the states themselves (e.g. chaos-campaign invariant checks),
+/// which [`RunOutcome`] — being object-agnostic — cannot carry.
+#[derive(Debug, Clone)]
+pub struct NodeEndState<S> {
+    /// Whether the node finished the run alive (not crashed, not
+    /// halted by a fault).
+    pub alive: bool,
+    /// Its final object-state snapshot (for a crashed node: the state
+    /// at the moment it stopped executing).
+    pub state: S,
+}
+
 /// One experiment: a [`System`] plus a [`RunConfig`].
 ///
 /// ```
@@ -249,6 +264,21 @@ impl Runner {
     /// the complete conflict relation for `coord`, MSG swaps in the
     /// message-passing replica.
     pub fn run<O>(&self, spec: &O, coord: &CoordSpec) -> RunOutcome
+    where
+        O: WorkloadSupport + Clone,
+        O::Update: Wire,
+    {
+        self.run_with_states(spec, coord).0
+    }
+
+    /// Like [`Runner::run`], additionally returning every node's final
+    /// object state and aliveness — the inputs an integrity check
+    /// (does each final state satisfy the object's invariant?) needs.
+    pub fn run_with_states<O>(
+        &self,
+        spec: &O,
+        coord: &CoordSpec,
+    ) -> (RunOutcome, Vec<NodeEndState<O::State>>)
     where
         O: WorkloadSupport + Clone,
         O::Update: Wire,
@@ -481,7 +511,29 @@ fn collect_outcome<A: HarnessNode, O: WorkloadSupport>(
     }
 }
 
-fn run_replicas<O>(spec: &O, coord: &CoordSpec, run: &RunConfig, label: &str) -> RunOutcome
+/// Final per-node aliveness + state snapshots, taken after the drive
+/// loop (shared by both replica kinds).
+fn collect_states<A: HarnessNode>(
+    sim: &Simulator<A>,
+    n: usize,
+) -> Vec<NodeEndState<A::Snapshot>> {
+    (0..n)
+        .map(|i| {
+            let id = NodeId(i);
+            NodeEndState {
+                alive: !sim.is_crashed(id) && !sim.app(id).is_halted(),
+                state: sim.app(id).snapshot(),
+            }
+        })
+        .collect()
+}
+
+fn run_replicas<O>(
+    spec: &O,
+    coord: &CoordSpec,
+    run: &RunConfig,
+    label: &str,
+) -> (RunOutcome, Vec<NodeEndState<O::State>>)
 where
     O: WorkloadSupport + Clone,
     O::Update: Wire,
@@ -511,10 +563,16 @@ where
         });
     }
     let (completed_at, converged) = drive(&mut sim, run);
-    collect_outcome(&sim, spec, label, run, completed_at, converged, buffer)
+    let states = collect_states(&sim, n);
+    (collect_outcome(&sim, spec, label, run, completed_at, converged, buffer), states)
 }
 
-fn run_msg_cluster<O>(spec: &O, coord: &CoordSpec, run: &RunConfig, label: &str) -> RunOutcome
+fn run_msg_cluster<O>(
+    spec: &O,
+    coord: &CoordSpec,
+    run: &RunConfig,
+    label: &str,
+) -> (RunOutcome, Vec<NodeEndState<O::State>>)
 where
     O: WorkloadSupport + Clone,
     O::Update: Wire,
@@ -532,7 +590,8 @@ where
         });
     }
     let (completed_at, converged) = drive(&mut sim, run);
-    collect_outcome(&sim, spec, label, run, completed_at, converged, buffer)
+    let states = collect_states(&sim, n);
+    (collect_outcome(&sim, spec, label, run, completed_at, converged, buffer), states)
 }
 
 fn summarize<O: WorkloadSupport>(
@@ -607,7 +666,7 @@ where
     O: WorkloadSupport + Clone,
     O::Update: Wire,
 {
-    run_replicas(spec, coord, run, label).report
+    run_replicas(spec, coord, run, label).0.report
 }
 
 /// Run the MSG baseline to completion.
@@ -620,7 +679,7 @@ where
     O: WorkloadSupport + Clone,
     O::Update: Wire,
 {
-    run_msg_cluster(spec, coord, run, "msg").report
+    run_msg_cluster(spec, coord, run, "msg").0.report
 }
 
 #[cfg(test)]

@@ -7,12 +7,28 @@
 //! The emitter increments a counter in local registered memory; the
 //! detector posts one-sided READs of each peer's counter and suspects a
 //! peer whose counter stays unchanged for a configured number of
-//! consecutive reads. Suspicion is *sticky* (crash-stop model), matching
-//! how the evaluation injects failures by suspending heartbeat threads.
+//! consecutive reads. Suspicion is *not* sticky at the detector level:
+//! suspected peers keep being read, and observed counter progress clears
+//! the suspicion ([`FdEvent::Recovered`]) — a heartbeat that resumes
+//! after the threshold is again distinguishable from one that resumed
+//! just before it. Protocol-level consequences that already fired
+//! (quota adoption, leader takeover) are *not* rolled back; the replica
+//! layer treats them as crash-stop and merely stops excluding the peer
+//! from future delegate and election choices.
+//!
+//! Reads that complete back-to-back carry no new information: the
+//! emitter only beats every heartbeat interval, so the detector counts
+//! a read as "unchanged" only when at least [`min_sample_gap`] of
+//! virtual time passed since the previous counted sample. This guards
+//! against a burst of delayed reads (e.g. released by a healed network
+//! partition) all observing the same counter value and escalating to a
+//! false suspicion within one instant.
+//!
+//! [`min_sample_gap`]: FailureDetector::with_min_sample_gap
 
 use std::collections::HashMap;
 
-use rdma_sim::{Ctx, NodeId, RegionId, WrId};
+use rdma_sim::{Ctx, NodeId, RegionId, SimDuration, SimTime, WrId};
 
 /// Heartbeat emitter state.
 #[derive(Debug)]
@@ -41,12 +57,28 @@ impl Heartbeat {
     }
 }
 
+/// What a completed detector read revealed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FdEvent {
+    /// The peer crossed the suspicion threshold.
+    Suspected(NodeId),
+    /// A previously suspected peer's counter moved again.
+    Recovered(NodeId),
+}
+
 /// Failure-detector state for one observed peer.
 #[derive(Debug, Clone, Copy)]
 struct PeerView {
     last_value: u64,
     unchanged_reads: u32,
+    /// When the last *counted* sample completed (bursts of reads
+    /// completing within `min_sample_gap` count once).
+    last_sample_at: SimTime,
     suspected: bool,
+    /// The peer announced it will never serve again (workload-level
+    /// crash-stop). Suspicion of such a peer is sticky even when its
+    /// heartbeat counter keeps moving.
+    workload_dead: bool,
 }
 
 /// The pull failure detector: reads peers' heartbeat counters.
@@ -54,6 +86,7 @@ struct PeerView {
 pub struct FailureDetector {
     hb_region: RegionId,
     suspect_after: u32,
+    min_sample_gap: SimDuration,
     peers: Vec<PeerView>,
     inflight: HashMap<WrId, NodeId>,
     me: NodeId,
@@ -68,15 +101,45 @@ impl FailureDetector {
         FailureDetector {
             hb_region,
             suspect_after,
-            peers: vec![PeerView { last_value: 0, unchanged_reads: 0, suspected: false }; n],
+            min_sample_gap: SimDuration::ZERO,
+            peers: vec![
+                PeerView {
+                    last_value: 0,
+                    unchanged_reads: 0,
+                    last_sample_at: SimTime::ZERO,
+                    suspected: false,
+                    workload_dead: false,
+                };
+                n
+            ],
             inflight: HashMap::new(),
             me,
         }
     }
 
+    /// Count an unchanged read only if at least `gap` passed since the
+    /// previous counted sample (typically the heartbeat interval: any
+    /// denser and an unchanged counter is expected, not suspicious).
+    pub fn with_min_sample_gap(mut self, gap: SimDuration) -> Self {
+        self.min_sample_gap = gap;
+        self
+    }
+
     /// Whether `peer` is currently suspected.
     pub fn is_suspected(&self, peer: NodeId) -> bool {
         self.peers[peer.index()].suspected
+    }
+
+    /// Record a peer's announcement that it has permanently stopped
+    /// serving (e.g. it resumed from a pause it treats as crash-stop).
+    /// The peer becomes suspected and stays so regardless of heartbeat
+    /// progress. Returns `true` iff this newly suspected the peer.
+    pub fn mark_workload_dead(&mut self, peer: NodeId) -> bool {
+        let view = &mut self.peers[peer.index()];
+        view.workload_dead = true;
+        let newly = !view.suspected;
+        view.suspected = true;
+        newly
     }
 
     /// All currently suspected peers.
@@ -96,12 +159,13 @@ impl FailureDetector {
             .unwrap_or(self.me)
     }
 
-    /// One detector tick: post a read of every unsuspected peer's
-    /// counter.
+    /// One detector tick: post a read of every peer's counter.
+    /// Suspected peers are read too, so a resumed heartbeat is
+    /// observed and the suspicion cleared.
     pub fn tick(&mut self, ctx: &mut Ctx<'_>) {
         for p in 0..self.peers.len() {
             let peer = NodeId(p);
-            if peer == self.me || self.peers[p].suspected {
+            if peer == self.me {
                 continue;
             }
             let wr = ctx.post_read(peer, self.hb_region, 0, 8);
@@ -109,9 +173,14 @@ impl FailureDetector {
         }
     }
 
-    /// Feed a completion. Returns `Some(peer)` when this read caused a
-    /// *new* suspicion.
-    pub fn on_completion(&mut self, wr: WrId, data: Option<&[u8]>) -> Option<NodeId> {
+    /// Feed a completion at virtual time `now`. Returns the state
+    /// transition this read caused, if any.
+    pub fn on_completion(
+        &mut self,
+        now: SimTime,
+        wr: WrId,
+        data: Option<&[u8]>,
+    ) -> Option<FdEvent> {
         let peer = self.inflight.remove(&wr)?;
         let view = &mut self.peers[peer.index()];
         let value = data
@@ -121,12 +190,23 @@ impl FailureDetector {
         if value != view.last_value {
             view.last_value = value;
             view.unchanged_reads = 0;
+            view.last_sample_at = now;
+            if view.suspected && !view.workload_dead {
+                view.suspected = false;
+                return Some(FdEvent::Recovered(peer));
+            }
             return None;
         }
+        // Unchanged: only meaningful if the emitter had time to beat
+        // since the last counted sample.
+        if now < view.last_sample_at + self.min_sample_gap {
+            return None;
+        }
+        view.last_sample_at = now;
         view.unchanged_reads += 1;
         if view.unchanged_reads >= self.suspect_after && !view.suspected {
             view.suspected = true;
-            return Some(peer);
+            return Some(FdEvent::Suspected(peer));
         }
         None
     }
@@ -141,6 +221,7 @@ mod tests {
         hb: Heartbeat,
         fd: FailureDetector,
         newly_suspected: Vec<NodeId>,
+        recovered: Vec<NodeId>,
         beats_enabled: bool,
     }
 
@@ -163,8 +244,10 @@ mod tests {
                     ctx.set_timer(SimDuration::micros(12), 1);
                 }
                 Event::Completion { wr, data, .. } => {
-                    if let Some(p) = self.fd.on_completion(wr, data.as_deref()) {
-                        self.newly_suspected.push(p);
+                    match self.fd.on_completion(ctx.now(), wr, data.as_deref()) {
+                        Some(FdEvent::Suspected(p)) => self.newly_suspected.push(p),
+                        Some(FdEvent::Recovered(p)) => self.recovered.push(p),
+                        None => {}
                     }
                 }
                 _ => {}
@@ -178,8 +261,10 @@ mod tests {
         let dead = dead.to_vec();
         sim.set_apps(|id| HbApp {
             hb: Heartbeat::new(hb),
-            fd: FailureDetector::new(id, n, hb, 4),
+            fd: FailureDetector::new(id, n, hb, 4)
+                .with_min_sample_gap(SimDuration::micros(5)),
             newly_suspected: Vec::new(),
+            recovered: Vec::new(),
             beats_enabled: !dead.contains(&id.index()),
         });
         sim
@@ -222,5 +307,62 @@ mod tests {
         sim.app_mut(NodeId(1)).hb.suspended = true;
         sim.run_for(SimDuration::millis(2));
         assert_eq!(sim.app(NodeId(0)).newly_suspected, vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn resumed_emitter_clears_suspicion() {
+        let mut sim = cluster(2, &[]);
+        sim.run_for(SimDuration::millis(1));
+        sim.app_mut(NodeId(1)).hb.suspended = true;
+        sim.run_for(SimDuration::millis(2));
+        assert!(sim.app(NodeId(0)).fd.is_suspected(NodeId(1)));
+        // Resume well past the suspicion threshold: progress is
+        // observed (suspects keep being read) and suspicion clears.
+        sim.app_mut(NodeId(1)).hb.suspended = false;
+        sim.run_for(SimDuration::millis(2));
+        let app = sim.app(NodeId(0));
+        assert!(!app.fd.is_suspected(NodeId(1)));
+        assert_eq!(app.recovered, vec![NodeId(1)]);
+        // A single suspect/recover cycle, not a flapping series.
+        assert_eq!(app.newly_suspected, vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn burst_of_stale_reads_counts_once() {
+        // Reads completing within the min sample gap carry no new
+        // information and must not escalate to a suspicion by
+        // themselves (regression for partition-heal read bursts).
+        let mut fd = FailureDetector::new(NodeId(0), 2, RegionId(0), 3)
+            .with_min_sample_gap(SimDuration::micros(5));
+        let value = 7u64.to_le_bytes();
+        // Seed a counted sample with a fresh value at t=10us.
+        fd.inflight.insert(WrId(0), NodeId(1));
+        assert_eq!(
+            fd.on_completion(SimTime(10_000), WrId(0), Some(&value)),
+            None
+        );
+        // A burst of identical values inside one gap: counted once.
+        for (i, dt) in [100u64, 200, 300, 400].iter().enumerate() {
+            let wr = WrId(1 + i as u64);
+            fd.inflight.insert(wr, NodeId(1));
+            assert_eq!(
+                fd.on_completion(SimTime(10_000 + dt), wr, Some(&value)),
+                None,
+                "burst read {i} must not escalate"
+            );
+        }
+        assert!(!fd.is_suspected(NodeId(1)));
+        // Properly spaced unchanged samples do escalate.
+        for i in 0..3u64 {
+            let wr = WrId(10 + i);
+            fd.inflight.insert(wr, NodeId(1));
+            let at = SimTime(20_000 + i * 6_000);
+            let got = fd.on_completion(at, wr, Some(&value));
+            if i == 2 {
+                assert_eq!(got, Some(FdEvent::Suspected(NodeId(1))));
+            } else {
+                assert_eq!(got, None);
+            }
+        }
     }
 }

@@ -15,6 +15,9 @@
 //!   consensus per synchronization group (permission-based leader
 //!   exclusion, majority commit, leader change with ring catch-up);
 //! * [`baseline_msg`] — the message-passing op-based CRDT baseline;
+//! * [`chaos`] — deterministic chaos campaigns: randomized fault
+//!   schedules checked for convergence, integrity, and trace
+//!   invariants, with ddmin-style shrinking of failing schedules;
 //! * [`driver`] / [`metrics`] / [`harness`] — workload generation and
 //!   the measurement harness producing the paper's throughput and
 //!   response-time numbers (the Mu-SMR baseline is the same runtime
@@ -69,6 +72,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline_msg;
+pub mod chaos;
 pub mod codec;
 pub mod config;
 pub mod driver;
@@ -103,11 +107,12 @@ pub fn set_trace(on: bool) {
 }
 
 pub use baseline_msg::MsgCrdtNode;
+pub use chaos::{run_case, run_seed, shrink, shrink_case, CaseReport, ChaosOptions, Violation};
 pub use config::RuntimeConfig;
 pub use driver::Workload;
 #[allow(deprecated)]
 pub use harness::{run_hamband, run_msg, smr_coord};
-pub use harness::{RunConfig, RunOutcome, Runner, System, TraceMode};
+pub use harness::{NodeEndState, RunConfig, RunOutcome, Runner, System, TraceMode};
 pub use layout::Layout;
 pub use metrics::{LatencyHistogram, LatencySummary, NodeMetrics, RunReport};
 pub use replica::HambandNode;

@@ -40,6 +40,12 @@ pub enum ControlMsg {
         /// The new leader.
         leader: u32,
     },
+    /// The sender has permanently stopped serving the workload (its
+    /// process resumed from a pause it treats as crash-stop) even
+    /// though its heartbeat may keep beating. Receivers treat it like
+    /// a crashed node: sticky suspicion, quota adoption, and a leader
+    /// change for any group it still leads.
+    Retired,
 }
 
 impl Wire for ControlMsg {
@@ -63,6 +69,9 @@ impl Wire for ControlMsg {
                 w.varint(epoch);
                 w.varint(u64::from(leader));
             }
+            ControlMsg::Retired => {
+                w.u8(3);
+            }
         }
     }
 
@@ -83,6 +92,7 @@ impl Wire for ControlMsg {
                 epoch: r.varint()?,
                 leader: r.varint()? as u32,
             }),
+            3 => Ok(ControlMsg::Retired),
             _ => Err(DecodeError),
         }
     }
@@ -98,6 +108,7 @@ mod tests {
             ControlMsg::LeaderRequest { group: 1, epoch: 7 },
             ControlMsg::LeaderAck { group: 0, epoch: 7, tail: 123, commit: 120 },
             ControlMsg::LeaderAnnounce { group: 2, epoch: 8, leader: 3 },
+            ControlMsg::Retired,
         ];
         for m in msgs {
             assert_eq!(ControlMsg::from_bytes(&m.to_bytes()).unwrap(), m);

@@ -41,10 +41,12 @@ use rdma_sim::{
     WrId,
 };
 
-use crate::codec::{Entry, SummarySlot};
+use crate::codec::{
+    compose_backup_slot, parse_backup_slot, Entry, SummarySlot, BACKUP_FREE, BACKUP_SUMMARY,
+};
 use crate::config::RuntimeConfig;
 use crate::driver::{Driver, Planned, Workload};
-use crate::heartbeat::{FailureDetector, Heartbeat};
+use crate::heartbeat::{FailureDetector, FdEvent, Heartbeat};
 use crate::layout::Layout;
 use crate::messages::ControlMsg;
 use crate::metrics::NodeMetrics;
@@ -55,10 +57,6 @@ const TAG_HEARTBEAT: u64 = 1;
 const TAG_FD: u64 = 2;
 const TAG_RETRY: u64 = 3;
 
-/// Marker in backup slots: a conflict-free ring entry.
-const BACKUP_FREE: u8 = 1;
-/// Marker in backup slots: a summary slot.
-const BACKUP_SUMMARY: u8 = 2;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Route {
@@ -125,6 +123,13 @@ struct GroupState {
     election: Option<Election>,
     /// Leader only: still reconciling the ring after takeover.
     catching_up: bool,
+    /// Leader only: do not issue new conflicting calls until our own
+    /// reader has applied the ring through this sequence number. A new
+    /// leader adopts the old tail before it has applied every entry
+    /// below it; issuing against that incomplete view would approve
+    /// calls the full history forbids (Lemma 1 needs the check view to
+    /// contain every earlier ring entry).
+    issue_floor: u64,
     /// Own uncommitted entries (suffix of the ring), oldest first.
     uncommitted: Vec<(u64, MethodId)>,
 }
@@ -235,6 +240,7 @@ where
                 deposed: false,
                 election: None,
                 catching_up: false,
+                issue_floor: 0,
                 uncommitted: Vec::new(),
             })
             .collect();
@@ -250,7 +256,8 @@ where
             conf_readers: Vec::new(),
             groups,
             hb: Heartbeat::new(layout.heartbeat),
-            fd: FailureDetector::new(me, n, layout.heartbeat, cfg.fd_suspect_after),
+            fd: FailureDetector::new(me, n, layout.heartbeat, cfg.fd_suspect_after)
+                .with_min_sample_gap(cfg.heartbeat_interval),
             adopted: vec![false; n],
             driver,
             workload,
@@ -508,6 +515,7 @@ where
             return;
         }
         self.refresh_mat();
+        let mut reject_streak = 0u32;
         loop {
             let is_leader: Vec<bool> = (0..self.groups.len())
                 .map(|g| {
@@ -516,6 +524,7 @@ where
                         && !gs.deposed
                         && !gs.catching_up
                         && gs.writers.is_some()
+                        && self.conf_readers[g].next_seq() > gs.issue_floor
                 })
                 .collect();
             let appended: Vec<u64> = self.groups.iter().map(|g| g.appended).collect();
@@ -533,7 +542,22 @@ where
                     self.metrics.ack_query(cost);
                 }
                 Some(Planned::Update(u)) => {
+                    let rejected_before = self.metrics.rejected;
                     self.issue(ctx, u);
+                    if self.metrics.rejected > rejected_before {
+                        // A rejected call consumes no ring quota, so the
+                        // driver will happily regenerate it. Bound the
+                        // streak per pump so a view in which nothing is
+                        // permissible yields back to the event loop
+                        // instead of spinning (later entries or a leader
+                        // change may unwedge it).
+                        reject_streak += 1;
+                        if reject_streak >= 64 {
+                            return;
+                        }
+                    } else {
+                        reject_streak = 0;
+                    }
                 }
             }
         }
@@ -764,12 +788,7 @@ where
     ) -> usize {
         let idx = (call_id % self.layout.backup_slots() as u64) as usize;
         let (off, size) = self.layout.backup_slot(idx);
-        let mut buf = vec![0u8; size];
-        buf[0] = kind;
-        buf[1] = group;
-        buf[2..10].copy_from_slice(&seq.to_le_bytes());
-        buf[10..12].copy_from_slice(&(slot.len() as u16).to_le_bytes());
-        buf[12..12 + slot.len()].copy_from_slice(slot);
+        let buf = compose_backup_slot(kind, group, seq, slot, size);
         ctx.local_write(self.layout.backup, off, &buf);
         idx
     }
@@ -1084,9 +1103,22 @@ where
         data: Option<&[u8]>,
     ) {
         // Failure detector reads.
-        if let Some(peer) = self.fd.on_completion(wr, data) {
-            self.on_suspect(ctx, peer);
-            return;
+        match self.fd.on_completion(ctx.now(), wr, data) {
+            Some(FdEvent::Suspected(peer)) => {
+                self.on_suspect(ctx, peer);
+                return;
+            }
+            Some(FdEvent::Recovered(peer)) => {
+                // The peer's heartbeat moved again after suspicion.
+                // Consequences that already fired (quota adoption,
+                // takeover) stay — crash-stop at the protocol level —
+                // but the peer is no longer excluded from future
+                // delegate and election choices.
+                let node = self.me;
+                ctx.emit(|| TraceEvent::FdRecover { node, peer });
+                return;
+            }
+            None => {}
         }
         // Explicitly routed work requests.
         if let Some(route) = self.wr_routes.remove(&wr) {
@@ -1178,6 +1210,8 @@ where
             // leader exists — the latter reaches us as a higher-epoch
             // message and deposes us there). Retry until either happens;
             // the entry can still commit through the other followers.
+            // Suspected peers are retried too: a suspended-but-alive
+            // node still grants permission once it sees the election.
             if !self.groups[g].deposed {
                 self.conf_retries.push((g, target, seq));
                 if !self.retry_timer_armed {
@@ -1287,10 +1321,18 @@ where
                 .unwrap_or_else(|| their.initial_queries());
             self.driver.adopt_free_quota(&remaining, remaining_queries);
         }
-        // 3. Leader change for groups led by the suspect.
+        // 3. Leader change for groups whose current leader is down —
+        //    the new suspect, or an earlier suspect whose designated
+        //    election starter only now emerges (e.g. the previous
+        //    starter itself just got suspected). A halted node never
+        //    runs for leadership: it could win but would never issue
+        //    the group's remaining quota.
         for g in 0..self.groups.len() {
-            if self.groups[g].leader_view.index() == suspect.index()
-                && self.fd.lowest_alive(Some(suspect)) == self.me
+            let lv = NodeId(self.groups[g].leader_view.index());
+            if (lv == suspect || self.fd.is_suspected(lv))
+                && !self.halted
+                && self.groups[g].election.is_none()
+                && self.fd.lowest_alive(Some(lv)) == self.me
             {
                 self.start_election(ctx, g);
             }
@@ -1396,6 +1438,15 @@ where
                 }
                 self.maybe_win(ctx, g);
             }
+            ControlMsg::Retired => {
+                // Workload-level crash-stop announcement: from now on
+                // treat the sender exactly like a detected crash, and
+                // keep the suspicion sticky even though its heartbeat
+                // counter still moves.
+                if self.fd.mark_workload_dead(from) {
+                    self.on_suspect(ctx, from);
+                }
+            }
             ControlMsg::LeaderAnnounce { group, epoch, leader } => {
                 let g = group as usize;
                 if epoch >= self.groups[g].promised {
@@ -1458,6 +1509,7 @@ where
         let (leader, epoch) = (self.me, self.groups[g].epoch);
         ctx.emit(|| TraceEvent::LeaderChange { group: g, leader, epoch });
         self.groups[g].catching_up = false;
+        self.groups[g].issue_floor = max_tail;
         self.become_writer(g, max_tail);
         // Rebroadcast the window between the adopted commit and the
         // tail so every follower's ring converges, then re-count acks.
@@ -1554,17 +1606,9 @@ where
         let (_, slot_size) = self.layout.backup_slot(0);
         for i in 0..self.layout.backup_slots() {
             let b = &bytes[i * slot_size..(i + 1) * slot_size];
-            let kind = b[0];
-            if kind != BACKUP_FREE && kind != BACKUP_SUMMARY {
+            let Some((kind, group, seq, slot)) = parse_backup_slot(b) else {
                 continue;
-            }
-            let group = b[1];
-            let seq = u64::from_le_bytes(b[2..10].try_into().expect("8 bytes"));
-            let len = u16::from_le_bytes(b[10..12].try_into().expect("2 bytes")) as usize;
-            if 12 + len > b.len() {
-                continue;
-            }
-            let slot = &b[12..12 + len];
+            };
             match kind {
                 BACKUP_FREE => {
                     let ring_off = self.layout.free_ring_base(suspect)
@@ -1640,6 +1684,26 @@ where
             }
             Event::Fault { kind: AppFault::ResumeHeartbeat } => {
                 self.hb.suspended = false;
+                // Peers will clear their suspicion once they observe
+                // the counter moving again, but this node's driver was
+                // halted by the suspension and stays halted: workload-
+                // level exclusion is crash-stop even though detector-
+                // level suspicion is not.
+                let node = self.me;
+                ctx.emit(|| TraceEvent::ResumedButExcluded { node });
+                // Announce the retirement. Without it the resumed
+                // heartbeat makes this node look healthy, so peers
+                // would neither adopt its remaining quota nor elect a
+                // replacement for any group it still leads — a zombie
+                // leader wedges the whole workload.
+                if self.halted {
+                    let msg = ControlMsg::Retired;
+                    for q in 0..self.n {
+                        if q != self.me.index() {
+                            ctx.send(NodeId(q), msg.to_bytes().into());
+                        }
+                    }
+                }
             }
         }
     }

@@ -1,0 +1,65 @@
+//! End-to-end chaos-campaign tests: a small clean campaign across the
+//! three issue paths (reduce, conflict-free, conflicting), and the
+//! planted canary bug, which must be both caught and shrunk to a
+//! paste-able repro of at most three schedule entries.
+
+use hamband_runtime::chaos::{run_seed, shrink_case, ChaosOptions};
+use hamband_types::{Bank, Counter, GSet};
+
+#[test]
+fn small_campaign_is_clean() {
+    let opts = ChaosOptions { ops: 150, ..ChaosOptions::default() };
+    for seed in 0..6 {
+        let case = match seed % 3 {
+            0 => {
+                let c = Counter::default();
+                run_seed(&c, &c.coord_spec(), seed, &opts)
+            }
+            1 => {
+                let g = GSet::default();
+                run_seed(&g, &g.coord_spec_buffered(), seed, &opts)
+            }
+            _ => {
+                let b = Bank::default();
+                run_seed(&b, &b.coord_spec(), seed, &opts)
+            }
+        };
+        assert!(case.passed(), "seed {seed} violated: {:?}", case.violations);
+    }
+}
+
+#[test]
+fn five_node_campaign_is_clean() {
+    let opts = ChaosOptions { nodes: 5, ops: 200, ..ChaosOptions::default() };
+    for seed in 500..504 {
+        let b = Bank::default();
+        let case = run_seed(&b, &b.coord_spec(), seed, &opts);
+        assert!(case.passed(), "seed {seed} violated: {:?}", case.violations);
+    }
+}
+
+#[test]
+fn canary_is_caught_and_shrunk() {
+    let opts = ChaosOptions { canary: true, ops: 150, ..ChaosOptions::default() };
+    let c = Counter::default();
+    let mut caught = 0;
+    for seed in 0..8 {
+        let case = run_seed(&c, &c.coord_spec(), seed, &opts);
+        if case.passed() {
+            continue;
+        }
+        caught += 1;
+        assert!(
+            case.violations.iter().any(|v| v.check == "canary"),
+            "seed {seed} failed for a non-canary reason: {:?}",
+            case.violations
+        );
+        let minimal = shrink_case(&c, &c.coord_spec(), seed, &case.plan, &opts);
+        assert!(
+            !minimal.is_empty() && minimal.len() <= 3,
+            "seed {seed}: repro shrank to {} entries, want 1..=3",
+            minimal.len()
+        );
+    }
+    assert!(caught >= 1, "the planted canary was never caught across 8 seeds");
+}

@@ -3,7 +3,7 @@
 
 use hamband_core::counts::DepMap;
 use hamband_core::ids::{Pid, Rid};
-use hamband_runtime::codec::Entry;
+use hamband_runtime::codec::{compose_backup_slot, Entry, BACKUP_FREE};
 use hamband_runtime::{HambandNode, Layout, RuntimeConfig, Workload};
 use hamband_types::{Counter, GSet};
 use rdma_sim::{Fault, FaultPlan, LatencyModel, NodeId, SimDuration, SimTime, Simulator};
@@ -88,12 +88,7 @@ fn crash_recovery_delivers_pending_broadcast() {
     };
     let slot = entry.to_slot(1, layout.entry_size());
     let (off, size) = layout.backup_slot(0);
-    let mut backup = vec![0u8; size];
-    backup[0] = 1; // BACKUP_FREE
-    backup[1] = 0xff;
-    backup[2..10].copy_from_slice(&1u64.to_le_bytes());
-    backup[10..12].copy_from_slice(&(slot.len() as u16).to_le_bytes());
-    backup[12..12 + slot.len()].copy_from_slice(&slot);
+    let backup = compose_backup_slot(BACKUP_FREE, 0xff, 1, &slot, size);
     sim.with_app_ctx(NodeId(2), |_, ctx| {
         ctx.local_write(layout.backup, off, &backup);
     });
@@ -152,5 +147,64 @@ fn follower_crash_survivors_converge() {
     let s0 = sim.app(NodeId(0)).state_snapshot();
     for i in 1..3 {
         assert_eq!(sim.app(NodeId(i)).state_snapshot(), s0, "survivor {i} diverged");
+    }
+}
+
+/// The group leader crashes; the next-in-line candidate (node 1)
+/// crashes too, while the failover it drives is still in flight (a
+/// delay spike stretches its election reads). The survivors must
+/// notice that the stuck candidate is gone, run a fresh election among
+/// themselves, and still converge on the full surviving workload.
+#[test]
+fn leader_crash_during_election_reelects() {
+    let plan = FaultPlan::new()
+        .at(SimTime(40_000), Fault::Crash(NodeId(0)))
+        .at(SimTime(55_000), Fault::DelaySpike(NodeId(1), 20, SimDuration::micros(30)))
+        .at(SimTime(62_000), Fault::Crash(NodeId(1)));
+    // Bank has a conflicting method, so group 0 actually runs
+    // leader-based replication (Counter is reduce-only).
+    let b = hamband_types::Bank::default();
+    let coord = b.coord_spec();
+    let cfg = RuntimeConfig::default();
+    let n = 5;
+    let workload = Workload::new(400, 0.5).with_seed(0xfa03);
+    let mut sim: Simulator<HambandNode<hamband_types::Bank>> =
+        Simulator::new(n, LatencyModel::default(), 0xfa04);
+    let layout = Layout::install(&mut sim, &coord, &cfg);
+    let leaders = coord.default_leaders(n);
+    sim.install_fault_plan(&plan);
+    {
+        let coord = coord.clone();
+        sim.set_apps(move |id| {
+            HambandNode::new(
+                b.clone(),
+                coord.clone(),
+                cfg.clone(),
+                layout.clone(),
+                id,
+                n,
+                &leaders,
+                workload.clone(),
+            )
+        });
+    }
+    for _ in 0..1600 {
+        sim.run_for(SimDuration::micros(50));
+        let done = (2..5).all(|i| sim.app(NodeId(i)).workload_done());
+        let agree =
+            (2..5).all(|i| sim.app(NodeId(i)).applied_map() == sim.app(NodeId(2)).applied_map());
+        if sim.now() > SimTime(62_000) && done && agree {
+            break;
+        }
+    }
+    sim.run_for(SimDuration::millis(1));
+    assert!(sim.is_crashed(NodeId(0)) && sim.is_crashed(NodeId(1)));
+    let s2 = sim.app(NodeId(2)).state_snapshot();
+    for i in 3..5 {
+        assert_eq!(sim.app(NodeId(i)).state_snapshot(), s2, "survivor {i} diverged");
+    }
+    // Leadership moved past both crashed nodes to the lowest survivor.
+    for i in 2..5 {
+        assert_eq!(sim.app(NodeId(i)).leader_view(0), Pid(2), "node {i} leader view");
     }
 }

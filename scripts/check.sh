@@ -16,4 +16,10 @@ cargo test -q --workspace
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== chaos smoke (16 seeds) =="
+./target/release/chaos --seeds 16
+
+echo "== chaos canary self-test =="
+./target/release/chaos --seeds 16 --canary
+
 echo "all checks passed"
