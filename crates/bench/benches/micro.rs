@@ -13,9 +13,11 @@ use hamband_core::object::ObjectSpec;
 use hamband_core::rdma_sem::RdmaWrdt;
 use hamband_core::wire::Wire;
 use hamband_runtime::codec::{Entry, SummarySlot};
+use hamband_runtime::rings::RingWriter;
 use hamband_types::counter::CounterUpdate;
 use hamband_types::gset::GSetUpdate;
 use hamband_types::{Counter, GSet};
+use rdma_sim::{App, Ctx, Event, LatencyModel, NodeId, RingKind, Simulator};
 
 fn bench_codec(c: &mut Criterion) {
     let entry = Entry {
@@ -53,6 +55,72 @@ fn bench_codec(c: &mut Criterion) {
             std::hint::black_box(CounterUpdate::from_bytes(&bytes).unwrap())
         });
     });
+    // The zero-alloc cycle: the same encodings into a reused buffer.
+    let mut buf = Vec::new();
+    c.bench_function("codec/entry_encode_into_reused", |b| {
+        b.iter(|| {
+            entry.to_slot_into(7, 267, &mut buf);
+            std::hint::black_box(buf.len())
+        });
+    });
+    let mut sbuf = Vec::new();
+    c.bench_function("codec/summary_encode_into_reused_64_elems", |b| {
+        b.iter(|| {
+            summary.to_slot_into(4096, &mut sbuf);
+            std::hint::black_box(sbuf.len())
+        });
+    });
+}
+
+/// A no-op application: the bench drives the ring writer from outside
+/// via [`Simulator::with_app_ctx`].
+struct Idle;
+
+impl App for Idle {
+    fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+    fn on_event(&mut self, _ctx: &mut Ctx<'_>, _event: Event) {}
+}
+
+fn bench_ring_append(c: &mut Criterion) {
+    const SLOT: usize = 64;
+    const CAP: usize = 512;
+    const N: u64 = 256;
+    for max_batch in [1usize, 16] {
+        let label = if max_batch == 1 {
+            "ring/append_256_unbatched".to_string()
+        } else {
+            format!("ring/append_256_batch_{max_batch}")
+        };
+        c.bench_function(&label, |b| {
+            b.iter_batched(
+                || {
+                    let mut sim = Simulator::new(2, LatencyModel::default(), 7);
+                    let ring = sim.add_region_all(CAP * SLOT);
+                    let heads = sim.add_region_all(8);
+                    sim.set_apps(|_| Idle);
+                    let writer =
+                        RingWriter::new(RingKind::Free, NodeId(1), ring, 0, CAP, SLOT, heads, 0)
+                            .with_max_batch(max_batch);
+                    (sim, writer)
+                },
+                |(mut sim, mut writer)| {
+                    sim.with_app_ctx(NodeId(0), |_, ctx| {
+                        for i in 0..N {
+                            let e = Entry {
+                                rid: Rid::new(Pid(0), i),
+                                update: Account::deposit(i + 1),
+                                deps: DepMap::empty(),
+                            };
+                            writer.append(ctx, &e);
+                        }
+                        writer.flush(ctx);
+                    });
+                    std::hint::black_box((sim, writer))
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
 }
 
 fn bench_summarize(c: &mut Criterion) {
@@ -124,6 +192,6 @@ fn bench_semantics(c: &mut Criterion) {
 criterion_group!(
     name = micro;
     config = Criterion::default().sample_size(20);
-    targets = bench_codec, bench_summarize, bench_analysis, bench_semantics
+    targets = bench_codec, bench_ring_append, bench_summarize, bench_analysis, bench_semantics
 );
 criterion_main!(micro);

@@ -1,25 +1,107 @@
 //! Regenerate headline of the Hamband paper. Scale with HAMBAND_OPS.
 //!
 //! Besides the human-readable check table, writes a machine-readable
-//! `BENCH_headline.json`: the Hamband report of a bank-schema run whose
-//! methods cover all three issue paths, with per-phase p50/p90/p99
-//! latency distributions (REDUCE, FREE, CONF, plus queries).
+//! `BENCH_headline.json` with three reports:
+//!
+//! * `bank` — the Hamband report of a bank-schema run whose methods
+//!   cover all three issue paths, with per-phase p50/p90/p99 latency
+//!   distributions (REDUCE, FREE, CONF, plus queries);
+//! * `bank_unbatched` — the same run with doorbell batching disabled
+//!   (`max_batch = 1`), the write-combining ablation;
+//! * `counter_reduce` — a reducible-only Counter run whose
+//!   `writes_per_op` demonstrates summary write-combining: fewer than
+//!   one WRITE per peer per update at steady state.
+//!
+//! With `--baseline <path>` the run additionally compares its `bank`
+//! throughput against the committed baseline file and exits nonzero on
+//! a regression of more than 20% — the CI regression gate.
+
+/// Pull the first `"key": <number>` after `anchor` out of `json`
+/// (enough structure awareness for our own stable-key-order reports —
+/// no JSON parser in the tree).
+fn extract_f64(json: &str, anchor: &str, key: &str) -> Option<f64> {
+    let start = json.find(anchor)?;
+    let tail = &json[start..];
+    let at = tail.find(key)? + key.len();
+    let rest = tail[at..].trim_start_matches([':', ' ']);
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let baseline =
+        args.iter().position(|a| a == "--baseline").and_then(|i| args.get(i + 1)).cloned();
+
     let opts = hamband_bench::ExpOptions::from_env();
     let outcome = hamband_bench::headline(&opts);
     println!("{outcome}");
 
-    let report = hamband_bench::headline_report(&opts);
-    println!("{report}");
-    let json = report.to_json();
+    let bank = hamband_bench::headline_report(&opts);
+    let bank_unbatched = hamband_bench::headline_report_unbatched(&opts);
+    let reduce = hamband_bench::reduce_report(&opts);
+    println!("{bank}");
+    println!("{bank_unbatched}");
+    println!("{reduce}");
+
+    let mut ok = outcome.all_hold()
+        && bank.converged
+        && bank_unbatched.converged
+        && reduce.converged;
+
+    // Summary write-combining: a reducible-only workload must average
+    // below one WRITE per peer per update (amortized O(1) writes).
+    let peers = (reduce.nodes - 1) as f64;
+    let per_peer = reduce.writes_per_op / peers;
+    println!(
+        "reduce-only writes/op = {:.2} over {} peers = {per_peer:.2} per peer (want < 1.0)",
+        reduce.writes_per_op, reduce.nodes - 1
+    );
+    if per_peer >= 1.0 {
+        eprintln!("write-combining ineffective: {per_peer:.2} writes per op per peer");
+        ok = false;
+    }
+
+    if let Some(path) = baseline {
+        match std::fs::read_to_string(&path) {
+            Ok(s) => match extract_f64(&s, "\"bank\"", "\"throughput_ops_per_us\"") {
+                Some(base) => {
+                    let cur = bank.throughput_ops_per_us;
+                    println!(
+                        "baseline check: bank throughput {cur:.3} vs committed {base:.3} ops/us"
+                    );
+                    if cur < 0.8 * base {
+                        eprintln!(
+                            "throughput regression >20%: {cur:.3} < 0.8 * {base:.3} (from {path})"
+                        );
+                        ok = false;
+                    }
+                }
+                None => {
+                    eprintln!("no bank throughput in baseline {path}");
+                    ok = false;
+                }
+            },
+            Err(e) => {
+                eprintln!("could not read baseline {path}: {e}");
+                ok = false;
+            }
+        }
+    }
+
+    let json = format!(
+        "{{\"bank\": {}, \"bank_unbatched\": {}, \"counter_reduce\": {}}}",
+        bank.to_json(),
+        bank_unbatched.to_json(),
+        reduce.to_json()
+    );
     let path = "BENCH_headline.json";
     match std::fs::write(path, &json) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),
     }
 
-    if !outcome.all_hold() || !report.converged {
+    if !ok {
         std::process::exit(1);
     }
 }

@@ -747,3 +747,30 @@ pub fn headline_report(opts: &ExpOptions) -> RunReport {
     let rc = cfg(4, opts.ops, 0.5, opts.seed + 900);
     Runner::new(System::Hamband, rc).run(&b, &b.coord_spec()).report
 }
+
+/// The same bank headline with doorbell batching disabled
+/// (`max_batch = 1`): the write-combining ablation. Summary
+/// write-combining stays on — it is a protocol property, not a knob.
+pub fn headline_report_unbatched(opts: &ExpOptions) -> RunReport {
+    let b = Bank::default();
+    let rc = cfg(4, opts.ops, 0.5, opts.seed + 900);
+    let runtime = rc.runtime.clone().with_max_batch(1);
+    let rc = rc.with_runtime(runtime);
+    Runner::new(System::Hamband, rc)
+        .with_label("hamband-unbatched")
+        .run(&b, &b.coord_spec())
+        .report
+}
+
+/// A reducible-only companion run: Counter with a 100% update ratio,
+/// so every call takes the REDUCE path. With summary write-combining,
+/// `writes_per_op` at steady state sits *below one write per peer* —
+/// the paper's amortized-O(1)-writes claim, measurable in the report.
+pub fn reduce_report(opts: &ExpOptions) -> RunReport {
+    let c = Counter::default();
+    let rc = cfg(4, opts.ops, 1.0, opts.seed + 910);
+    Runner::new(System::Hamband, rc)
+        .with_label("hamband-counter-reduce")
+        .run(&c, &c.coord_spec())
+        .report
+}

@@ -15,5 +15,6 @@
 pub mod experiments;
 
 pub use experiments::{
-    fig10, fig11, fig12, fig13, fig8, fig9, headline, headline_report, ExpOptions, FigOutcome,
+    fig10, fig11, fig12, fig13, fig8, fig9, headline, headline_report, headline_report_unbatched,
+    reduce_report, ExpOptions, FigOutcome,
 };

@@ -128,6 +128,14 @@ impl Writer {
         Writer::default()
     }
 
+    /// A writer reusing `buf`'s allocation (contents are cleared).
+    /// Recover the buffer with [`into_vec`](Self::into_vec) — this is
+    /// the allocation-free encode cycle used by the runtime hot path.
+    pub fn from_vec(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        Writer { buf }
+    }
+
     /// The encoded bytes.
     pub fn into_vec(self) -> Vec<u8> {
         self.buf

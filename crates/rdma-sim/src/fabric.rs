@@ -399,6 +399,16 @@ impl Ctx<'_> {
         self.fabric.emit(make);
     }
 
+    /// Record that the WRITE just posted carried `slots` ring entries.
+    ///
+    /// The fabric cannot tell ring-slot WRITEs from other one-sided
+    /// traffic, so the runtime reports them; `ring_slots / ring_writes`
+    /// in [`Stats`] is then the achieved doorbell-batching factor.
+    pub fn note_ring_write(&mut self, slots: u64) {
+        self.fabric.stats.ring_writes += 1;
+        self.fabric.stats.ring_slots += slots;
+    }
+
     /// Post a one-sided RDMA WRITE of `data` into
     /// `(target, region, offset)`.
     ///

@@ -17,6 +17,14 @@ pub struct Stats {
     pub message_bytes: u64,
     /// Trace events delivered to the installed sink (0 with no sink).
     pub trace_events: u64,
+    /// Ring-slot WRITEs posted (each may span several slots when
+    /// doorbell batching coalesces contiguous entries). A subset of
+    /// `writes`; reported by the runtime via
+    /// [`Ctx::note_ring_write`](crate::Ctx::note_ring_write).
+    pub ring_writes: u64,
+    /// Ring slots carried by those WRITEs; `ring_slots / ring_writes`
+    /// is the achieved batching factor.
+    pub ring_slots: u64,
     /// Per-node posted verb counts (writes + reads + cas + sends).
     pub per_node_ops: Vec<u64>,
 }

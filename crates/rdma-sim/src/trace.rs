@@ -126,6 +126,22 @@ pub enum TraceEvent {
         /// Ring sequence number of the entry.
         seq: u64,
     },
+    /// Several contiguous ring entries were coalesced into a single
+    /// one-sided WRITE (doorbell batching). Emitted in addition to the
+    /// per-entry [`TraceEvent::RingAppend`] events, and only when the
+    /// batch spans more than one slot.
+    RingBatch {
+        /// Free or conflicting ring.
+        ring: RingKind,
+        /// The appending node.
+        writer: NodeId,
+        /// The node hosting the ring.
+        reader: NodeId,
+        /// Ring sequence number of the first entry in the batch.
+        first_seq: u64,
+        /// Number of contiguous entries the WRITE spans.
+        count: u64,
+    },
     /// A reducible summary slot was written to a peer.
     SummaryWrite {
         /// The summarizing node.

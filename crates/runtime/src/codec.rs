@@ -36,6 +36,27 @@ use hamband_core::wire::{DecodeError, Reader, Wire, Writer};
 /// The canary value marking a completely landed entry.
 pub const CANARY: u8 = 0xAB;
 
+/// Whether a ring-entry slot completely holds entry `expect_seq`: the
+/// sequence number matches and the canary byte has landed. This is the
+/// poll fast path — a prefix-plus-last-byte check with no payload
+/// decode, so an empty or in-flight slot costs almost nothing.
+pub fn slot_ready(slot: &[u8], expect_seq: u64) -> bool {
+    slot.len() >= 11
+        && slot[slot.len() - 1] == CANARY
+        && slot[0..8] == expect_seq.to_le_bytes()
+}
+
+/// The leading version word of a summary slot (0 when never written or
+/// too short). A reader compares it against the version it already
+/// applied before paying for a full seqlock parse — stale re-reads of
+/// an unchanged slot are the common case in the summary poll loop.
+pub fn summary_version(slot: &[u8]) -> u64 {
+    match slot.get(0..8) {
+        Some(b) => u64::from_le_bytes(b.try_into().expect("8 bytes")),
+        None => 0,
+    }
+}
+
 /// A decoded ring entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Entry<U> {
@@ -48,9 +69,7 @@ pub struct Entry<U> {
 }
 
 impl<U: Wire> Entry<U> {
-    /// Encode the payload portion of a ring entry.
-    pub fn encode_payload(&self) -> Vec<u8> {
-        let mut w = Writer::new();
+    fn write_payload(&self, w: &mut Writer) {
         w.varint(self.rid.issuer.index() as u64);
         w.varint(self.rid.seq);
         let deps: Vec<(Pid, MethodId, u64)> = self.deps.iter().collect();
@@ -60,8 +79,21 @@ impl<U: Wire> Entry<U> {
             w.varint(m.index() as u64);
             w.varint(c);
         }
-        self.update.encode(&mut w);
+        self.update.encode(w);
+    }
+
+    /// Encode the payload portion of a ring entry.
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        self.write_payload(&mut w);
         w.into_vec()
+    }
+
+    /// Encode the payload portion into `out`, reusing its allocation.
+    pub fn encode_payload_into(&self, out: &mut Vec<u8>) {
+        let mut w = Writer::from_vec(std::mem::take(out));
+        self.write_payload(&mut w);
+        *out = w.into_vec();
     }
 
     /// Decode the payload portion of a ring entry.
@@ -93,34 +125,51 @@ impl<U: Wire> Entry<U> {
     /// Panics if the payload exceeds the slot (raise
     /// `RuntimeConfig::payload_cap`).
     pub fn to_slot(&self, seq: u64, slot_size: usize) -> Vec<u8> {
-        let payload = self.encode_payload();
+        let mut slot = Vec::new();
+        self.to_slot_into(seq, slot_size, &mut slot);
+        slot
+    }
+
+    /// Render a full ring-entry slot into `out`, reusing its
+    /// allocation: the header is laid down, the payload is encoded in
+    /// place behind it (no intermediate payload `Vec`), and the slot is
+    /// padded to `slot_size` with the canary last.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds the slot (raise
+    /// `RuntimeConfig::payload_cap`).
+    pub fn to_slot_into(&self, seq: u64, slot_size: usize, out: &mut Vec<u8>) {
+        let mut w = Writer::from_vec(std::mem::take(out));
+        w.bytes(&[0u8; 10]);
+        self.write_payload(&mut w);
+        let mut slot = w.into_vec();
+        let payload_len = slot.len() - 10;
         // The length field is a u16: a longer payload would silently
         // truncate its recorded length and corrupt the decoded entry
         // even when the slot itself is large enough.
         assert!(
-            payload.len() <= u16::MAX as usize,
-            "entry payload of {} bytes overflows the u16 length field",
-            payload.len()
+            payload_len <= u16::MAX as usize,
+            "entry payload of {payload_len} bytes overflows the u16 length field"
         );
         assert!(
-            payload.len() <= slot_size - 11,
+            payload_len <= slot_size - 11,
             "payload of {} bytes exceeds slot capacity {}",
-            payload.len(),
+            payload_len,
             slot_size - 11
         );
-        let mut slot = vec![0u8; slot_size];
         slot[0..8].copy_from_slice(&seq.to_le_bytes());
-        slot[8..10].copy_from_slice(&(payload.len() as u16).to_le_bytes());
-        slot[10..10 + payload.len()].copy_from_slice(&payload);
+        slot[8..10].copy_from_slice(&(payload_len as u16).to_le_bytes());
+        slot.resize(slot_size, 0);
         slot[slot_size - 1] = CANARY;
-        slot
+        *out = slot;
     }
 
     /// Parse a ring-entry slot if it completely holds entry `expect_seq`
-    /// (sequence matches and the canary has landed).
+    /// (sequence matches and the canary has landed; the cheap
+    /// [`slot_ready`] prefix check runs before any payload decode).
     pub fn from_slot(slot: &[u8], expect_seq: u64) -> Option<Self> {
-        let seq = u64::from_le_bytes(slot[0..8].try_into().ok()?);
-        if seq != expect_seq || slot[slot.len() - 1] != CANARY {
+        if !slot_ready(slot, expect_seq) {
             return None;
         }
         let len = u16::from_le_bytes(slot[8..10].try_into().ok()?) as usize;
@@ -152,37 +201,62 @@ impl<U: Wire> SummarySlot<U> {
     ///
     /// Panics if the payload exceeds the slot capacity.
     pub fn to_slot(&self, slot_size: usize) -> Vec<u8> {
-        let g = self.counts.len();
-        let payload = match &self.summary {
-            Some(u) => u.to_bytes(),
-            None => Vec::new(),
-        };
+        let mut slot = Vec::new();
+        self.to_slot_into(slot_size, &mut slot);
+        slot
+    }
+
+    /// Render the used prefix into `out`, reusing its allocation (the
+    /// summarized call is encoded in place, no intermediate `Vec`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds the slot capacity.
+    pub fn to_slot_into(&self, slot_size: usize, out: &mut Vec<u8>) {
+        Self::encode_parts_into(self.version, &self.counts, self.summary.as_ref(), slot_size, out)
+    }
+
+    /// [`to_slot_into`](Self::to_slot_into) from borrowed parts — the
+    /// runtime encodes straight out of its summary cache without
+    /// cloning the counts or the summarized call.
+    pub fn encode_parts_into(
+        version: u64,
+        counts: &[u64],
+        summary: Option<&U>,
+        slot_size: usize,
+        out: &mut Vec<u8>,
+    ) {
+        let g = counts.len();
         let head = 8 + 8 * g + 2;
+        let mut w = Writer::from_vec(std::mem::take(out));
+        w.bytes(&version.to_le_bytes());
+        for c in counts {
+            w.bytes(&c.to_le_bytes());
+        }
+        w.bytes(&[0u8; 2]);
+        if let Some(u) = summary {
+            u.encode(&mut w);
+        }
+        let mut slot = w.into_vec();
+        let payload_len = slot.len() - head;
         // The summary slot capacity scales with the workload
         // (`RuntimeConfig::summary_payload_cap`), so unlike ring
         // entries it can legitimately exceed 64 KiB — the u16 length
         // field is the binding limit and must be checked explicitly or
-        // `payload.len() as u16` truncates silently.
+        // `payload_len as u16` truncates silently.
         assert!(
-            payload.len() <= u16::MAX as usize,
-            "summary payload of {} bytes overflows the u16 length field",
-            payload.len()
+            payload_len <= u16::MAX as usize,
+            "summary payload of {payload_len} bytes overflows the u16 length field"
         );
         assert!(
-            head + payload.len() + 8 <= slot_size,
+            head + payload_len + 8 <= slot_size,
             "summary payload of {} bytes exceeds slot capacity {}",
-            payload.len(),
+            payload_len,
             slot_size - head - 8
         );
-        let mut slot = vec![0u8; head + payload.len() + 8];
-        slot[0..8].copy_from_slice(&self.version.to_le_bytes());
-        for (i, c) in self.counts.iter().enumerate() {
-            slot[8 + 8 * i..16 + 8 * i].copy_from_slice(&c.to_le_bytes());
-        }
-        slot[head - 2..head].copy_from_slice(&(payload.len() as u16).to_le_bytes());
-        slot[head..head + payload.len()].copy_from_slice(&payload);
-        slot[head + payload.len()..].copy_from_slice(&self.version.to_le_bytes());
-        slot
+        slot[head - 2..head].copy_from_slice(&(payload_len as u16).to_le_bytes());
+        slot.extend_from_slice(&version.to_le_bytes());
+        *out = slot;
     }
 
     /// Parse a summary slot with `group_len` methods; `None` if the
@@ -304,6 +378,52 @@ mod tests {
         assert_eq!(slot.len(), 107);
         let back = Entry::<AccountUpdate>::from_slot(&slot, 9).unwrap();
         assert_eq!(back, e);
+    }
+
+    #[test]
+    fn to_slot_into_reuses_dirty_buffers_bit_for_bit() {
+        let e = entry();
+        let fresh = e.to_slot(9, 107);
+        // A recycled buffer full of stale garbage must not leak into
+        // the encoded slot (the padding bytes are remote-written).
+        let mut recycled = vec![0xffu8; 300];
+        e.to_slot_into(9, 107, &mut recycled);
+        assert_eq!(recycled, fresh);
+        let mut payload = vec![0xeeu8; 64];
+        e.encode_payload_into(&mut payload);
+        assert_eq!(payload, e.encode_payload());
+    }
+
+    #[test]
+    fn slot_ready_matches_from_slot_visibility() {
+        let e = entry();
+        let slot = e.to_slot(9, 107);
+        assert!(slot_ready(&slot, 9));
+        assert!(!slot_ready(&slot, 10), "wrong seq");
+        let mut torn = slot.clone();
+        let last = torn.len() - 1;
+        torn[last] = 0;
+        assert!(!slot_ready(&torn, 9), "missing canary");
+        assert!(!slot_ready(&[0u8; 107], 1), "never written");
+        assert!(!slot_ready(&[], 1), "too short");
+    }
+
+    #[test]
+    fn summary_version_peeks_without_parsing() {
+        let s = SummarySlot { version: 7, counts: vec![7], summary: Some(Account::deposit(1)) };
+        let slot = s.to_slot(4096);
+        assert_eq!(summary_version(&slot), 7);
+        assert_eq!(summary_version(&[0u8; 26]), 0, "never written");
+        assert_eq!(summary_version(&[1, 2]), 0, "too short");
+    }
+
+    #[test]
+    fn summary_to_slot_into_reuses_dirty_buffers_bit_for_bit() {
+        let s = SummarySlot { version: 4, counts: vec![4], summary: Some(Account::deposit(12)) };
+        let fresh = s.to_slot(4096);
+        let mut recycled = vec![0xddu8; 512];
+        s.to_slot_into(4096, &mut recycled);
+        assert_eq!(recycled, fresh);
     }
 
     #[test]

@@ -32,6 +32,23 @@ pub struct RuntimeConfig {
     pub fd_suspect_after: u32,
     /// Max update calls a node keeps outstanding (client pipelining).
     pub window: usize,
+    /// Doorbell-batching knob: maximum number of contiguous ring slots
+    /// a single one-sided WRITE may span. `1` posts one WRITE per
+    /// entry (the unbatched protocol); larger values let a
+    /// [`RingWriter`](crate::rings::RingWriter) coalesce adjacent
+    /// pending entries into one WRITE, splitting only at ring
+    /// wraparound and flow-control limits.
+    pub max_batch: usize,
+}
+
+/// Default `max_batch`, overridable via the `HAMBAND_MAX_BATCH`
+/// environment variable (used by `scripts/check.sh` to run the full
+/// suite in both the batched and the unbatched configuration).
+fn default_max_batch() -> usize {
+    match std::env::var("HAMBAND_MAX_BATCH") {
+        Ok(v) => v.parse::<usize>().ok().filter(|&b| b >= 1).unwrap_or(16),
+        Err(_) => 16,
+    }
 }
 
 impl Default for RuntimeConfig {
@@ -48,6 +65,7 @@ impl Default for RuntimeConfig {
             fd_interval: SimDuration::micros(8),
             fd_suspect_after: 3,
             window: 8,
+            max_batch: default_max_batch(),
         }
     }
 }
@@ -77,6 +95,14 @@ impl RuntimeConfig {
     pub fn with_summary_payload_cap(mut self, cap: usize) -> Self {
         assert!(cap >= 16, "summary payload cap must hold at least one call");
         self.summary_payload_cap = cap;
+        self
+    }
+
+    /// Coalesce up to this many contiguous ring entries per WRITE
+    /// (`1` = one WRITE per entry).
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        assert!(max_batch >= 1, "max_batch must be at least 1");
+        self.max_batch = max_batch;
         self
     }
 
@@ -121,11 +147,19 @@ mod tests {
             .with_window(16)
             .with_poll_interval(SimDuration::nanos(500))
             .with_summary_payload_cap(8192)
-            .with_ring_caps(128, 64);
+            .with_ring_caps(128, 64)
+            .with_max_batch(4);
         assert_eq!(c.window, 16);
         assert_eq!(c.poll_interval, SimDuration::nanos(500));
         assert_eq!(c.summary_payload_cap, 8192);
         assert_eq!((c.free_ring_cap, c.conf_ring_cap), (128, 64));
+        assert_eq!(c.max_batch, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_batch")]
+    fn zero_max_batch_is_rejected() {
+        let _ = RuntimeConfig::default().with_max_batch(0);
     }
 
     #[test]

@@ -502,12 +502,14 @@ fn collect_outcome<A: HarnessNode, O: WorkloadSupport>(
     // completion checks exclude it.
     let node_metrics: Vec<NodeMetrics> =
         (0..run.nodes).map(|i| sim.app(NodeId(i)).metrics().clone()).collect();
-    let report = summarize(label, run.nodes, &node_metrics, spec, completed_at, converged);
+    let stats = sim.stats().clone();
+    let report =
+        summarize(label, run.nodes, &node_metrics, spec, completed_at, converged, &stats);
     RunOutcome {
         report,
         events: buffer.map(|b| b.take()).unwrap_or_default(),
         node_metrics,
-        stats: sim.stats().clone(),
+        stats,
     }
 }
 
@@ -601,6 +603,7 @@ fn summarize<O: WorkloadSupport>(
     spec: &O,
     completed_at: SimTime,
     converged: bool,
+    stats: &Stats,
 ) -> RunReport {
     let names = spec.method_names();
     let mut total_calls = 0u64;
@@ -631,6 +634,13 @@ fn summarize<O: WorkloadSupport>(
         completed_at,
         throughput_ops_per_us: total_calls as f64 / elapsed_us,
         mean_rt_us: rt.mean_us(),
+        writes_posted: stats.writes,
+        bytes_written: stats.one_sided_bytes,
+        writes_per_op: if total_updates > 0 {
+            stats.writes as f64 / total_updates as f64
+        } else {
+            0.0
+        },
         per_method_rt_us: per_method.into_iter().map(|(k, h)| (k, h.mean_us())).collect(),
         phases: Phase::ALL
             .iter()
@@ -639,47 +649,6 @@ fn summarize<O: WorkloadSupport>(
             .collect(),
         converged,
     }
-}
-
-// ---------------------------------------------------------------------
-// Deprecated single-shot entry points (pre-Runner API)
-// ---------------------------------------------------------------------
-
-/// The complete conflict relation over `n_methods` methods.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Runner::new(System::MuSmr, config)`, which applies the complete \
-            conflict relation internally"
-)]
-pub fn smr_coord(n_methods: usize) -> CoordSpec {
-    complete_coord(n_methods)
-}
-
-/// Run Hamband (or, with a complete conflict relation, the Mu-SMR
-/// baseline) to completion.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Runner::new(System::Hamband, config).run(spec, coord)`"
-)]
-pub fn run_hamband<O>(spec: &O, coord: &CoordSpec, run: &RunConfig, label: &str) -> RunReport
-where
-    O: WorkloadSupport + Clone,
-    O::Update: Wire,
-{
-    run_replicas(spec, coord, run, label).0.report
-}
-
-/// Run the MSG baseline to completion.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Runner::new(System::Msg, config).run(spec, coord)`"
-)]
-pub fn run_msg<O>(spec: &O, coord: &CoordSpec, run: &RunConfig) -> RunReport
-where
-    O: WorkloadSupport + Clone,
-    O::Update: Wire,
-{
-    run_msg_cluster(spec, coord, run, "msg").0.report
 }
 
 #[cfg(test)]

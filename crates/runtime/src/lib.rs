@@ -84,34 +84,10 @@ pub mod metrics;
 pub mod replica;
 pub mod rings;
 
-/// Former global switch for the runtime's diagnostic trace lines.
-///
-/// The runtime no longer reads it: tracing is structured and per-run
-/// (see [`RunConfig::with_trace`] and [`rdma_sim::TraceSink`]). The
-/// static remains only so existing callers keep compiling.
-#[deprecated(
-    since = "0.2.0",
-    note = "tracing is per-run now; use `RunConfig::with_trace(TraceMode::...)`"
-)]
-pub static TRACE: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
-
-/// Enable or disable the former global diagnostic tracing (see
-/// [`TRACE`]). No longer read by the runtime.
-#[deprecated(
-    since = "0.2.0",
-    note = "tracing is per-run now; use `RunConfig::with_trace(TraceMode::...)`"
-)]
-pub fn set_trace(on: bool) {
-    #[allow(deprecated)]
-    TRACE.store(on, std::sync::atomic::Ordering::Relaxed);
-}
-
 pub use baseline_msg::MsgCrdtNode;
 pub use chaos::{run_case, run_seed, shrink, shrink_case, CaseReport, ChaosOptions, Violation};
 pub use config::RuntimeConfig;
 pub use driver::Workload;
-#[allow(deprecated)]
-pub use harness::{run_hamband, run_msg, smr_coord};
 pub use harness::{NodeEndState, RunConfig, RunOutcome, Runner, System, TraceMode};
 pub use layout::Layout;
 pub use metrics::{LatencyHistogram, LatencySummary, NodeMetrics, RunReport};

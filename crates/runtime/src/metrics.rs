@@ -249,6 +249,18 @@ pub struct RunReport {
     pub throughput_ops_per_us: f64,
     /// Mean response time over all calls, microseconds.
     pub mean_rt_us: f64,
+    /// One-sided WRITE verbs posted during the run (fabric-wide).
+    /// With doorbell batching a single WRITE may carry several ring
+    /// entries, so this can drop well below the call count.
+    pub writes_posted: u64,
+    /// Bytes moved by one-sided verbs during the run (fabric-wide).
+    pub bytes_written: u64,
+    /// WRITEs posted per acknowledged update (`writes_posted /
+    /// total_updates`; 0 when there were no updates). The paper's
+    /// amortized-O(1)-communication claim shows up here: for a
+    /// reducible-only workload this drops below 1.0 per peer once
+    /// summary write-combining collapses k reduces into one WRITE.
+    pub writes_per_op: f64,
     /// Mean response time per method name.
     pub per_method_rt_us: BTreeMap<String, f64>,
     /// Latency distribution per protocol phase, keyed by
@@ -319,6 +331,12 @@ impl RunReport {
         push_json_f64(&mut out, self.throughput_ops_per_us);
         out.push_str(",\"mean_rt_us\":");
         push_json_f64(&mut out, self.mean_rt_us);
+        out.push_str(&format!(
+            ",\"writes_posted\":{},\"bytes_written\":{}",
+            self.writes_posted, self.bytes_written
+        ));
+        out.push_str(",\"writes_per_op\":");
+        push_json_f64(&mut out, self.writes_per_op);
         out.push_str(",\"converged\":");
         out.push_str(if self.converged { "true" } else { "false" });
         out.push_str(",\"per_method_rt_us\":{");
@@ -348,12 +366,13 @@ impl std::fmt::Display for RunReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{:>8}  n={}  calls={}  tput={:.2} ops/us  rt={:.2} us  converged={}",
+            "{:>8}  n={}  calls={}  tput={:.2} ops/us  rt={:.2} us  w/op={:.2}  converged={}",
             self.system,
             self.nodes,
             self.total_calls,
             self.throughput_ops_per_us,
             self.mean_rt_us,
+            self.writes_per_op,
             self.converged
         )?;
         for (name, s) in &self.phases {
@@ -481,6 +500,9 @@ mod tests {
             completed_at: SimTime(1_000_000),
             throughput_ops_per_us: 12.5,
             mean_rt_us: 1.4,
+            writes_posted: 60,
+            bytes_written: 6_000,
+            writes_per_op: 2.4,
             per_method_rt_us: BTreeMap::new(),
             phases,
             converged: true,
@@ -488,6 +510,7 @@ mod tests {
         let s = r.to_string();
         assert!(s.contains("hamband"));
         assert!(s.contains("12.50 ops/us"));
+        assert!(s.contains("w/op=2.40"));
         assert!(s.contains("reduce"));
         assert!(s.contains("p99=3.00us"));
     }
@@ -509,6 +532,9 @@ mod tests {
             completed_at: SimTime(2_500),
             throughput_ops_per_us: f64::NAN,
             mean_rt_us: 1.25,
+            writes_posted: 12,
+            bytes_written: 3_400,
+            writes_per_op: 3.0,
             per_method_rt_us: per_method,
             phases,
             converged: false,
@@ -518,6 +544,7 @@ mod tests {
             j,
             "{\"system\":\"mu-smr\",\"nodes\":3,\"total_calls\":7,\"total_updates\":4,\
              \"completed_at_us\":2.5,\"throughput_ops_per_us\":0,\"mean_rt_us\":1.25,\
+             \"writes_posted\":12,\"bytes_written\":3400,\"writes_per_op\":3,\
              \"converged\":false,\"per_method_rt_us\":{\"with \\\"quote\\\"\":2.5},\
              \"phases\":{\"conf\":{\"count\":3,\"mean_us\":1,\"p50_us\":1,\"p90_us\":2,\
              \"p99_us\":2,\"max_us\":2.25}}}"

@@ -29,7 +29,7 @@
 //! rollback, so even a suspended leader converges with the rest of the
 //! cluster. See DESIGN.md.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use hamband_core::coord::{CoordSpec, MethodCategory};
 use hamband_core::counts::CountMap;
@@ -42,7 +42,8 @@ use rdma_sim::{
 };
 
 use crate::codec::{
-    compose_backup_slot, parse_backup_slot, Entry, SummarySlot, BACKUP_FREE, BACKUP_SUMMARY,
+    compose_backup_slot, parse_backup_slot, slot_ready, summary_version, Entry, SummarySlot,
+    BACKUP_FREE, BACKUP_SUMMARY,
 };
 use crate::config::RuntimeConfig;
 use crate::driver::{Driver, Planned, Workload};
@@ -60,7 +61,7 @@ const TAG_RETRY: u64 = 3;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Route {
-    SummaryWrite { call_id: u64 },
+    SummaryWrite { group: usize, target: NodeId, version: u64 },
     CommitWrite { group: usize },
     RecoveryRead { suspect: NodeId },
     CatchupRead { group: usize, from_seq: u64, count: u64, max_tail: u64 },
@@ -155,6 +156,22 @@ pub struct HambandNode<O: ObjectSpec> {
     applied: CountMap,
     /// Summary caches per (summarization group, source).
     sum_cache: Vec<Vec<CachedSummary<O::Update>>>,
+    /// Write-combining: version of the summary WRITE in flight per
+    /// (summarization group, peer); `None` = the channel is idle. At
+    /// most one summary WRITE per (group, peer) is ever in flight —
+    /// further reduces only fold locally, and completion reposts the
+    /// latest slot if it moved past what landed (slots are
+    /// last-writer-wins, so this is the paper's own amortization).
+    sum_inflight: Vec<Vec<Option<u64>>>,
+    /// Per (summarization group, peer): calls whose summary version has
+    /// not yet landed at that peer, oldest first (`(version, call_id)`).
+    /// A completed write carrying version `v` covers every waiter with
+    /// version `<= v`.
+    sum_waiters: Vec<Vec<VecDeque<(u64, u64)>>>,
+    /// Per summarization group: reusable encode buffer holding the
+    /// latest own summary slot (the used prefix — exactly the bytes a
+    /// repost must write).
+    sum_slot_buf: Vec<Vec<u8>>,
 
     free_writers: Vec<Option<RingWriter>>,
     free_readers: Vec<Option<RingReader>>,
@@ -244,6 +261,7 @@ where
                 uncommitted: Vec::new(),
             })
             .collect();
+        let sum_group_count = coord.sum_groups().len();
         HambandNode {
             mat: sigma.clone(),
             sigma,
@@ -251,6 +269,9 @@ where
             spec_mat: None,
             applied: CountMap::new(n, coord.method_count()),
             sum_cache,
+            sum_inflight: (0..sum_group_count).map(|_| vec![None; n]).collect(),
+            sum_waiters: (0..sum_group_count).map(|_| vec![VecDeque::new(); n]).collect(),
+            sum_slot_buf: vec![Vec::new(); sum_group_count],
             free_writers: Vec::new(),
             free_readers: Vec::new(),
             conf_readers: Vec::new(),
@@ -428,16 +449,19 @@ where
                 self.free_readers.push(None);
                 continue;
             }
-            self.free_writers.push(Some(RingWriter::new(
-                RingKind::Free,
-                node,
-                self.layout.free_rings,
-                self.layout.free_ring_base(self.me),
-                self.layout.free_cap(),
-                self.layout.entry_size(),
-                self.layout.heads,
-                self.layout.free_head_offset(self.me),
-            )));
+            self.free_writers.push(Some(
+                RingWriter::new(
+                    RingKind::Free,
+                    node,
+                    self.layout.free_rings,
+                    self.layout.free_ring_base(self.me),
+                    self.layout.free_cap(),
+                    self.layout.entry_size(),
+                    self.layout.heads,
+                    self.layout.free_head_offset(self.me),
+                )
+                .with_max_batch(self.cfg.max_batch),
+            ));
             self.free_readers.push(Some(RingReader::new(
                 RingKind::Free,
                 self.layout.free_rings,
@@ -496,7 +520,8 @@ where
                     self.layout.entry_size(),
                     self.layout.heads,
                     self.layout.conf_head_offset(g),
-                );
+                )
+                .with_max_batch(self.cfg.max_batch);
                 w.adopt_tail(tail);
                 writers.push(Some(w));
             }
@@ -533,7 +558,7 @@ where
                 self.driver.next(&self.spec, view, &self.coord, &is_leader, &appended)
             };
             match planned {
-                None => return,
+                None => break,
                 Some(Planned::Query(q)) => {
                     let reply = self.spec.query(self.check_view(), &q);
                     let _ = reply;
@@ -553,11 +578,31 @@ where
                         // change may unwedge it).
                         reject_streak += 1;
                         if reject_streak >= 64 {
-                            return;
+                            break;
                         }
                     } else {
                         reject_streak = 0;
                     }
+                }
+            }
+        }
+        // The whole burst of appends is queued by now: post it as
+        // coalesced ring WRITEs (deferring to here is free in virtual
+        // time — same instant, fewer doorbells).
+        self.flush_writers(ctx);
+    }
+
+    /// Post everything the pump queued: coalesced WRITEs for the free
+    /// rings and for any leader-fed conflicting rings. Idle writers
+    /// cost one empty check each.
+    fn flush_writers(&mut self, ctx: &mut Ctx<'_>) {
+        for w in self.free_writers.iter_mut().flatten() {
+            w.flush(ctx);
+        }
+        for gs in self.groups.iter_mut() {
+            if let Some(writers) = gs.writers.as_mut() {
+                for w in writers.iter_mut().flatten() {
+                    w.flush(ctx);
                 }
             }
         }
@@ -618,13 +663,21 @@ where
         let cache = &mut self.sum_cache[g][me];
         cache.version += 1;
         cache.counts[midx] += 1;
-        cache.summary = Some(new_summary.clone());
-        let slot = SummarySlot {
-            version: cache.version,
-            counts: cache.counts.clone(),
-            summary: Some(new_summary),
+        cache.summary = Some(new_summary);
+        let version = cache.version;
+        // Encode the latest slot once into the group's reusable buffer
+        // (used prefix only) straight from the cache — no clones.
+        let mut slot = std::mem::take(&mut self.sum_slot_buf[g]);
+        {
+            let cache = &self.sum_cache[g][me];
+            SummarySlot::encode_parts_into(
+                version,
+                &cache.counts,
+                cache.summary.as_ref(),
+                self.layout.summary_size(g),
+                &mut slot,
+            );
         }
-        .to_slot(self.layout.summary_size(g));
         self.applied.set(Pid(me), method, self.sum_cache[g][me].counts[midx]);
         // Local effects: the call itself lands in the views.
         self.apply_to_views(&update);
@@ -632,26 +685,25 @@ where
 
         let (call_id, _rid) = self.mint_call(method, ctx);
         // Reliable broadcast: backup first, then the remote writes.
-        let backup_slot = self.write_backup(ctx, call_id, BACKUP_SUMMARY, g as u8, self.sum_cache[g][me].version, &slot);
+        let backup_slot = self.write_backup(ctx, call_id, BACKUP_SUMMARY, g as u8, version, &slot);
         let offset = self.layout.summary_offset(g, self.me);
         ctx.local_write(self.layout.summaries, offset, &slot);
+        // Write-combining: post only where the (group, peer) channel is
+        // idle; otherwise the call waits for a later write to carry its
+        // (or a newer) version — the slot is last-writer-wins, so a
+        // landed version v acknowledges every call folded in up to v.
         let mut remotes = 0;
-        let version = self.sum_cache[g][me].version;
         for q in 0..self.n {
             if q == me {
                 continue;
             }
-            let wr = ctx.post_write(NodeId(q), self.layout.summaries, offset, &slot);
-            let issuer = self.me;
-            ctx.emit(|| TraceEvent::SummaryWrite {
-                issuer,
-                target: NodeId(q),
-                method: method.index(),
-                version,
-            });
-            self.wr_routes.insert(wr, Route::SummaryWrite { call_id });
             remotes += 1;
+            self.sum_waiters[g][q].push_back((version, call_id));
+            if self.sum_inflight[g][q].is_none() {
+                self.post_summary(ctx, g, NodeId(q), version, &slot, method.index());
+            }
         }
+        self.sum_slot_buf[g] = slot;
         self.outstanding.insert(
             call_id,
             Outstanding {
@@ -667,6 +719,28 @@ where
         if remotes == 0 {
             self.finish_call(ctx, call_id);
         }
+    }
+
+    /// Post one summary WRITE of `slot` (carrying `version`) to
+    /// `target` and mark the (group, peer) channel busy. `method` only
+    /// labels the trace event (a combined write carries the whole
+    /// group's summary).
+    fn post_summary(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        g: usize,
+        target: NodeId,
+        version: u64,
+        slot: &[u8],
+        method: usize,
+    ) {
+        debug_assert!(self.sum_inflight[g][target.index()].is_none(), "one in flight per peer");
+        let offset = self.layout.summary_offset(g, self.me);
+        let wr = ctx.post_write(target, self.layout.summaries, offset, slot);
+        let issuer = self.me;
+        ctx.emit(|| TraceEvent::SummaryWrite { issuer, target, method, version });
+        self.sum_inflight[g][target.index()] = Some(version);
+        self.wr_routes.insert(wr, Route::SummaryWrite { group: g, target, version });
     }
 
     /// FREE: apply locally, append to every peer's `F` ring.
@@ -832,6 +906,33 @@ where
         self.pump(ctx);
     }
 
+    /// One peer now durably holds this reducible call's summary: the
+    /// per-call remote bookkeeping (ack countdown, backup GC) that a
+    /// dedicated completion used to drive before write-combining.
+    fn credit_summary_peer(&mut self, ctx: &mut Ctx<'_>, call_id: u64) {
+        let mut finished = false;
+        let mut cleanup = None;
+        if let Some(o) = self.outstanding.get_mut(&call_id) {
+            o.total_remaining = o.total_remaining.saturating_sub(1);
+            if o.ack_remaining > 0 && o.ack_remaining != usize::MAX {
+                o.ack_remaining -= 1;
+                finished = o.ack_remaining == 0;
+            }
+            if o.total_remaining == 0 && !finished {
+                cleanup = Some(call_id);
+            }
+        }
+        if let Some(cid) = cleanup {
+            if let Some(o) = self.outstanding.remove(&cid) {
+                if let Some(idx) = o.backup_slot {
+                    self.clear_backup(ctx, idx);
+                }
+            }
+        } else if finished {
+            self.finish_call(ctx, call_id);
+        }
+    }
+
     // ------------------------------------------------------------------
     // Polling: summaries, F rings, L rings
     // ------------------------------------------------------------------
@@ -859,6 +960,12 @@ where
                 let size = self.layout.summary_size(g);
                 let parsed = {
                     let bytes = ctx.local(self.layout.summaries, off, size);
+                    // Fast path: peek the leading version word before
+                    // paying for a full seqlock parse — an unchanged
+                    // slot is the common case in the poll loop.
+                    if summary_version(bytes) <= self.sum_cache[g][src].version {
+                        continue;
+                    }
                     SummarySlot::<O::Update>::from_slot(bytes, group_methods.len())
                 };
                 let Some(slot) = parsed else { continue };
@@ -1136,8 +1243,11 @@ where
             }
         }
         if let Some(done) = free_done {
-            if let Some(&cid) = self.free_call_by_seq.get(&done.seq) {
-                self.on_free_write_done(ctx, cid, done.seq, done.status);
+            // A coalesced WRITE completes every entry it spans.
+            for seq in done.seqs() {
+                if let Some(&cid) = self.free_call_by_seq.get(&seq) {
+                    self.on_free_write_done(ctx, cid, seq, done.status);
+                }
             }
             return;
         }
@@ -1153,7 +1263,9 @@ where
                 }
             }
             if let Some((done, target)) = result {
-                self.on_conf_write_done(ctx, g, target, done.seq, done.status);
+                for seq in done.seqs() {
+                    self.on_conf_write_done(ctx, g, target, seq, done.status);
+                }
                 return;
             }
         }
@@ -1386,7 +1498,9 @@ where
             let off = self.layout.conf_ring_base()
                 + ((probe - 1) as usize % self.layout.conf_cap()) * self.layout.entry_size();
             let slot = ctx.local(self.layout.conf[g], off, self.layout.entry_size());
-            if Entry::<O::Update>::from_slot(slot, probe).is_some() {
+            // The seq+canary prefix check is the landing test; no need
+            // to decode the payload just to probe the tail.
+            if slot_ready(slot, probe) {
                 tail = probe;
             } else {
                 break;
@@ -1547,27 +1661,42 @@ where
         data: Option<&[u8]>,
     ) {
         match route {
-            Route::SummaryWrite { call_id } => {
-                let mut finished = false;
-                let mut cleanup = None;
-                if let Some(o) = self.outstanding.get_mut(&call_id) {
-                    o.total_remaining = o.total_remaining.saturating_sub(1);
-                    if o.ack_remaining > 0 && o.ack_remaining != usize::MAX {
-                        o.ack_remaining -= 1;
-                        finished = o.ack_remaining == 0;
+            Route::SummaryWrite { group: g, target, version } => {
+                // Summary regions never revoke write permission, so the
+                // status needs no inspection (same as before combining).
+                let q = target.index();
+                debug_assert_eq!(self.sum_inflight[g][q], Some(version), "routed write matches");
+                self.sum_inflight[g][q] = None;
+                // The slot is last-writer-wins: landing version v makes
+                // every folded-in call up to v durable at this peer.
+                let mut credited = Vec::new();
+                while let Some(&(v, cid)) = self.sum_waiters[g][q].front() {
+                    if v > version {
+                        break;
                     }
-                    if o.total_remaining == 0 && !finished {
-                        cleanup = Some(call_id);
-                    }
+                    self.sum_waiters[g][q].pop_front();
+                    credited.push(cid);
                 }
-                if let Some(cid) = cleanup {
-                    if let Some(o) = self.outstanding.remove(&cid) {
-                        if let Some(idx) = o.backup_slot {
-                            self.clear_backup(ctx, idx);
-                        }
-                    }
-                } else if finished {
-                    self.finish_call(ctx, call_id);
+                // Dirty channel: the local summary moved past what
+                // landed — repost the latest slot (it is already
+                // encoded in the group's reuse buffer). This must
+                // happen BEFORE crediting: crediting re-enters the
+                // pump, and a fresh reduce issued there must find the
+                // channel busy again, not post a second in-flight
+                // write on it.
+                let latest = self.sum_cache[g][self.me.index()].version;
+                if latest > version {
+                    debug_assert!(
+                        !self.sum_waiters[g][q].is_empty(),
+                        "a newer local version implies someone still waits"
+                    );
+                    let slot = std::mem::take(&mut self.sum_slot_buf[g]);
+                    let method = self.coord.sum_groups()[g][0].index();
+                    self.post_summary(ctx, g, target, latest, &slot, method);
+                    self.sum_slot_buf[g] = slot;
+                }
+                for cid in credited {
+                    self.credit_summary_peer(ctx, cid);
                 }
             }
             Route::CommitWrite { group } => {

@@ -7,17 +7,23 @@
 //! executed. To avoid memory overflow, these locations are reused."
 //!
 //! A [`RingWriter`] lives at the writing node and owns the tail: it
-//! assigns dense sequence numbers and posts one one-sided WRITE per
-//! entry into the slot `(seq - 1) mod capacity` of the reader-side
-//! ring. Flow control is single-sided too: when the tail runs more than
-//! half the capacity ahead of the last known head, the writer posts a
-//! one-sided READ of the reader's head counter and queues further
-//! appends until the ring has room.
+//! assigns dense sequence numbers on [`RingWriter::append`] and posts
+//! the encoded slots on [`RingWriter::flush`], coalescing contiguous
+//! pending entries into a single one-sided WRITE spanning adjacent
+//! slots (doorbell batching). A batch splits only at ring wraparound
+//! (slots are adjacent in memory within one lap), at the flow-control
+//! limit, and at the configured [`max_batch`](RingWriter::with_max_batch).
+//! Flow control is single-sided: when the tail runs more than half the
+//! capacity ahead of the last known head, the writer posts a one-sided
+//! READ of the reader's head counter and queues further appends until
+//! the ring has room.
 //!
 //! A [`RingReader`] lives at the reading node and owns the head: it
 //! polls the next expected slot, accepts the entry only when the
 //! sequence number matches and the canary byte has landed, and
-//! advances a local head counter the writer can read.
+//! advances a local head counter the writer can read. The reader is
+//! oblivious to batching: a coalesced WRITE lands as the same slot
+//! bytes the per-entry WRITEs would have produced.
 
 use std::collections::{HashMap, VecDeque};
 
@@ -25,6 +31,9 @@ use hamband_core::wire::Wire;
 use rdma_sim::{CompletionStatus, Ctx, NodeId, RegionId, RingKind, TraceEvent, WrId};
 
 use crate::codec::Entry;
+
+/// How many encoded-slot buffers a writer keeps around for reuse.
+const SPARE_SLOTS: usize = 32;
 
 /// Writer-side state of one ring (one per (writer, reader) pair for `F`
 /// buffers; one per reader for each `L` buffer the leader feeds).
@@ -36,34 +45,59 @@ pub struct RingWriter {
     base: usize,
     cap: u64,
     slot_size: usize,
+    /// Max contiguous slots one WRITE may span (1 = unbatched).
+    max_batch: u64,
     /// Sequence number of the next entry to append (1-based).
     next_seq: u64,
     /// The reader's head (applied count) as last observed.
     acked_head: u64,
-    /// Entries assigned a sequence number but awaiting ring space.
+    /// Entries assigned a sequence number, encoded, awaiting a flush
+    /// (and, beyond the flow-control window, awaiting ring space).
     pending: VecDeque<(u64, Vec<u8>)>,
-    /// In-flight append writes: work request → sequence number.
-    posted: HashMap<WrId, u64>,
+    /// In-flight writes: work request → (first, last) sequence spanned.
+    posted: HashMap<WrId, (u64, u64)>,
     /// In-flight head read, if any.
     head_read: Option<WrId>,
     /// Where the reader keeps its head counter (reader-local region).
     head_region: RegionId,
     head_offset: usize,
+    /// Recycled slot buffers (capacity `slot_size` each).
+    spare: Vec<Vec<u8>>,
+    /// Scratch for assembling a multi-slot WRITE payload.
+    batch_buf: Vec<u8>,
 }
 
-/// An append completion the caller should account.
+/// An append completion the caller should account. One completion may
+/// cover several entries when the writer coalesced them into a single
+/// WRITE; the sequence range is inclusive on both ends.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AppendDone {
-    /// Sequence number of the landed entry.
-    pub seq: u64,
+    /// First sequence number the landed write spans.
+    pub first_seq: u64,
+    /// Last sequence number the landed write spans (>= `first_seq`).
+    pub last_seq: u64,
     /// Completion status of the write.
     pub status: CompletionStatus,
+}
+
+impl AppendDone {
+    /// The sequence numbers this completion covers, in order.
+    pub fn seqs(&self) -> std::ops::RangeInclusive<u64> {
+        self.first_seq..=self.last_seq
+    }
+
+    /// Number of entries this completion covers.
+    pub fn count(&self) -> u64 {
+        self.last_seq - self.first_seq + 1
+    }
 }
 
 impl RingWriter {
     /// A writer of `kind` feeding the ring at `(target, region, base)`
     /// with `cap` slots of `slot_size` bytes, reading the head counter
-    /// from `(head_region, head_offset)` on the same target.
+    /// from `(head_region, head_offset)` on the same target. Posts one
+    /// WRITE per entry until [`with_max_batch`](Self::with_max_batch)
+    /// raises the coalescing limit.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         kind: RingKind,
@@ -83,6 +117,7 @@ impl RingWriter {
             base,
             cap: cap as u64,
             slot_size,
+            max_batch: 1,
             next_seq: 1,
             acked_head: 0,
             pending: VecDeque::new(),
@@ -90,7 +125,16 @@ impl RingWriter {
             head_read: None,
             head_region,
             head_offset,
+            spare: Vec::new(),
+            batch_buf: Vec::new(),
         }
+    }
+
+    /// Coalesce up to `max_batch` contiguous entries per WRITE.
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        assert!(max_batch >= 1, "max_batch must be at least 1");
+        self.max_batch = max_batch as u64;
+        self
     }
 
     /// The node this writer feeds.
@@ -118,15 +162,23 @@ impl RingWriter {
         self.base + (((seq - 1) % self.cap) as usize) * self.slot_size
     }
 
-    /// Append an encoded entry; returns its sequence number. The write
-    /// is posted immediately if the ring has room, otherwise queued.
+    fn recycle(&mut self, slot: Vec<u8>) {
+        if self.spare.len() < SPARE_SLOTS {
+            self.spare.push(slot);
+        }
+    }
+
+    /// Append an encoded entry; returns its sequence number. The entry
+    /// is only queued: call [`flush`](Self::flush) to post the pending
+    /// entries (coalesced) once the current burst of appends is done.
     pub fn append<U: Wire>(&mut self, ctx: &mut Ctx<'_>, entry: &Entry<U>) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
         let (kind, writer, reader) = (self.kind, ctx.node(), self.target);
         ctx.emit(|| TraceEvent::RingAppend { ring: kind, writer, reader, seq });
-        let slot = entry.to_slot(seq, self.slot_size);
-        self.push_slot(ctx, seq, slot);
+        let mut slot = self.spare.pop().unwrap_or_default();
+        entry.to_slot_into(seq, self.slot_size, &mut slot);
+        self.pending.push_back((seq, slot));
         seq
     }
 
@@ -135,18 +187,8 @@ impl RingWriter {
     pub fn rewrite(&mut self, ctx: &mut Ctx<'_>, seq: u64, slot: Vec<u8>) {
         let offset = self.slot_offset(seq);
         let wr = ctx.post_write(self.target, self.region, offset, &slot);
-        self.posted.insert(wr, seq);
-    }
-
-    fn push_slot(&mut self, ctx: &mut Ctx<'_>, seq: u64, slot: Vec<u8>) {
-        if self.pending.is_empty() && seq <= self.acked_head + self.cap {
-            let offset = self.slot_offset(seq);
-            let wr = ctx.post_write(self.target, self.region, offset, &slot);
-            self.posted.insert(wr, seq);
-        } else {
-            self.pending.push_back((seq, slot));
-        }
-        self.maybe_read_head(ctx);
+        ctx.note_ring_write(1);
+        self.posted.insert(wr, (seq, seq));
     }
 
     fn maybe_read_head(&mut self, ctx: &mut Ctx<'_>) {
@@ -158,7 +200,7 @@ impl RingWriter {
     }
 
     /// Feed a completion; returns `Some(done)` when it was one of this
-    /// ring's appends, `None` otherwise (including head reads, which are
+    /// ring's writes, `None` otherwise (including head reads, which are
     /// absorbed internally).
     pub fn on_completion(
         &mut self,
@@ -180,26 +222,65 @@ impl RingWriter {
             self.flush(ctx);
             return None;
         }
-        let seq = self.posted.remove(&wr)?;
-        Some(AppendDone { seq, status })
+        let (first_seq, last_seq) = self.posted.remove(&wr)?;
+        Some(AppendDone { first_seq, last_seq, status })
     }
 
-    fn flush(&mut self, ctx: &mut Ctx<'_>) {
-        while let Some((seq, _)) = self.pending.front() {
-            if *seq <= self.acked_head + self.cap {
+    /// Post the pending entries, coalescing contiguous runs into single
+    /// WRITEs. A batch ends at the flow-control window (`acked_head +
+    /// cap`), at ring wraparound (the next slot is not adjacent in
+    /// memory), and at `max_batch` slots. Entries beyond the window
+    /// stay queued until a head read observes room.
+    pub fn flush(&mut self, ctx: &mut Ctx<'_>) {
+        loop {
+            let first = match self.pending.front() {
+                Some(&(seq, _)) if seq <= self.acked_head + self.cap => seq,
+                _ => break,
+            };
+            self.batch_buf.clear();
+            let mut last = first;
+            while let Some(&(seq, _)) = self.pending.front() {
+                let in_batch = seq - first;
+                if seq > self.acked_head + self.cap
+                    || in_batch >= self.max_batch
+                    || (in_batch > 0 && (seq - 1) % self.cap == 0)
+                {
+                    break;
+                }
                 let (seq, slot) = self.pending.pop_front().expect("front checked");
-                let offset = self.slot_offset(seq);
-                let wr = ctx.post_write(self.target, self.region, offset, &slot);
-                self.posted.insert(wr, seq);
-            } else {
-                break;
+                debug_assert_eq!(slot.len(), self.slot_size, "slots are fixed-size");
+                self.batch_buf.extend_from_slice(&slot);
+                self.recycle(slot);
+                last = seq;
+            }
+            let offset = self.slot_offset(first);
+            let wr = ctx.post_write(self.target, self.region, offset, &self.batch_buf);
+            ctx.note_ring_write(last - first + 1);
+            self.posted.insert(wr, (first, last));
+            if last > first {
+                let (kind, writer, reader) = (self.kind, ctx.node(), self.target);
+                let count = last - first + 1;
+                ctx.emit(|| TraceEvent::RingBatch {
+                    ring: kind,
+                    writer,
+                    reader,
+                    first_seq: first,
+                    count,
+                });
             }
         }
         self.maybe_read_head(ctx);
     }
 
-    /// Whether appends are queued waiting for ring space.
+    /// Whether the flow-control window is exhausted: the next append
+    /// would not be postable until the reader's head advances.
     pub fn is_backpressured(&self) -> bool {
+        self.next_seq > self.acked_head + self.cap
+    }
+
+    /// Whether entries are queued but not yet posted (awaiting a flush
+    /// or ring space).
+    pub fn has_pending(&self) -> bool {
         !self.pending.is_empty()
     }
 }
@@ -258,10 +339,22 @@ impl RingReader {
         self.base + (((seq - 1) % self.cap) as usize) * self.slot_size
     }
 
+    /// Whether the next entry has fully landed (sequence and canary
+    /// prefix check), without decoding the payload.
+    pub fn next_ready(&self, ctx: &Ctx<'_>) -> bool {
+        let slot = ctx.local(self.region, self.slot_offset(self.next), self.slot_size);
+        crate::codec::slot_ready(slot, self.next)
+    }
+
     /// Peek the next entry if it has fully landed (sequence and canary
     /// check — "to check whether the buffer is not empty and the call is
     /// not concurrently being written, the receiver checks the canary").
+    /// The cheap [`next_ready`](Self::next_ready) prefix check runs
+    /// first so an empty or in-flight slot costs no payload decode.
     pub fn peek<U: Wire>(&self, ctx: &Ctx<'_>) -> Option<Entry<U>> {
+        if !self.next_ready(ctx) {
+            return None;
+        }
         let slot = ctx.local(self.region, self.slot_offset(self.next), self.slot_size);
         Entry::from_slot(slot, self.next)
     }
@@ -298,7 +391,10 @@ mod tests {
     use hamband_core::counts::DepMap;
     use hamband_core::demo::{Account, AccountUpdate};
     use hamband_core::ids::{Pid, Rid};
-    use rdma_sim::{App, Event, FaultPlan, LatencyModel, SimDuration, SimTime, Simulator};
+    use rdma_sim::{
+        App, CollectingSink, Event, FaultPlan, LatencyModel, SimDuration, SimTime, Simulator,
+        Stats,
+    };
 
     const SLOT: usize = 64;
     const CAP: usize = 8;
@@ -319,9 +415,16 @@ mod tests {
     }
 
     impl RingApp {
-        fn new(node: usize, ring_region: RegionId, heads_region: RegionId, to_send: u64) -> Self {
+        fn new(
+            node: usize,
+            ring_region: RegionId,
+            heads_region: RegionId,
+            to_send: u64,
+            max_batch: usize,
+        ) -> Self {
             let writer = (node == 0).then(|| {
                 RingWriter::new(RingKind::Free, NodeId(1), ring_region, 0, CAP, SLOT, heads_region, 0)
+                    .with_max_batch(max_batch)
             });
             let reader = (node == 1)
                 .then(|| RingReader::new(RingKind::Free, ring_region, 0, CAP, SLOT, heads_region, 0));
@@ -348,6 +451,7 @@ mod tests {
                     w.append(ctx, &e);
                     self.sent += 1;
                 }
+                w.flush(ctx);
             }
         }
 
@@ -379,7 +483,7 @@ mod tests {
                     if let Some(w) = self.writer.as_mut() {
                         if let Some(done) = w.on_completion(ctx, wr, status, data.as_deref()) {
                             assert!(done.status.is_success());
-                            self.completions += 1;
+                            self.completions += done.count();
                         }
                     }
                     self.pump_writer(ctx);
@@ -389,7 +493,12 @@ mod tests {
         }
     }
 
-    fn run(to_send: u64, torn: bool) -> (Vec<u64>, u64) {
+    fn run_with(
+        to_send: u64,
+        torn: bool,
+        max_batch: usize,
+        sink: Option<CollectingSink>,
+    ) -> (Vec<u64>, u64, Stats) {
         let mut sim = Simulator::new(2, LatencyModel::deterministic(), 5);
         let ring = sim.add_region_all(CAP * SLOT);
         let heads = sim.add_region_all(8);
@@ -398,38 +507,90 @@ mod tests {
                 &FaultPlan::new().at(SimTime::ZERO, rdma_sim::Fault::TornWrites(NodeId(1))),
             );
         }
-        sim.set_apps(|n| RingApp::new(n.index(), ring, heads, to_send));
+        if let Some(sink) = sink {
+            sim.set_trace_sink(Box::new(sink));
+        }
+        sim.set_apps(|n| RingApp::new(n.index(), ring, heads, to_send, max_batch));
         sim.run_for(SimDuration::millis(20));
         let recv = sim.app(NodeId(1)).received.clone();
         let comp = sim.app(NodeId(0)).completions;
+        let stats = sim.stats().clone();
+        (recv, comp, stats)
+    }
+
+    fn run(to_send: u64, torn: bool, max_batch: usize) -> (Vec<u64>, u64) {
+        let (recv, comp, _) = run_with(to_send, torn, max_batch, None);
         (recv, comp)
     }
 
     #[test]
     fn delivers_in_order_across_wraparound() {
         // 50 entries through an 8-slot ring: flow control must engage.
-        let (received, completions) = run(50, false);
+        let (received, completions) = run(50, false, 4);
         assert_eq!(received, (1..=50).collect::<Vec<u64>>());
-        assert_eq!(completions, 50);
+        assert_eq!(completions, 50, "every entry is covered by a completion");
+    }
+
+    #[test]
+    fn batching_reduces_write_count() {
+        let (recv_1, comp_1, stats_1) = run_with(50, false, 1, None);
+        let (recv_8, comp_8, stats_8) = run_with(50, false, 8, None);
+        assert_eq!(recv_1, recv_8, "delivery order is batch-invariant");
+        assert_eq!(comp_1, 50);
+        assert_eq!(comp_8, 50);
+        assert_eq!(stats_1.ring_slots, 50, "every slot accounted");
+        assert_eq!(stats_8.ring_slots, 50, "every slot accounted");
+        assert_eq!(stats_1.ring_writes, 50, "unbatched: one WRITE per entry");
+        assert!(
+            stats_8.ring_writes < stats_1.ring_writes,
+            "batched run posted {} ring WRITEs, unbatched {}",
+            stats_8.ring_writes,
+            stats_1.ring_writes
+        );
+        // Every one-sided WRITE this app posts is a ring write.
+        assert_eq!(stats_8.ring_writes, stats_8.writes);
+    }
+
+    #[test]
+    fn batches_never_cross_wraparound_or_max_batch() {
+        let (sink, buf) = CollectingSink::new();
+        let (received, _, _) = run_with(50, false, 4, Some(sink));
+        assert_eq!(received, (1..=50).collect::<Vec<u64>>());
+        let mut saw_batch = false;
+        for rec in buf.take() {
+            if let TraceEvent::RingBatch { first_seq, count, .. } = rec.event {
+                saw_batch = true;
+                assert!(count >= 2, "single-slot writes are not batch events");
+                assert!(count <= 4, "batch of {count} exceeds max_batch");
+                let first_slot = (first_seq - 1) % CAP as u64;
+                assert!(
+                    first_slot + count <= CAP as u64,
+                    "batch [{first_seq}, +{count}) crosses the ring boundary"
+                );
+            }
+        }
+        assert!(saw_batch, "a 50-entry burst must coalesce at least once");
     }
 
     #[test]
     fn canary_protects_against_torn_writes() {
-        let (received, _) = run(20, true);
+        let (received, _) = run(20, true, 8);
         assert_eq!(received, (1..=20).collect::<Vec<u64>>(), "no torn entry was consumed");
     }
 
     #[test]
     fn reader_sees_nothing_in_empty_ring() {
-        let (received, _) = run(0, false);
+        let (received, _) = run(0, false, 4);
         assert!(received.is_empty());
     }
 
     #[test]
     fn adopt_tail_continues_numbering() {
-        let mut w = RingWriter::new(RingKind::Free, NodeId(1), RegionId(0), 0, 8, 64, RegionId(1), 0);
+        let mut w = RingWriter::new(RingKind::Free, NodeId(1), RegionId(0), 0, 8, 64, RegionId(1), 0)
+            .with_max_batch(3);
         w.adopt_tail(12);
         assert_eq!(w.next_seq(), 13);
         assert_eq!(w.appended(), 12);
+        assert!(!w.has_pending());
     }
 }

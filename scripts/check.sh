@@ -7,14 +7,25 @@ cd "$(dirname "$0")/.."
 echo "== build (release) =="
 cargo build --release
 
-echo "== tests =="
+echo "== tests (default doorbell batching) =="
 cargo test -q
+
+echo "== tests (batching disabled, HAMBAND_MAX_BATCH=1) =="
+HAMBAND_MAX_BATCH=1 cargo test -q
 
 echo "== tests (workspace) =="
 cargo test -q --workspace
 
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== headline regression gate (vs committed BENCH_headline.json) =="
+cargo build --release -p hamband-bench
+scratch="$(mktemp -d)"
+(cd "$scratch" && "$OLDPWD/target/release/headline" --baseline "$OLDPWD/BENCH_headline.json" > headline.log) \
+  || { cat "$scratch/headline.log"; exit 1; }
+tail -n 3 "$scratch/headline.log"
+rm -rf "$scratch"
 
 echo "== chaos smoke (16 seeds) =="
 ./target/release/chaos --seeds 16
