@@ -1,0 +1,257 @@
+//! Client-call lifecycle: the pump that plans calls, ids,
+//! outstanding-call bookkeeping, backup slots, acknowledgement.
+//!
+//! Every update call a replica issues gets a local call id and an
+//! `Outstanding` record tracking how many remote completions are
+//! still needed before the client is acknowledged
+//! (`HambandNode::finish_call`) and before the call's
+//! reliable-broadcast backup slot can be garbage-collected. One-sided
+//! work requests that are not ring appends carry a `Route` so their
+//! completions find their handler. The `pump`
+//! drains the driver's plan into the per-category issue paths
+//! (`reduce.rs` / `free.rs` / `conf.rs`).
+
+use hamband_core::coord::MethodCategory;
+use hamband_core::ids::{MethodId, Pid, Rid};
+use hamband_core::object::WorkloadSupport;
+use hamband_core::wire::Wire;
+use rdma_sim::{NodeId, Phase, SimTime, TraceEvent};
+
+use crate::codec::compose_backup_slot;
+use crate::driver::Planned;
+use crate::replica::HambandNode;
+use crate::transport::Transport;
+
+/// Why a non-ring work request was posted; stored per [`rdma_sim::WrId`]
+/// so the completion is dispatched to the right protocol module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Route {
+    /// A (possibly write-combined) summary-slot WRITE (`reduce`).
+    SummaryWrite {
+        group: usize,
+        target: NodeId,
+        version: u64,
+    },
+    /// A commit-cell WRITE pushing the group's commit index (`commit`).
+    CommitWrite { group: usize },
+    /// A READ of a suspect's backup region (`recovery`).
+    RecoveryRead { suspect: NodeId },
+    /// A READ of one ring slot from the longest follower (`election`).
+    CatchupRead {
+        group: usize,
+        from_seq: u64,
+        #[allow(dead_code)]
+        count: u64,
+        max_tail: u64,
+    },
+}
+
+/// Remote-completion bookkeeping for one issued update call.
+#[derive(Debug)]
+pub(crate) struct Outstanding {
+    pub(crate) issued_at: SimTime,
+    pub(crate) method: MethodId,
+    /// Protocol path this call travels (REDUCE/FREE/CONF).
+    pub(crate) phase: Phase,
+    /// For conflicting calls: (synchronization group, L-ring seq).
+    pub(crate) conf: Option<(usize, u64)>,
+    /// Remote completions still needed before the client is acked.
+    pub(crate) ack_remaining: usize,
+    /// Remote completions still outstanding in total (backup clear).
+    pub(crate) total_remaining: usize,
+    pub(crate) backup_slot: Option<usize>,
+}
+
+impl<O> HambandNode<O>
+where
+    O: WorkloadSupport,
+    O::Update: Wire,
+{
+    /// Drain the driver's plan: issue queries and updates until the
+    /// driver yields (or an impermissible streak suggests waiting for
+    /// the views to move), then flush the queued ring appends.
+    pub(crate) fn pump<T: Transport>(&mut self, ctx: &mut T) {
+        if self.halted {
+            return;
+        }
+        self.refresh_mat();
+        let mut reject_streak = 0u32;
+        loop {
+            let is_leader: Vec<bool> =
+                self.engines.iter().map(|e| e.accepting_issues()).collect();
+            let appended: Vec<u64> = self.engines.iter().map(|e| e.known_tail()).collect();
+            let planned = {
+                let view = self.spec_mat.as_ref().unwrap_or(&self.mat);
+                self.driver.next(&self.spec, view, &self.coord, &is_leader, &appended)
+            };
+            match planned {
+                None => break,
+                Some(Planned::Query(q)) => {
+                    let reply = self.spec.query(self.check_view(), &q);
+                    let _ = reply;
+                    ctx.consume(ctx.latency().apply_cost);
+                    let cost = ctx.latency().apply_cost;
+                    self.metrics.ack_query(cost);
+                }
+                Some(Planned::Update(u)) => {
+                    let rejected_before = self.metrics.rejected;
+                    self.issue(ctx, u);
+                    if self.metrics.rejected > rejected_before {
+                        // A rejected call consumes no ring quota, so the
+                        // driver will happily regenerate it. Bound the
+                        // streak per pump so a view in which nothing is
+                        // permissible yields back to the event loop
+                        // instead of spinning (later entries or a leader
+                        // change may unwedge it).
+                        reject_streak += 1;
+                        if reject_streak >= 64 {
+                            break;
+                        }
+                    } else {
+                        reject_streak = 0;
+                    }
+                }
+            }
+        }
+        // The whole burst of appends is queued by now: post it as
+        // coalesced ring WRITEs (deferring to here is free in virtual
+        // time — same instant, fewer doorbells).
+        self.flush_writers(ctx);
+    }
+
+    /// Post everything the pump queued: coalesced WRITEs for the free
+    /// rings and for any leader-fed conflicting rings. Idle writers
+    /// cost one empty check each.
+    fn flush_writers<T: Transport>(&mut self, ctx: &mut T) {
+        for w in self.free_writers.iter_mut().flatten() {
+            w.flush(ctx);
+        }
+        for e in self.engines.iter_mut() {
+            if let Some(l) = e.leader_mut() {
+                for w in l.writers.iter_mut().flatten() {
+                    w.flush(ctx);
+                }
+            }
+        }
+    }
+
+    fn issue<T: Transport>(&mut self, ctx: &mut T, update: O::Update) {
+        let method = self.spec.method_of(&update);
+        match self.coord.category(method) {
+            MethodCategory::Reducible { sum_group } => {
+                self.issue_reduce(ctx, update, method, sum_group.index())
+            }
+            MethodCategory::IrreducibleFree => self.issue_free(ctx, update, method),
+            MethodCategory::Conflicting { sync_group } => {
+                self.issue_conf(ctx, update, method, sync_group.index())
+            }
+        }
+    }
+
+    /// Mint a fresh (call id, replica-unique request id) pair.
+    pub(crate) fn mint_call(&mut self, method: MethodId) -> (u64, Rid) {
+        let call_id = self.next_call_id;
+        self.next_call_id += 1;
+        let rid = Rid::new(Pid(self.me.index()), self.next_rid_seq);
+        self.next_rid_seq += 1;
+        let _ = method;
+        (call_id, rid)
+    }
+
+    /// Reject an impermissible call: count it and let the driver plan a
+    /// replacement.
+    pub(crate) fn reject(&mut self, method: MethodId) {
+        let _ = method;
+        self.metrics.rejected += 1;
+        self.driver.on_abort();
+    }
+
+    /// Stash the encoded slot in this node's backup region before the
+    /// remote writes go out (the validity half of reliable broadcast:
+    /// a delegate can re-execute the writes if we crash mid-broadcast).
+    pub(crate) fn write_backup<T: Transport>(
+        &mut self,
+        ctx: &mut T,
+        call_id: u64,
+        kind: u8,
+        group: u8,
+        seq: u64,
+        slot: &[u8],
+    ) -> usize {
+        let idx = (call_id % self.layout.backup_slots() as u64) as usize;
+        let (off, size) = self.layout.backup_slot(idx);
+        let buf = compose_backup_slot(kind, group, seq, slot, size);
+        ctx.local_write(self.layout.backup, off, &buf);
+        idx
+    }
+
+    pub(crate) fn clear_backup<T: Transport>(&mut self, ctx: &mut T, idx: usize) {
+        let (off, _) = self.layout.backup_slot(idx);
+        ctx.local_write(self.layout.backup, off, &[0]);
+    }
+
+    /// Acknowledge a call whose ack countdown reached zero: record the
+    /// latency, emit the trace event, release the driver, and GC the
+    /// backup slot once no write is in flight. Re-enters the pump —
+    /// an ack frees driver budget for the next planned call.
+    pub(crate) fn finish_call<T: Transport>(&mut self, ctx: &mut T, call_id: u64) {
+        if let Some(o) = self.outstanding.get_mut(&call_id) {
+            if o.ack_remaining != 0 {
+                return;
+            }
+            let method = o.method;
+            let issued_at = o.issued_at;
+            let phase = o.phase;
+            let conf = o.conf;
+            self.metrics.ack_update(method.index(), phase, issued_at, ctx.now());
+            let node = self.me;
+            ctx.emit(|| TraceEvent::Ack {
+                node,
+                method: method.index(),
+                phase,
+                group: conf.map(|(g, _)| g),
+                seq: conf.map(|(_, s)| s),
+            });
+            self.driver.on_ack();
+            let done = o.total_remaining == 0;
+            if done {
+                let slot = o.backup_slot;
+                self.outstanding.remove(&call_id);
+                if let Some(idx) = slot {
+                    self.clear_backup(ctx, idx);
+                }
+            } else {
+                // Acked but writes still in flight: keep for backup GC.
+                o.ack_remaining = 0;
+            }
+        }
+        self.pump(ctx);
+    }
+
+    /// One peer now durably holds this reducible call's summary: the
+    /// per-call remote bookkeeping (ack countdown, backup GC) that a
+    /// dedicated completion used to drive before write-combining.
+    pub(crate) fn credit_summary_peer<T: Transport>(&mut self, ctx: &mut T, call_id: u64) {
+        let mut finished = false;
+        let mut cleanup = None;
+        if let Some(o) = self.outstanding.get_mut(&call_id) {
+            o.total_remaining = o.total_remaining.saturating_sub(1);
+            if o.ack_remaining > 0 && o.ack_remaining != usize::MAX {
+                o.ack_remaining -= 1;
+                finished = o.ack_remaining == 0;
+            }
+            if o.total_remaining == 0 && !finished {
+                cleanup = Some(call_id);
+            }
+        }
+        if let Some(cid) = cleanup {
+            if let Some(o) = self.outstanding.remove(&cid) {
+                if let Some(idx) = o.backup_slot {
+                    self.clear_backup(ctx, idx);
+                }
+            }
+        } else if finished {
+            self.finish_call(ctx, call_id);
+        }
+    }
+}

@@ -134,13 +134,19 @@ where
     let mut violations = Vec::new();
 
     if !outcome.report.converged {
+        // Per-node status lines (from the structured NodeStatus
+        // snapshots) show *where* each node stalled — which group has
+        // an election in flight, who still holds uncommitted entries.
+        let statuses: Vec<String> =
+            states.iter().map(|s| format!("\n    {}", s.status)).collect();
         violations.push(Violation {
             check: "convergence",
             detail: format!(
-                "run did not converge (completed_at={}, {} of {} nodes alive)",
+                "run did not converge (completed_at={}, {} of {} nodes alive){}",
                 outcome.report.completed_at,
                 states.iter().filter(|s| s.alive).count(),
                 opts.nodes,
+                statuses.concat(),
             ),
         });
     }

@@ -1,0 +1,119 @@
+//! Commit advancement for the CONF path (leader side).
+//!
+//! An `L`-ring entry is committed once a majority of the cluster holds
+//! it (the leader's own copy plus `n/2` remote completions). The leader
+//! advances the group's commit index over every contiguous committed
+//! sequence, acknowledges the client calls it covers, and pushes the
+//! index into every follower's commit cell — write-combined: at most
+//! one round of commit-cell WRITEs is in flight per group, and a round
+//! that lands stale (the index moved meanwhile) immediately triggers
+//! the next (`HambandNode::flush_commit`).
+
+use hamband_core::object::WorkloadSupport;
+use hamband_core::wire::Wire;
+use rdma_sim::{CompletionStatus, NodeId, TraceEvent};
+
+use crate::calls::Route;
+use crate::replica::HambandNode;
+use crate::transport::Transport;
+
+impl<O> HambandNode<O>
+where
+    O: WorkloadSupport,
+    O::Update: Wire,
+{
+    /// Advance group `g`'s commit index over newly majority-acked
+    /// sequences, acknowledge the committed client calls, and push the
+    /// index to followers.
+    pub(crate) fn advance_commit<T: Transport>(&mut self, ctx: &mut T, g: usize) {
+        let need = self.majority_remote();
+        let before = self.engines[g].commit;
+        let commit = self.engines[g].advance_commit_index(need);
+        if commit > before {
+            // Recorded before the client acks below, so a collected
+            // trace always shows CommitAdvance ahead of the Acks it
+            // enables.
+            let node = self.me;
+            ctx.emit(|| TraceEvent::CommitAdvance { node, group: g, commit });
+        }
+        // Acknowledge committed client calls.
+        let mut acked = Vec::new();
+        if let Some(l) = self.engines[g].leader_mut() {
+            acked = l
+                .client_by_seq
+                .iter()
+                .filter(|&(&seq, _)| seq <= commit)
+                .map(|(_, &cid)| cid)
+                .collect();
+            let seqs: Vec<u64> =
+                l.client_by_seq.keys().copied().filter(|&s| s <= commit).collect();
+            for s in seqs {
+                l.client_by_seq.remove(&s);
+            }
+        }
+        for cid in acked {
+            if let Some(o) = self.outstanding.get_mut(&cid) {
+                o.ack_remaining = 0;
+            }
+            self.finish_call(ctx, cid);
+        }
+        // Push the commit index to followers (coalesced).
+        self.flush_commit(ctx, g);
+        // The leader's own commit cell (read by poll_conf fallback and
+        // by successors).
+        ctx.local_write(
+            self.layout.conf[g],
+            self.layout.conf_commit_offset(),
+            &commit.to_le_bytes(),
+        );
+    }
+
+    /// Push `g`'s commit index to every follower's commit cell, unless
+    /// a round is already in flight or the index has not moved.
+    pub(crate) fn flush_commit<T: Transport>(&mut self, ctx: &mut T, g: usize) {
+        if !self.engines[g].is_leader() {
+            return;
+        }
+        let e = &self.engines[g];
+        if e.commit > e.commit_written && e.commit_writes_inflight == 0 {
+            let commit = e.commit;
+            let mut inflight = 0;
+            for q in 0..self.n {
+                if q == self.me.index() {
+                    continue;
+                }
+                let wr = ctx.post_write(
+                    NodeId(q),
+                    self.layout.conf[g],
+                    self.layout.conf_commit_offset(),
+                    &commit.to_le_bytes(),
+                );
+                self.wr_routes.insert(wr, Route::CommitWrite { group: g });
+                inflight += 1;
+            }
+            let e = &mut self.engines[g];
+            e.commit_written = commit;
+            e.commit_writes_inflight = inflight;
+        }
+    }
+
+    /// A commit-cell WRITE completed. Failure means the target has not
+    /// granted this (possibly stale) leader permission yet: force a
+    /// re-push on the next flush. The in-flight count survives
+    /// deposition so a re-elected leader waits out stale rounds.
+    pub(crate) fn on_commit_write_done<T: Transport>(
+        &mut self,
+        ctx: &mut T,
+        g: usize,
+        status: CompletionStatus,
+    ) {
+        let e = &mut self.engines[g];
+        e.commit_writes_inflight = e.commit_writes_inflight.saturating_sub(1);
+        if !status.is_success() {
+            // Straggler has not granted us yet; force a re-push
+            // of the commit index on the next flush.
+            e.commit_written = 0;
+        }
+        self.flush_commit(ctx, g);
+    }
+}

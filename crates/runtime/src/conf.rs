@@ -1,0 +1,713 @@
+//! CONF path: per-synchronization-group consensus engines.
+//!
+//! §3.3/§4: conflicting methods of one synchronization group are
+//! serialized by a dedicated Mu-style consensus instance — one
+//! [`GroupEngine`] per group, fully independent of every other group's.
+//! The engine owns the group's `L`-ring reader, the node's view of the
+//! group's leadership (epoch, promise, commit index), and a typed
+//! [`Role`] state machine that makes illegal role/field combinations
+//! unrepresentable: only a [`Leader`](Role::Leader) has ring writers, a
+//! tail, pending acks, or an issue floor; only a
+//! [`Candidate`](Role::Candidate) has an election tally.
+//!
+//! Role transitions (see `election.rs` for the message protocol):
+//!
+//! ```text
+//!            suspicion of the leader, lowest-alive starter
+//!  Follower ────────────────────────────────────────────▶ Candidate
+//!      ▲                                                      │
+//!      │ higher-epoch LeaderRequest / LeaderAnnounce          │ majority acks
+//!      │ (depose)                                             ▼
+//!   Leader ◀──────────── install (become_writer) ───── TakingOver
+//!                          after ring catch-up
+//! ```
+//!
+//! A `Candidate` that wins with the longest ring locally skips
+//! `TakingOver` and installs directly. The engine methods that move
+//! between roles are pure state-machine steps (no transport), so the
+//! machine is unit-testable in isolation — see the tests at the bottom.
+//!
+//! The rest of this module is the node-side CONF path over a generic
+//! [`Transport`]: issuing conflicting calls (leader only, gated by the
+//! issue floor), applying committed ring entries, and retrying
+//! permission-denied ring writes.
+
+use std::collections::{BTreeMap, HashMap};
+
+use hamband_core::ids::{MethodId, Pid};
+use hamband_core::object::WorkloadSupport;
+use hamband_core::wire::Wire;
+use rdma_sim::{CompletionStatus, NodeId, RingKind, SimDuration, TraceEvent, WrId};
+
+use crate::calls::Outstanding;
+use crate::codec::Entry;
+use crate::election::Election;
+use crate::replica::{HambandNode, TAG_RETRY};
+use crate::rings::{RingReader, RingWriter};
+use crate::transport::Transport;
+
+/// Leadership role of one node for one synchronization group.
+#[derive(Debug)]
+pub enum Role {
+    /// Not leading: applies committed ring entries, learns the commit
+    /// index from the group's commit cell.
+    Follower,
+    /// Running an election (this node is tallying `LeaderAck`s).
+    Candidate {
+        /// The in-flight tally.
+        election: Election,
+    },
+    /// Won the election but still reading the ring suffix from the
+    /// longest follower; not yet issuing or acking.
+    TakingOver {
+        /// The tail adopted from the election (catch-up target).
+        max_tail: u64,
+    },
+    /// Leading the group: owns the ring writers and the commit index.
+    Leader(LeaderState),
+}
+
+/// State that exists only while leading a group. Dropped wholesale on
+/// deposition, so no stale leader field can leak into follower life.
+#[derive(Debug)]
+pub struct LeaderState {
+    /// Per-target ring writers (`None` at our own slot).
+    pub(crate) writers: Vec<Option<RingWriter>>,
+    /// Entries appended so far (the group's global ordinal).
+    pub(crate) tail: u64,
+    /// No new conflicting calls are issued until our own reader has
+    /// applied the ring through this sequence number. A fresh leader
+    /// adopts the old tail before it has applied every entry below it;
+    /// issuing against that incomplete view would approve calls the
+    /// full history forbids (Lemma 1 needs the check view to contain
+    /// every earlier ring entry).
+    pub(crate) issue_floor: u64,
+    /// Remote-ack counts per sequence number awaiting majority.
+    pub(crate) pending_acks: BTreeMap<u64, usize>,
+    /// seq → client call id awaiting commit.
+    pub(crate) client_by_seq: HashMap<u64, u64>,
+    /// Own uncommitted entries (suffix of the ring), oldest first.
+    pub(crate) uncommitted: Vec<(u64, MethodId)>,
+}
+
+impl LeaderState {
+    fn new(writers: Vec<Option<RingWriter>>, tail: u64, issue_floor: u64) -> Self {
+        LeaderState {
+            writers,
+            tail,
+            issue_floor,
+            pending_acks: BTreeMap::new(),
+            client_by_seq: HashMap::new(),
+            uncommitted: Vec::new(),
+        }
+    }
+}
+
+/// One synchronization group's consensus state at one node.
+///
+/// Everything outside the `role` field is meaningful in
+/// every role: the recognized leader, the epoch/promise pair, the
+/// commit index (a deposed leader keeps its last known commit — its
+/// successor adopts the max over a majority), and the group's ring
+/// reader.
+#[derive(Debug)]
+pub struct GroupEngine {
+    /// This node's reader over its local copy of the group's `L` ring.
+    pub(crate) reader: RingReader,
+    /// The leader this node currently recognizes.
+    pub(crate) leader_view: Pid,
+    /// Epoch of the leadership this node last participated in.
+    pub(crate) epoch: u64,
+    /// Highest epoch promised to any candidate (Paxos-style promise).
+    pub(crate) promised: u64,
+    /// Commit index as this node last knew it directly (followers
+    /// additionally learn it from the commit cell).
+    pub(crate) commit: u64,
+    /// Last commit value pushed to followers (leader bookkeeping that
+    /// deliberately survives deposition: a re-elected leader must wait
+    /// out stale in-flight commit writes before pushing again).
+    pub(crate) commit_written: u64,
+    /// Outstanding commit-cell writes (same lifetime note as above).
+    pub(crate) commit_writes_inflight: usize,
+    /// Highest tail this node ever appended as a leader. Survives
+    /// deposition: the local ring probe alone can under-report the
+    /// tail when the ring has wrapped past the reader, so elections
+    /// take the max with this.
+    pub(crate) tail_hint: u64,
+    /// The role state machine.
+    pub(crate) role: Role,
+}
+
+impl GroupEngine {
+    /// A fresh engine recognizing `leader`, reading the group's ring
+    /// through `reader`. Starts as a [`Role::Follower`]; the initial
+    /// leader installs itself via
+    /// [`install_leader`](Self::install_leader) during setup.
+    pub fn new(leader: Pid, reader: RingReader) -> Self {
+        GroupEngine {
+            reader,
+            leader_view: leader,
+            epoch: 1,
+            promised: 1,
+            commit: 0,
+            commit_written: 0,
+            commit_writes_inflight: 0,
+            tail_hint: 0,
+            role: Role::Follower,
+        }
+    }
+
+    /// Whether this node currently leads the group.
+    pub fn is_leader(&self) -> bool {
+        matches!(self.role, Role::Leader(_))
+    }
+
+    /// Leader state, if leading.
+    pub fn leader(&self) -> Option<&LeaderState> {
+        match &self.role {
+            Role::Leader(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn leader_mut(&mut self) -> Option<&mut LeaderState> {
+        match &mut self.role {
+            Role::Leader(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Whether the leader may issue new conflicting calls: leading,
+    /// and our own reader has caught up past the issue floor.
+    pub fn accepting_issues(&self) -> bool {
+        match &self.role {
+            Role::Leader(l) => self.reader.next_seq() > l.issue_floor,
+            _ => false,
+        }
+    }
+
+    /// Become the group's leader with the given writers and adopted
+    /// `tail`; new conflicting calls stay gated until the reader passes
+    /// `issue_floor`.
+    pub fn install_leader(
+        &mut self,
+        writers: Vec<Option<RingWriter>>,
+        tail: u64,
+        issue_floor: u64,
+    ) {
+        self.role = Role::Leader(LeaderState::new(writers, tail, issue_floor));
+        self.tail_hint = tail;
+    }
+
+    /// Start an election: bump the promise, tally our own vote.
+    /// `own_tail`/`own_commit` seed the maxima. Returns the epoch the
+    /// candidacy runs under.
+    pub fn begin_election(&mut self, me: NodeId, own_tail: u64, own_commit: u64) -> u64 {
+        let epoch = self.promised + 1;
+        self.promised = epoch;
+        self.epoch = epoch;
+        self.role = Role::Candidate {
+            election: Election {
+                epoch,
+                acks: 1,
+                max_tail: own_tail,
+                max_tail_holder: me,
+                max_commit: own_commit,
+            },
+        };
+        epoch
+    }
+
+    /// Tally a `LeaderAck` (ignored unless we are a candidate in the
+    /// matching epoch).
+    pub fn on_leader_ack(&mut self, from: NodeId, epoch: u64, tail: u64, commit: u64) {
+        if let Role::Candidate { election } = &mut self.role {
+            if election.epoch == epoch {
+                election.acks += 1;
+                if tail > election.max_tail {
+                    election.max_tail = tail;
+                    election.max_tail_holder = from;
+                }
+                election.max_commit = election.max_commit.max(commit);
+            }
+        }
+    }
+
+    /// If the candidacy has a majority, win it: adopt the election's
+    /// commit maximum, recognize ourselves, and return the final tally
+    /// (the caller decides between direct install and ring catch-up).
+    /// The role is parked at `Follower` until the caller installs or
+    /// begins the takeover.
+    pub fn try_win(&mut self, majority: usize, me: Pid) -> Option<Election> {
+        let Role::Candidate { election } = &self.role else { return None };
+        if election.acks < majority {
+            return None;
+        }
+        let Role::Candidate { election } =
+            std::mem::replace(&mut self.role, Role::Follower)
+        else {
+            unreachable!("matched above");
+        };
+        self.leader_view = me;
+        self.epoch = election.epoch;
+        self.commit = election.max_commit.max(self.commit);
+        self.commit_written = 0;
+        Some(election)
+    }
+
+    /// Enter ring catch-up toward `max_tail` (between winning and
+    /// installing).
+    pub fn begin_takeover(&mut self, max_tail: u64) {
+        self.role = Role::TakingOver { max_tail };
+    }
+
+    /// Step down: drop the leader state (writers, acks, clients) and
+    /// return it so the node can abort the orphaned client calls.
+    /// No-op in any other role.
+    pub fn depose_leader(&mut self) -> Option<LeaderState> {
+        if self.is_leader() {
+            match std::mem::replace(&mut self.role, Role::Follower) {
+                Role::Leader(l) => Some(l),
+                _ => unreachable!("checked above"),
+            }
+        } else {
+            None
+        }
+    }
+
+    /// Promise `epoch` to `candidate` (a `LeaderRequest` we accept):
+    /// records the promise and recognizes the candidate. The caller
+    /// deposes separately if we were the leader.
+    pub fn promise(&mut self, epoch: u64, candidate: Pid) {
+        self.promised = epoch;
+        self.leader_view = candidate;
+    }
+
+    /// Advance the commit index over every next-in-line sequence that
+    /// reached `need` remote acks. Leader only; returns the new commit
+    /// index (unchanged for other roles).
+    pub fn advance_commit_index(&mut self, need: usize) -> u64 {
+        if let Role::Leader(l) = &mut self.role {
+            loop {
+                let next = self.commit + 1;
+                match l.pending_acks.get(&next) {
+                    Some(&count) if count >= need => {
+                        l.pending_acks.remove(&next);
+                        self.commit = next;
+                    }
+                    _ => break,
+                }
+            }
+        }
+        self.commit
+    }
+
+    /// The group tail as this node best knows it (leader: the real
+    /// tail; otherwise the highest tail it ever appended).
+    pub fn known_tail(&self) -> u64 {
+        match &self.role {
+            Role::Leader(l) => l.tail,
+            _ => self.tail_hint,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Node-side CONF path (issue, apply, write completions, retries)
+// ---------------------------------------------------------------------
+
+impl<O> HambandNode<O>
+where
+    O: WorkloadSupport,
+    O::Update: Wire,
+{
+    /// Install the startup permission grants for every group (only the
+    /// initial leader may write a group's ring and commit cell — the Mu
+    /// permission discipline) and become the writer of any group we
+    /// lead from the start.
+    pub(crate) fn setup_conf_groups<T: Transport>(&mut self, ctx: &mut T) {
+        for g in 0..self.engines.len() {
+            let leader = self.engines[g].leader_view;
+            for q in 0..self.n {
+                ctx.set_write_permission(self.layout.conf[g], NodeId(q), Pid(q) == leader);
+            }
+            if leader.index() == self.me.index() {
+                self.become_writer(g, 0, 0);
+            }
+        }
+    }
+
+    /// Install ourselves as `g`'s leader: build one ring writer per
+    /// peer, all adopting `tail`.
+    pub(crate) fn become_writer(&mut self, g: usize, tail: u64, issue_floor: u64) {
+        let mut writers = Vec::with_capacity(self.n);
+        for q in 0..self.n {
+            if q == self.me.index() {
+                writers.push(None);
+            } else {
+                let mut w = RingWriter::new(
+                    RingKind::Conf,
+                    NodeId(q),
+                    self.layout.conf[g],
+                    self.layout.conf_ring_base(),
+                    self.layout.conf_cap(),
+                    self.layout.entry_size(),
+                    self.layout.heads,
+                    self.layout.conf_head_offset(g),
+                )
+                .with_max_batch(self.cfg.max_batch);
+                w.adopt_tail(tail);
+                writers.push(Some(w));
+            }
+        }
+        self.engines[g].install_leader(writers, tail, issue_floor);
+    }
+
+    /// CONF: append to the group's `L` rings; apply at commit.
+    pub(crate) fn issue_conf<T: Transport>(
+        &mut self,
+        ctx: &mut T,
+        update: O::Update,
+        method: MethodId,
+        g: usize,
+    ) {
+        if !self.permissible_now(&update) {
+            self.reject(method);
+            return;
+        }
+        ctx.consume(ctx.latency().apply_cost);
+        let deps = self.applied.project(self.coord.dependencies(method));
+        let (call_id, rid) = self.mint_call(method);
+        // Speculative view gains the call; σ/mat only at commit.
+        if self.spec_mat.is_none() {
+            self.refresh_mat();
+            self.spec_mat = Some(self.mat.clone());
+        }
+        if let Some(sm) = self.spec_mat.as_mut() {
+            self.spec.apply_mut(sm, &update);
+        }
+
+        self.speculative_store.push(update.clone());
+        let entry = Entry { rid, update, deps };
+        let engine = &mut self.engines[g];
+        let leader = engine.leader_mut().expect("issue_conf only runs at the leader");
+        let seq = leader.tail + 1;
+        leader.tail = seq;
+        leader.uncommitted.push((seq, method));
+        engine.tail_hint = seq;
+        let slot = entry.to_slot(seq, self.layout.entry_size());
+        // Local ring copy (leader's log for catch-up by successors).
+        let ring_off = self.layout.conf_ring_base()
+            + ((seq - 1) as usize % self.layout.conf_cap()) * self.layout.entry_size();
+        ctx.local_write(self.layout.conf[g], ring_off, &slot);
+        let leader = self.engines[g].leader_mut().expect("still leading");
+        for w in leader.writers.iter_mut().flatten() {
+            let s = w.append(ctx, &entry);
+            debug_assert_eq!(s, seq, "conf rings advance with the group ordinal");
+        }
+        leader.pending_acks.insert(seq, 0);
+        leader.client_by_seq.insert(seq, call_id);
+        self.outstanding.insert(
+            call_id,
+            Outstanding {
+                issued_at: ctx.now(),
+                method,
+                phase: rdma_sim::Phase::Conf,
+                conf: Some((g, seq)),
+                // Acked when the commit index passes this seq.
+                ack_remaining: usize::MAX,
+                total_remaining: 0,
+                backup_slot: None,
+            },
+        );
+        if self.majority_remote() == 0 {
+            // Single-node cluster: commit immediately.
+            self.advance_commit(ctx, g);
+        }
+    }
+
+    /// Apply committed `L`-ring entries, gated by the commit index and
+    /// by each entry's dependency map.
+    pub(crate) fn poll_conf<T: Transport>(&mut self, ctx: &mut T) {
+        for g in 0..self.engines.len() {
+            // Followers learn the commit index from the commit cell;
+            // the leader knows it directly.
+            let commit = if self.engines[g].is_leader() {
+                self.engines[g].commit
+            } else {
+                let cell = ctx.local(self.layout.conf[g], self.layout.conf_commit_offset(), 8);
+                u64::from_le_bytes(cell.try_into().expect("8 bytes"))
+            };
+            loop {
+                let next = self.engines[g].reader.next_seq();
+                if next > commit {
+                    break;
+                }
+                let entry = self.engines[g].reader.peek::<O::Update>(ctx);
+                let Some(entry) = entry else { break };
+                if !self.applied.satisfies(&entry.deps) {
+                    break;
+                }
+                ctx.consume(ctx.latency().apply_cost);
+                let method = self.spec.method_of(&entry.update);
+                self.spec.apply_mut(&mut self.sigma, &entry.update);
+                // Own uncommitted entry reaching commit: it is already
+                // in the speculative view; only σ/mat advance.
+                let own_head = self.engines[g]
+                    .leader()
+                    .and_then(|l| l.uncommitted.first())
+                    .is_some_and(|&(s, _)| s == next);
+                if own_head {
+                    let leader = self.engines[g].leader_mut().expect("own_head implies leader");
+                    leader.uncommitted.remove(0);
+                    self.speculative_pop();
+                    if !self.mat_dirty {
+                        self.spec.apply_mut(&mut self.mat, &entry.update);
+                    }
+                    if self.no_uncommitted() {
+                        self.spec_mat = None;
+                    }
+                } else {
+                    self.apply_to_views(&entry.update);
+                }
+                self.applied.increment(entry.rid.issuer, method);
+                if entry.rid.issuer.index() != self.me.index() {
+                    self.metrics.remote_applied += 1;
+                }
+                self.metrics.last_apply = ctx.now();
+                // The entry's issuer is the leader that appended it.
+                self.engines[g].reader.advance(ctx, NodeId(entry.rid.issuer.index()));
+            }
+        }
+    }
+
+    /// Feed an `L`-ring append completion to whichever group's writer
+    /// posted it; returns `true` if one claimed it.
+    pub(crate) fn on_conf_completion<T: Transport>(
+        &mut self,
+        ctx: &mut T,
+        wr: WrId,
+        status: CompletionStatus,
+        data: Option<&[u8]>,
+    ) -> bool {
+        for g in 0..self.engines.len() {
+            let mut result = None;
+            if let Some(leader) = self.engines[g].leader_mut() {
+                for w in leader.writers.iter_mut().flatten() {
+                    if let Some(done) = w.on_completion(ctx, wr, status, data) {
+                        result = Some((done, w.target()));
+                        break;
+                    }
+                }
+            }
+            if let Some((done, target)) = result {
+                for seq in done.seqs() {
+                    self.on_conf_write_done(ctx, g, target, seq, done.status);
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    pub(crate) fn on_conf_write_done<T: Transport>(
+        &mut self,
+        ctx: &mut T,
+        g: usize,
+        target: NodeId,
+        seq: u64,
+        status: CompletionStatus,
+    ) {
+        if !status.is_success() {
+            // The target has not granted us write permission (it may
+            // simply not have processed our election yet, or a newer
+            // leader exists — the latter reaches us as a higher-epoch
+            // message and deposes us there). Retry until either happens;
+            // the entry can still commit through the other followers.
+            // Suspected peers are retried too: a suspended-but-alive
+            // node still grants permission once it sees the election.
+            if matches!(self.engines[g].role, Role::Leader(_) | Role::TakingOver { .. }) {
+                self.conf_retries.push((g, target, seq));
+                if !self.retry_timer_armed {
+                    self.retry_timer_armed = true;
+                    ctx.set_timer(SimDuration::micros(5), TAG_RETRY);
+                }
+            }
+            return;
+        }
+        if let Some(leader) = self.engines[g].leader_mut() {
+            if let Some(count) = leader.pending_acks.get_mut(&seq) {
+                *count += 1;
+            }
+        }
+        self.advance_commit(ctx, g);
+    }
+
+    /// Re-post permission-denied ring writes (rewrites of the leader's
+    /// local ring copy). Entries of groups we no longer lead are
+    /// dropped — the new leader's rebroadcast covers them.
+    pub(crate) fn run_retries<T: Transport>(&mut self, ctx: &mut T) {
+        self.retry_timer_armed = false;
+        let retries = std::mem::take(&mut self.conf_retries);
+        for (g, target, seq) in retries {
+            if !self.engines[g].is_leader() {
+                continue;
+            }
+            let off = self.layout.conf_ring_base()
+                + ((seq - 1) as usize % self.layout.conf_cap()) * self.layout.entry_size();
+            let slot = ctx.local(self.layout.conf[g], off, self.layout.entry_size()).to_vec();
+            if let Some(leader) = self.engines[g].leader_mut() {
+                if let Some(w) = leader.writers[target.index()].as_mut() {
+                    w.rewrite(ctx, seq, slot);
+                }
+            }
+        }
+    }
+
+    /// Step down from leading `g` after a higher-epoch leader emerged.
+    pub(crate) fn depose<T: Transport>(&mut self, ctx: &mut T, g: usize) {
+        let Some(dropped) = self.engines[g].depose_leader() else { return };
+        let (node, epoch) = (self.me, self.engines[g].promised);
+        ctx.emit(|| TraceEvent::Deposed { group: g, node, epoch });
+        // Abort unacknowledged conflicting calls: their entries may or
+        // may not survive into the new leader's log; the speculative
+        // view simply vanishes (σ and mat were never touched).
+        let orphans: Vec<u64> = dropped.client_by_seq.values().copied().collect();
+        self.conf_retries.retain(|&(rg, _, _)| rg != g);
+        self.speculative_clear();
+        self.spec_mat = None;
+        for cid in orphans {
+            if self.outstanding.remove(&cid).is_some() {
+                self.metrics.rejected += 1;
+                self.driver.on_abort();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdma_sim::RegionId;
+
+    fn engine() -> GroupEngine {
+        let reader =
+            RingReader::new(RingKind::Conf, RegionId(0), 8, 64, 64, RegionId(1), 0);
+        GroupEngine::new(Pid(0), reader)
+    }
+
+    fn writers(n: usize, me: usize) -> Vec<Option<RingWriter>> {
+        (0..n)
+            .map(|q| {
+                (q != me).then(|| {
+                    RingWriter::new(
+                        RingKind::Conf,
+                        NodeId(q),
+                        RegionId(0),
+                        8,
+                        64,
+                        64,
+                        RegionId(1),
+                        0,
+                    )
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn follower_to_candidate_to_leader_on_suspicion() {
+        let mut e = engine();
+        assert!(matches!(e.role, Role::Follower));
+        assert!(!e.accepting_issues());
+
+        // The leader is suspected; we start an election.
+        let epoch = e.begin_election(NodeId(1), 5, 3);
+        assert_eq!(epoch, 2);
+        assert!(matches!(e.role, Role::Candidate { .. }));
+        assert!(!e.is_leader());
+
+        // One ack short of a 3-node majority (need 2, have our own 1).
+        assert!(e.try_win(2, Pid(1)).is_none());
+        e.on_leader_ack(NodeId(2), epoch, 7, 4);
+        let won = e.try_win(2, Pid(1)).expect("majority reached");
+        assert_eq!(won.max_tail, 7, "the longer follower log wins");
+        assert_eq!(won.max_tail_holder, NodeId(2));
+        assert_eq!(e.commit, 4, "commit adopted from the tally max");
+        assert_eq!(e.leader_view, Pid(1));
+        assert_eq!(e.epoch, epoch);
+
+        // Our log was shorter: catch up, then install.
+        e.begin_takeover(won.max_tail);
+        assert!(matches!(e.role, Role::TakingOver { max_tail: 7 }));
+        assert!(!e.accepting_issues());
+        e.install_leader(writers(3, 1), won.max_tail, won.max_tail);
+        assert!(e.is_leader());
+    }
+
+    #[test]
+    fn stale_epoch_acks_are_ignored() {
+        let mut e = engine();
+        let epoch = e.begin_election(NodeId(0), 0, 0);
+        e.on_leader_ack(NodeId(1), epoch - 1, 99, 99);
+        assert!(e.try_win(2, Pid(0)).is_none(), "stale ack must not count");
+        let Role::Candidate { election } = &e.role else { panic!("still a candidate") };
+        assert_eq!(election.acks, 1);
+        assert_eq!(election.max_tail, 0, "stale tail must not poison the tally");
+    }
+
+    #[test]
+    fn depose_on_higher_epoch_drops_leader_state_wholesale() {
+        let mut e = engine();
+        e.install_leader(writers(3, 0), 4, 0);
+        let l = e.leader_mut().unwrap();
+        l.pending_acks.insert(5, 1);
+        l.client_by_seq.insert(5, 42);
+        l.uncommitted.push((5, MethodId(0)));
+
+        // A higher-epoch LeaderRequest arrives: promise and depose.
+        e.promise(7, Pid(2));
+        let dropped = e.depose_leader().expect("was leading");
+        assert!(matches!(e.role, Role::Follower));
+        assert_eq!(e.promised, 7);
+        assert_eq!(e.leader_view, Pid(2));
+        assert_eq!(dropped.client_by_seq.get(&5), Some(&42), "orphans surface");
+        assert!(e.leader().is_none(), "no leader field survives deposition");
+        assert_eq!(e.tail_hint, 4, "tail hint survives for future elections");
+        assert!(e.depose_leader().is_none(), "deposing a follower is a no-op");
+    }
+
+    #[test]
+    fn issue_floor_gates_until_reader_catches_up() {
+        let mut e = engine();
+        // Takeover adopted tail 6: reader is at seq 1, floor at 6.
+        e.install_leader(writers(3, 0), 6, 6);
+        assert!(e.is_leader());
+        assert!(
+            !e.accepting_issues(),
+            "a fresh takeover must not issue against an incomplete view"
+        );
+        // Simulate the reader applying through the floor.
+        e.reader.skip_to_for_test(6);
+        assert!(e.accepting_issues(), "floor passed: issuing resumes");
+        // An original leader starts with floor 0 and issues at once.
+        let mut e2 = engine();
+        e2.install_leader(writers(3, 0), 0, 0);
+        assert!(e2.accepting_issues());
+    }
+
+    #[test]
+    fn advance_commit_requires_contiguous_majorities() {
+        let mut e = engine();
+        e.install_leader(writers(3, 0), 0, 0);
+        let l = e.leader_mut().unwrap();
+        l.pending_acks.insert(1, 1);
+        l.pending_acks.insert(2, 0);
+        l.pending_acks.insert(3, 1);
+        assert_eq!(e.advance_commit_index(1), 1, "seq 2 lacks acks: stop there");
+        let l = e.leader_mut().unwrap();
+        *l.pending_acks.get_mut(&2).unwrap() = 1;
+        assert_eq!(e.advance_commit_index(1), 3, "gap filled: advance through 3");
+        assert_eq!(e.advance_commit_index(1), 3, "idempotent with no new acks");
+    }
+}

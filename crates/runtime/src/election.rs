@@ -1,0 +1,254 @@
+//! Leader change for the CONF path: elections, promises, ring
+//! catch-up, and takeover.
+//!
+//! When a group's recognized leader is suspected, the lowest alive node
+//! starts an election (`recovery` decides *who*; this module runs it):
+//! it bumps the group's epoch, revokes everyone's write permission but
+//! its own, and asks every unsuspected peer for a `LeaderAck` carrying
+//! the peer's landed ring tail and commit index. With a majority of
+//! acks the candidate adopts the maximum commit, reads any missing ring
+//! suffix from the follower with the longest log
+//! (`Route::CatchupRead`), rebroadcasts the uncommitted window so all
+//! ring copies converge, and announces itself. Losers and late peers
+//! depose themselves on the higher-epoch `LeaderRequest` or
+//! `LeaderAnnounce`.
+//!
+//! The tally lives in [`Election`], owned by the engine's
+//! [`Candidate`](crate::conf::Role::Candidate) role. The pure
+//! state-machine steps (tallying, winning, takeover transitions) are on
+//! [`GroupEngine`](crate::conf::GroupEngine); this module drives them
+//! over the [`Transport`].
+
+use hamband_core::ids::Pid;
+use hamband_core::object::WorkloadSupport;
+use hamband_core::wire::Wire;
+use rdma_sim::{NodeId, TraceEvent};
+
+use crate::calls::Route;
+use crate::codec::slot_ready;
+use crate::conf::Role;
+use crate::messages::ControlMsg;
+use crate::replica::HambandNode;
+use crate::transport::Transport;
+
+/// An in-flight candidacy: the running tally of `LeaderAck`s for one
+/// epoch, tracking the longest follower log and highest commit seen.
+#[derive(Debug)]
+pub struct Election {
+    pub(crate) epoch: u64,
+    pub(crate) acks: usize,
+    pub(crate) max_tail: u64,
+    pub(crate) max_tail_holder: NodeId,
+    pub(crate) max_commit: u64,
+}
+
+impl<O> HambandNode<O>
+where
+    O: WorkloadSupport,
+    O::Update: Wire,
+{
+    /// Start an election for group `g`: vote for ourselves (grant our
+    /// own permission, tally our own tail/commit) and solicit acks from
+    /// every unsuspected peer.
+    pub(crate) fn start_election<T: Transport>(&mut self, ctx: &mut T, g: usize) {
+        // Vote for ourselves: grant our own permission and record tail.
+        for q in 0..self.n {
+            ctx.set_write_permission(self.layout.conf[g], NodeId(q), q == self.me.index());
+        }
+        let own_tail = self.landed_tail(ctx, g);
+        let own_commit = self.known_commit(ctx, g);
+        let epoch = self.engines[g].begin_election(self.me, own_tail, own_commit);
+        let msg = ControlMsg::LeaderRequest { group: g as u32, epoch };
+        for q in 0..self.n {
+            if q != self.me.index() && !self.fd.is_suspected(NodeId(q)) {
+                ctx.send(NodeId(q), msg.to_bytes().into());
+            }
+        }
+        self.maybe_win(ctx, g);
+    }
+
+    /// Highest fully landed entry sequence in our copy of group `g`'s
+    /// ring.
+    pub(crate) fn landed_tail<T: Transport>(&self, ctx: &T, g: usize) -> u64 {
+        let engine = &self.engines[g];
+        let mut tail = engine.reader.applied();
+        for _ in 0..self.layout.conf_cap() {
+            let probe = tail + 1;
+            let off = self.layout.conf_ring_base()
+                + ((probe - 1) as usize % self.layout.conf_cap()) * self.layout.entry_size();
+            let slot = ctx.local(self.layout.conf[g], off, self.layout.entry_size());
+            // The seq+canary prefix check is the landing test; no need
+            // to decode the payload just to probe the tail.
+            if slot_ready(slot, probe) {
+                tail = probe;
+            } else {
+                break;
+            }
+        }
+        // The local probe under-reports once the ring has wrapped past
+        // the reader; an ex-leader additionally knows what it appended.
+        tail.max(engine.tail_hint)
+    }
+
+    pub(crate) fn known_commit<T: Transport>(&self, ctx: &T, g: usize) -> u64 {
+        let cell = ctx.local(self.layout.conf[g], self.layout.conf_commit_offset(), 8);
+        u64::from_le_bytes(cell.try_into().expect("8 bytes")).max(self.engines[g].commit)
+    }
+
+    /// Dispatch a two-sided control message (the protocol's slow path).
+    pub(crate) fn on_control<T: Transport>(&mut self, ctx: &mut T, from: NodeId, msg: ControlMsg) {
+        match msg {
+            ControlMsg::LeaderRequest { group, epoch } => {
+                let g = group as usize;
+                if epoch > self.engines[g].promised {
+                    // Revoke the old leader, grant the candidate.
+                    for q in 0..self.n {
+                        ctx.set_write_permission(self.layout.conf[g], NodeId(q), q == from.index());
+                    }
+                    self.engines[g].promise(epoch, Pid(from.index()));
+                    if self.engines[g].is_leader() {
+                        // We were the old leader and just got replaced.
+                        self.depose(ctx, g);
+                    }
+                    let tail = self.landed_tail(ctx, g);
+                    let commit = self.known_commit(ctx, g);
+                    let ack = ControlMsg::LeaderAck { group, epoch, tail, commit };
+                    ctx.send(from, ack.to_bytes().into());
+                }
+            }
+            ControlMsg::LeaderAck { group, epoch, tail, commit } => {
+                let g = group as usize;
+                self.engines[g].on_leader_ack(from, epoch, tail, commit);
+                self.maybe_win(ctx, g);
+            }
+            ControlMsg::Retired => {
+                // Workload-level crash-stop announcement: from now on
+                // treat the sender exactly like a detected crash, and
+                // keep the suspicion sticky even though its heartbeat
+                // counter still moves.
+                if self.fd.mark_workload_dead(from) {
+                    self.on_suspect(ctx, from);
+                }
+            }
+            ControlMsg::LeaderAnnounce { group, epoch, leader } => {
+                let g = group as usize;
+                if epoch >= self.engines[g].promised {
+                    self.engines[g].promised = epoch;
+                    self.engines[g].leader_view = Pid(leader as usize);
+                    if leader as usize != self.me.index() {
+                        for q in 0..self.n {
+                            ctx.set_write_permission(
+                                self.layout.conf[g],
+                                NodeId(q),
+                                q == leader as usize,
+                            );
+                        }
+                        if self.engines[g].is_leader() {
+                            self.depose(ctx, g);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// If our candidacy for `g` reached a majority, win it: adopt the
+    /// tally, and either install directly (our log is the longest) or
+    /// read the missing ring suffix from the holder first.
+    pub(crate) fn maybe_win<T: Transport>(&mut self, ctx: &mut T, g: usize) {
+        let majority = self.n / 2 + 1;
+        let Some(won) = self.engines[g].try_win(majority, Pid(self.me.index())) else {
+            return;
+        };
+        let own_tail = self.landed_tail(ctx, g);
+        if own_tail < won.max_tail && won.max_tail_holder != self.me {
+            // Catch up: read the missing suffix from the best follower.
+            let from_seq = own_tail + 1;
+            let count = won.max_tail - own_tail;
+            self.engines[g].begin_takeover(won.max_tail);
+            // Ring is positional: read slot-by-slot range; wrap handled
+            // by issuing one read per slot (the suffix is short).
+            for s in from_seq..=won.max_tail {
+                let off = self.layout.conf_ring_base()
+                    + ((s - 1) as usize % self.layout.conf_cap()) * self.layout.entry_size();
+                let wr = ctx.post_read(
+                    won.max_tail_holder,
+                    self.layout.conf[g],
+                    off,
+                    self.layout.entry_size(),
+                );
+                self.wr_routes.insert(
+                    wr,
+                    Route::CatchupRead { group: g, from_seq: s, count, max_tail: won.max_tail },
+                );
+            }
+        } else {
+            self.finish_takeover(ctx, g, won.max_tail);
+        }
+    }
+
+    /// Complete the takeover of `g`: install the writers at the adopted
+    /// tail, rebroadcast the uncommitted window so every ring copy
+    /// converges, announce, and resume the group's quota.
+    pub(crate) fn finish_takeover<T: Transport>(&mut self, ctx: &mut T, g: usize, max_tail: u64) {
+        let (leader, epoch) = (self.me, self.engines[g].epoch);
+        ctx.emit(|| TraceEvent::LeaderChange { group: g, leader, epoch });
+        // New conflicting calls stay gated until our reader has applied
+        // the adopted history (issue floor = the adopted tail).
+        self.become_writer(g, max_tail, max_tail);
+        // Rebroadcast the window between the adopted commit and the
+        // tail so every follower's ring converges, then re-count acks.
+        let commit = self.engines[g].commit;
+        for s in (commit + 1)..=max_tail {
+            self.engines[g]
+                .leader_mut()
+                .expect("just installed")
+                .pending_acks
+                .insert(s, 0);
+            let off = self.layout.conf_ring_base()
+                + ((s - 1) as usize % self.layout.conf_cap()) * self.layout.entry_size();
+            let slot = ctx.local(self.layout.conf[g], off, self.layout.entry_size()).to_vec();
+            let writers =
+                &mut self.engines[g].leader_mut().expect("just installed").writers;
+            for w in writers.iter_mut().flatten() {
+                w.rewrite(ctx, s, slot.clone());
+            }
+        }
+        // Announce.
+        let msg = ControlMsg::LeaderAnnounce {
+            group: g as u32,
+            epoch: self.engines[g].epoch,
+            leader: self.me.index() as u32,
+        };
+        for q in 0..self.n {
+            if q != self.me.index() {
+                ctx.send(NodeId(q), msg.to_bytes().into());
+            }
+        }
+        self.advance_commit(ctx, g);
+        self.pump(ctx);
+    }
+
+    /// A catch-up slot READ completed: install the slot bytes into our
+    /// ring copy and finish the takeover once the whole suffix landed.
+    pub(crate) fn on_catchup_read<T: Transport>(
+        &mut self,
+        ctx: &mut T,
+        g: usize,
+        from_seq: u64,
+        max_tail: u64,
+        data: Option<&[u8]>,
+    ) {
+        if let Some(bytes) = data {
+            let off = self.layout.conf_ring_base()
+                + ((from_seq - 1) as usize % self.layout.conf_cap()) * self.layout.entry_size();
+            ctx.local_write(self.layout.conf[g], off, bytes);
+        }
+        // Are we fully caught up now?
+        if matches!(self.engines[g].role, Role::TakingOver { .. })
+            && self.landed_tail(ctx, g) >= max_tail
+        {
+            self.finish_takeover(ctx, g, max_tail);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! FREE path: irreducible conflict-free calls broadcast through
+//! per-source `F` rings.
+//!
+//! Fig. 7's FREE rule: the call is applied locally at issue, paired
+//! with its dependency projection, and appended to the `F` ring this
+//! node feeds at every peer. Peers apply entries in ring order once the
+//! dependency map is satisfied. The client is acknowledged when every
+//! remote append completes (reliable broadcast: a backup slot holds the
+//! entry until then).
+
+use hamband_core::ids::{MethodId, Pid};
+use hamband_core::object::WorkloadSupport;
+use hamband_core::wire::Wire;
+use rdma_sim::{CompletionStatus, NodeId, Phase, RingKind, WrId};
+
+use crate::calls::Outstanding;
+use crate::codec::Entry;
+use crate::replica::HambandNode;
+use crate::rings::{RingReader, RingWriter};
+use crate::transport::Transport;
+
+impl<O> HambandNode<O>
+where
+    O: WorkloadSupport,
+    O::Update: Wire,
+{
+    /// Build the `F`-ring endpoints: one writer feeding our ring at
+    /// each peer, one reader over each peer's ring copy here.
+    pub(crate) fn setup_free_endpoints(&mut self) {
+        for src in 0..self.n {
+            let node = NodeId(src);
+            if node == self.me {
+                self.free_writers.push(None);
+                self.free_readers.push(None);
+                continue;
+            }
+            self.free_writers.push(Some(
+                RingWriter::new(
+                    RingKind::Free,
+                    node,
+                    self.layout.free_rings,
+                    self.layout.free_ring_base(self.me),
+                    self.layout.free_cap(),
+                    self.layout.entry_size(),
+                    self.layout.heads,
+                    self.layout.free_head_offset(self.me),
+                )
+                .with_max_batch(self.cfg.max_batch),
+            ));
+            self.free_readers.push(Some(RingReader::new(
+                RingKind::Free,
+                self.layout.free_rings,
+                self.layout.free_ring_base(node),
+                self.layout.free_cap(),
+                self.layout.entry_size(),
+                self.layout.heads,
+                self.layout.free_head_offset(node),
+            )));
+        }
+    }
+
+    /// FREE: apply locally, append to every peer's `F` ring.
+    pub(crate) fn issue_free<T: Transport>(
+        &mut self,
+        ctx: &mut T,
+        update: O::Update,
+        method: MethodId,
+    ) {
+        if !self.permissible_now(&update) {
+            self.reject(method);
+            return;
+        }
+        ctx.consume(ctx.latency().apply_cost);
+        let deps = self.applied.project(self.coord.dependencies(method));
+        let (call_id, rid) = self.mint_call(method);
+        self.spec.apply_mut(&mut self.sigma, &update);
+        self.apply_to_views(&update);
+        self.applied.increment(Pid(self.me.index()), method);
+        self.metrics.last_apply = ctx.now();
+
+        let entry = Entry { rid, update, deps };
+        let mut seq_assigned = None;
+        let mut remotes = 0;
+        for q in 0..self.n {
+            if q == self.me.index() {
+                continue;
+            }
+            let w = self.free_writers[q].as_mut().expect("writer for peer");
+            let seq = w.append(ctx, &entry);
+            match seq_assigned {
+                None => seq_assigned = Some(seq),
+                Some(s) => assert_eq!(s, seq, "free rings advance in lockstep"),
+            }
+            remotes += 1;
+        }
+        let backup_slot = seq_assigned.map(|seq| {
+            let slot = entry.to_slot(seq, self.layout.entry_size());
+            self.write_backup(ctx, call_id, crate::codec::BACKUP_FREE, 0xff, seq, &slot)
+        });
+        if let Some(seq) = seq_assigned {
+            self.free_call_by_seq.insert(seq, call_id);
+        }
+        self.outstanding.insert(
+            call_id,
+            Outstanding {
+                issued_at: ctx.now(),
+                method,
+                phase: Phase::Free,
+                conf: None,
+                ack_remaining: remotes,
+                total_remaining: remotes,
+                backup_slot,
+            },
+        );
+        if remotes == 0 {
+            self.finish_call(ctx, call_id);
+        }
+    }
+
+    /// Apply every deliverable entry from each peer's `F` ring (in ring
+    /// order, gated by each entry's dependency map).
+    pub(crate) fn poll_free<T: Transport>(&mut self, ctx: &mut T) {
+        for src in 0..self.n {
+            if src == self.me.index() {
+                continue;
+            }
+            loop {
+                let entry = {
+                    let reader = self.free_readers[src].as_ref().expect("reader for peer");
+                    reader.peek::<O::Update>(ctx)
+                };
+                let Some(entry) = entry else { break };
+                if !self.applied.satisfies(&entry.deps) {
+                    break; // blocked on a dependency; retry next poll
+                }
+                ctx.consume(ctx.latency().apply_cost);
+                let method = self.spec.method_of(&entry.update);
+                self.spec.apply_mut(&mut self.sigma, &entry.update);
+                self.apply_to_views(&entry.update);
+                self.applied.increment(entry.rid.issuer, method);
+                self.metrics.remote_applied += 1;
+                self.metrics.last_apply = ctx.now();
+                self.free_readers[src].as_mut().expect("reader").advance(ctx, NodeId(src));
+            }
+        }
+    }
+
+    /// Feed an `F`-ring append completion to whichever free writer
+    /// posted it; returns `true` if one claimed it. A coalesced WRITE
+    /// completes every entry it spans.
+    pub(crate) fn on_free_completion<T: Transport>(
+        &mut self,
+        ctx: &mut T,
+        wr: WrId,
+        status: CompletionStatus,
+        data: Option<&[u8]>,
+    ) -> bool {
+        let mut free_done = None;
+        for q in 0..self.n {
+            if let Some(w) = self.free_writers.get_mut(q).and_then(|w| w.as_mut()) {
+                if let Some(done) = w.on_completion(ctx, wr, status, data) {
+                    free_done = Some(done);
+                    break;
+                }
+            }
+        }
+        let Some(done) = free_done else { return false };
+        for seq in done.seqs() {
+            if let Some(&cid) = self.free_call_by_seq.get(&seq) {
+                self.on_free_write_done(ctx, cid, seq, done.status);
+            }
+        }
+        true
+    }
+
+    fn on_free_write_done<T: Transport>(
+        &mut self,
+        ctx: &mut T,
+        call_id: u64,
+        seq: u64,
+        status: CompletionStatus,
+    ) {
+        debug_assert!(status.is_success(), "free rings are never permission-revoked");
+        let mut finished = false;
+        let mut fully_done = false;
+        if let Some(o) = self.outstanding.get_mut(&call_id) {
+            o.total_remaining = o.total_remaining.saturating_sub(1);
+            if o.ack_remaining > 0 && o.ack_remaining != usize::MAX {
+                o.ack_remaining -= 1;
+                if o.ack_remaining == 0 {
+                    finished = true;
+                }
+            }
+            fully_done = o.total_remaining == 0;
+        }
+        if fully_done {
+            self.free_call_by_seq.remove(&seq);
+            if !finished {
+                // Already acked earlier; clean up now.
+                if let Some(o) = self.outstanding.remove(&call_id) {
+                    if let Some(idx) = o.backup_slot {
+                        self.clear_backup(ctx, idx);
+                    }
+                }
+                return;
+            }
+        }
+        if finished {
+            self.finish_call(ctx, call_id);
+        }
+    }
+}

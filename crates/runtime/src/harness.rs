@@ -216,6 +216,10 @@ pub struct NodeEndState<S> {
     /// Its final object-state snapshot (for a crashed node: the state
     /// at the moment it stopped executing).
     pub state: S,
+    /// One-line status snapshot taken at the same moment (rendered
+    /// from the node's structured status; used by chaos failure
+    /// reports so a non-converged case shows *why* each node stalled).
+    pub status: String,
 }
 
 /// One experiment: a [`System`] plus a [`RunConfig`].
@@ -322,7 +326,8 @@ trait HarnessNode: App {
     fn applied_updates(&self) -> u64;
     fn snapshot(&self) -> Self::Snapshot;
     fn metrics(&self) -> &NodeMetrics;
-    fn debug_status(&self) -> String;
+    /// One-line human-readable status (debug output, failure reports).
+    fn status_line(&self) -> String;
 }
 
 impl<O> HarnessNode for HambandNode<O>
@@ -350,8 +355,8 @@ where
     fn metrics(&self) -> &NodeMetrics {
         &self.metrics
     }
-    fn debug_status(&self) -> String {
-        HambandNode::debug_status(self)
+    fn status_line(&self) -> String {
+        self.status().to_string()
     }
 }
 
@@ -380,7 +385,7 @@ where
     fn metrics(&self) -> &NodeMetrics {
         &self.metrics
     }
-    fn debug_status(&self) -> String {
+    fn status_line(&self) -> String {
         self.debug_pending()
     }
 }
@@ -440,7 +445,7 @@ fn drive<A: HarnessNode>(sim: &mut Simulator<A>, run: &RunConfig) -> (SimTime, b
                     if verbose {
                         eprintln!("done declared at {} alive={:?}", sim.now(), alive);
                         for id in &alive {
-                            eprintln!("  {}", sim.app(*id).debug_status());
+                            eprintln!("  {}", sim.app(*id).status_line());
                         }
                     }
                     done = true;
@@ -458,7 +463,7 @@ fn drive<A: HarnessNode>(sim: &mut Simulator<A>, run: &RunConfig) -> (SimTime, b
                 if verbose {
                     eprintln!("harness watchdog break at {}", sim.now());
                     for id in &alive {
-                        eprintln!("  {}", sim.app(*id).debug_status());
+                        eprintln!("  {}", sim.app(*id).status_line());
                     }
                 }
                 break;
@@ -482,7 +487,7 @@ fn drive<A: HarnessNode>(sim: &mut Simulator<A>, run: &RunConfig) -> (SimTime, b
     if verbose && !converged {
         eprintln!("run not converged: done={done} at {}", sim.now());
         for id in 0..n {
-            eprintln!("  {}", sim.app(NodeId(id)).debug_status());
+            eprintln!("  {}", sim.app(NodeId(id)).status_line());
         }
     }
     (completed_at, converged)
@@ -525,6 +530,7 @@ fn collect_states<A: HarnessNode>(
             NodeEndState {
                 alive: !sim.is_crashed(id) && !sim.app(id).is_halted(),
                 state: sim.app(id).snapshot(),
+                status: sim.app(id).status_line(),
             }
         })
         .collect()

@@ -28,7 +28,10 @@
 
 use std::collections::HashMap;
 
-use rdma_sim::{Ctx, NodeId, RegionId, SimDuration, SimTime, WrId};
+use rdma_sim::{NodeId, RegionId, SimDuration, SimTime, WrId};
+
+use crate::membership::Membership;
+use crate::transport::Transport;
 
 /// Heartbeat emitter state.
 #[derive(Debug)]
@@ -48,7 +51,7 @@ impl Heartbeat {
 
     /// One heartbeat tick: bump the local counter (no-op while
     /// suspended).
-    pub fn beat(&mut self, ctx: &mut Ctx<'_>) {
+    pub fn beat(&mut self, ctx: &mut impl Transport) {
         if self.suspended {
             return;
         }
@@ -150,19 +153,27 @@ impl FailureDetector {
             .collect()
     }
 
+    /// A point-in-time [`Membership`] snapshot of the unsuspected set,
+    /// for alive-set decisions (recovery delegate, election starter,
+    /// quota adoption).
+    pub fn membership(&self) -> Membership {
+        Membership::new(
+            self.me,
+            self.peers.iter().map(|p| !p.suspected).collect(),
+        )
+    }
+
     /// The lowest-numbered node not suspected (and not `skip`), used to
-    /// pick recovery delegates deterministically.
+    /// pick recovery delegates deterministically. Shorthand for
+    /// [`membership`](Self::membership)`.lowest_alive(skip)`.
     pub fn lowest_alive(&self, skip: Option<NodeId>) -> NodeId {
-        (0..self.peers.len())
-            .map(NodeId)
-            .find(|&p| !self.peers[p.index()].suspected && Some(p) != skip)
-            .unwrap_or(self.me)
+        self.membership().lowest_alive(skip)
     }
 
     /// One detector tick: post a read of every peer's counter.
     /// Suspected peers are read too, so a resumed heartbeat is
     /// observed and the suspicion cleared.
-    pub fn tick(&mut self, ctx: &mut Ctx<'_>) {
+    pub fn tick(&mut self, ctx: &mut impl Transport) {
         for p in 0..self.peers.len() {
             let peer = NodeId(p);
             if peer == self.me {
@@ -215,7 +226,7 @@ impl FailureDetector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rdma_sim::{App, Event, LatencyModel, SimDuration, Simulator};
+    use rdma_sim::{App, Ctx, Event, LatencyModel, SimDuration, Simulator};
 
     struct HbApp {
         hb: Heartbeat,

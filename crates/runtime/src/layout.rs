@@ -59,8 +59,22 @@ impl Layout {
         coord: &CoordSpec,
         cfg: &RuntimeConfig,
     ) -> Layout {
-        let n = sim.len();
-        let heartbeat = sim.add_region_all(8);
+        Self::plan(sim.len(), coord, cfg, |size| sim.add_region_all(size))
+    }
+
+    /// Compute the layout for an `n`-node cluster, allocating each
+    /// region through `alloc` (called once per region, in a fixed
+    /// order, with the region's byte size). [`Layout::install`] passes
+    /// the simulator's registrar; the loopback backend passes its own
+    /// in-process allocator. Every backend must allocate the same
+    /// regions in the same order so remote offsets agree.
+    pub fn plan(
+        n: usize,
+        coord: &CoordSpec,
+        cfg: &RuntimeConfig,
+        mut alloc: impl FnMut(usize) -> RegionId,
+    ) -> Layout {
+        let heartbeat = alloc(8);
 
         let mut sum_group_base = Vec::new();
         let mut sum_slot_size = Vec::new();
@@ -71,15 +85,15 @@ impl Layout {
             sum_slot_size.push(slot);
             off += slot * n;
         }
-        let summaries = sim.add_region_all(off.max(8));
+        let summaries = alloc(off.max(8));
 
         let entry_size = cfg.entry_size();
-        let free_rings = sim.add_region_all(n * cfg.free_ring_cap * entry_size);
-        let heads = sim.add_region_all((n + coord.sync_groups().len()).max(1) * 8);
+        let free_rings = alloc(n * cfg.free_ring_cap * entry_size);
+        let heads = alloc((n + coord.sync_groups().len()).max(1) * 8);
         let backup_slot_size = Self::backup_slot_size_for(cfg);
-        let backup = sim.add_region_all(cfg.backup_slots * backup_slot_size);
+        let backup = alloc(cfg.backup_slots * backup_slot_size);
         let conf = (0..coord.sync_groups().len())
-            .map(|_| sim.add_region_all(8 + cfg.conf_ring_cap * entry_size))
+            .map(|_| alloc(8 + cfg.conf_ring_cap * entry_size))
             .collect();
 
         Layout {

@@ -7,13 +7,22 @@
 //!   bytes, and seqlock-versioned summary slots;
 //! * [`rings`] — single-writer single-reader ring buffers with
 //!   one-sided flow control (remote reads of the reader's head);
-//! * [`heartbeat`] — heartbeat counters and the pull failure detector;
+//! * [`heartbeat`] — heartbeat counters and the pull failure detector
+//!   (alive-set arithmetic lives in [`membership`]);
 //! * [`layout`] — the registered-memory map every replica shares;
-//! * [`replica`] — [`replica::HambandNode`], the full per-node runtime:
-//!   REDUCE/FREE/CONF issue paths, dependency-gated buffer application,
-//!   reliable broadcast with backup-slot recovery, and a Mu-style
-//!   consensus per synchronization group (permission-based leader
-//!   exclusion, majority commit, leader change with ring catch-up);
+//! * [`transport`] — the [`Transport`] trait the whole runtime is
+//!   generic over: one-sided verbs, messaging, timers, permissions and
+//!   trace hooks, implemented by the simulator's `Ctx` and by the
+//!   in-process [`loopback`] backend;
+//! * [`replica`] — [`replica::HambandNode`], the per-node orchestrator
+//!   over the protocol modules: [`reduce`] / [`free`] / [`conf`] issue
+//!   paths (with [`commit`] advancement, [`election`] and takeover,
+//!   failure [`recovery`]), the shared call lifecycle in [`calls`], the
+//!   view discipline in [`views`], and typed [`status`] snapshots —
+//!   reliable broadcast with backup-slot recovery and one Mu-style
+//!   [`conf::GroupEngine`] per synchronization group (permission-based
+//!   leader exclusion, majority commit, leader change with ring
+//!   catch-up);
 //! * [`baseline_msg`] — the message-passing op-based CRDT baseline;
 //! * [`chaos`] — deterministic chaos campaigns: randomized fault
 //!   schedules checked for convergence, integrity, and trace
@@ -72,26 +81,43 @@
 #![warn(missing_docs)]
 
 pub mod baseline_msg;
+pub mod calls;
 pub mod chaos;
 pub mod codec;
+pub mod commit;
+pub mod conf;
 pub mod config;
 pub mod driver;
+pub mod election;
+pub mod free;
 pub mod harness;
 pub mod heartbeat;
 pub mod layout;
+pub mod loopback;
+pub mod membership;
 pub mod messages;
 pub mod metrics;
+pub mod recovery;
+pub mod reduce;
 pub mod replica;
 pub mod rings;
+pub mod status;
+pub mod transport;
+pub mod views;
 
 pub use baseline_msg::MsgCrdtNode;
 pub use chaos::{run_case, run_seed, shrink, shrink_case, CaseReport, ChaosOptions, Violation};
+pub use conf::{GroupEngine, LeaderState, Role};
 pub use config::RuntimeConfig;
 pub use driver::Workload;
 pub use harness::{NodeEndState, RunConfig, RunOutcome, Runner, System, TraceMode};
 pub use layout::Layout;
+pub use loopback::{LoopbackCluster, LoopbackCtx};
+pub use membership::Membership;
 pub use metrics::{LatencyHistogram, LatencySummary, NodeMetrics, RunReport};
 pub use replica::HambandNode;
+pub use status::{GroupStatus, NodeStatus, RoleKind};
+pub use transport::Transport;
 
 // Trace vocabulary, re-exported so harness consumers need not depend on
 // `rdma_sim` directly.

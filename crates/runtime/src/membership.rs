@@ -1,0 +1,142 @@
+//! Alive-set arithmetic over the failure detector's suspicion state.
+//!
+//! Three protocol decisions pick nodes out of the currently-unsuspected
+//! set: the reliable-broadcast recovery delegate and the election
+//! starter (both "lowest alive"), and workload-quota adoption ("next
+//! alive after the suspect", wrapping around the ring of node ids).
+//! They used to duplicate the iteration in three places; [`Membership`]
+//! is the single shared snapshot they all consult.
+//!
+//! A snapshot is cheap (one `Vec<bool>`) and deliberately *not* live:
+//! the caller captures the suspicion set once per decision, so one
+//! decision never observes two different alive sets mid-computation.
+
+use rdma_sim::NodeId;
+
+/// A point-in-time view of which cluster members are considered alive
+/// (not suspected by the local failure detector).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Membership {
+    me: NodeId,
+    alive: Vec<bool>,
+}
+
+impl Membership {
+    /// A membership snapshot for a cluster of `alive.len()` nodes seen
+    /// from `me`. `alive[i]` is `false` for suspected nodes.
+    pub fn new(me: NodeId, alive: Vec<bool>) -> Self {
+        assert!(me.index() < alive.len(), "me must be a member");
+        Membership { me, alive }
+    }
+
+    /// Build a snapshot from a suspicion predicate over `n` nodes.
+    pub fn from_suspected(me: NodeId, n: usize, is_suspected: impl Fn(NodeId) -> bool) -> Self {
+        Membership::new(me, (0..n).map(|i| !is_suspected(NodeId(i))).collect())
+    }
+
+    /// Cluster size.
+    pub fn len(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Whether the snapshot is empty (never true for a real cluster).
+    pub fn is_empty(&self) -> bool {
+        self.alive.is_empty()
+    }
+
+    /// Whether `node` was alive in this snapshot.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.alive[node.index()]
+    }
+
+    /// The lowest-numbered alive node, skipping `skip` if given; falls
+    /// back to `me` when everyone (else) is suspected. Used to pick the
+    /// recovery delegate and the election starter deterministically:
+    /// every correct observer with the same suspicion set picks the
+    /// same node.
+    pub fn lowest_alive(&self, skip: Option<NodeId>) -> NodeId {
+        (0..self.alive.len())
+            .map(NodeId)
+            .find(|&p| self.alive[p.index()] && Some(p) != skip)
+            .unwrap_or(self.me)
+    }
+
+    /// The first alive node after `suspect` in ring order (wrapping at
+    /// the cluster size); falls back to `me` when everyone else is
+    /// suspected. Used to pick who adopts a failed node's remaining
+    /// conflict-free quota.
+    pub fn next_alive_after(&self, suspect: NodeId) -> NodeId {
+        let n = self.alive.len();
+        for d in 1..=n {
+            let q = NodeId((suspect.index() + d) % n);
+            if q != suspect && self.alive[q.index()] {
+                return q;
+            }
+        }
+        self.me
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(me: usize, alive: &[bool]) -> Membership {
+        Membership::new(NodeId(me), alive.to_vec())
+    }
+
+    #[test]
+    fn lowest_alive_picks_first_unsuspected() {
+        let mb = m(2, &[false, true, true, true]);
+        assert_eq!(mb.lowest_alive(None), NodeId(1));
+        assert_eq!(mb.lowest_alive(Some(NodeId(1))), NodeId(2));
+    }
+
+    #[test]
+    fn lowest_alive_falls_back_to_me_when_all_suspected() {
+        let mb = m(3, &[false, false, false, false]);
+        assert_eq!(mb.lowest_alive(None), NodeId(3));
+        assert_eq!(mb.lowest_alive(Some(NodeId(3))), NodeId(3));
+    }
+
+    #[test]
+    fn next_alive_after_wraps_around() {
+        // Suspect is the last node: the scan must wrap to node 0.
+        let mb = m(1, &[true, true, true, false]);
+        assert_eq!(mb.next_alive_after(NodeId(3)), NodeId(0));
+        // A dead node right after the suspect is skipped, wrapping on.
+        let mb = m(0, &[true, false, true, false]);
+        assert_eq!(mb.next_alive_after(NodeId(3)), NodeId(0));
+        assert_eq!(mb.next_alive_after(NodeId(0)), NodeId(2));
+    }
+
+    #[test]
+    fn next_alive_after_never_returns_the_suspect() {
+        // The suspect may still be marked alive (adoption can race the
+        // detector); it must not adopt from itself.
+        let mb = m(0, &[true, true, true]);
+        assert_eq!(mb.next_alive_after(NodeId(1)), NodeId(2));
+        // Only the suspect itself is marked alive: the scan wraps the
+        // whole ring without ever yielding the suspect, then falls
+        // back to me.
+        let mb = m(2, &[false, true, false]);
+        assert_eq!(mb.next_alive_after(NodeId(1)), NodeId(2));
+    }
+
+    #[test]
+    fn all_suspected_falls_back_to_me() {
+        let mb = m(1, &[false, false, false]);
+        assert_eq!(mb.next_alive_after(NodeId(0)), NodeId(1));
+        assert_eq!(mb.next_alive_after(NodeId(1)), NodeId(1));
+    }
+
+    #[test]
+    fn from_suspected_inverts_the_predicate() {
+        let mb = Membership::from_suspected(NodeId(0), 3, |p| p == NodeId(2));
+        assert!(mb.is_alive(NodeId(0)));
+        assert!(mb.is_alive(NodeId(1)));
+        assert!(!mb.is_alive(NodeId(2)));
+        assert_eq!(mb.len(), 3);
+        assert!(!mb.is_empty());
+    }
+}

@@ -1,0 +1,147 @@
+//! Failure handling: what a replica does when its detector suspects a
+//! peer.
+//!
+//! Three deterministic reactions, each keyed off the same
+//! [`Membership`](crate::membership::Membership) snapshot so every
+//! correct observer picks the same nodes:
+//!
+//! 1. **Reliable-broadcast recovery** — the lowest alive node reads the
+//!    suspect's backup region and re-executes its pending broadcasts
+//!    (`Route::RecoveryRead`, the agreement half of reliable
+//!    broadcast).
+//! 2. **Workload adoption** — the next alive node after the suspect (in
+//!    ring order) adopts its remaining conflict-free quota, estimated
+//!    from the suspect's observable progress.
+//! 3. **Leader change** — for every group whose recognized leader is
+//!    down, the lowest alive node starts an election (`election.rs`
+//!    takes it from there).
+
+use hamband_core::coord::MethodCategory;
+use hamband_core::ids::{MethodId, Pid};
+use hamband_core::object::WorkloadSupport;
+use hamband_core::wire::Wire;
+use rdma_sim::{NodeId, TraceEvent};
+
+use crate::calls::Route;
+use crate::codec::{parse_backup_slot, BACKUP_FREE};
+use crate::driver::Driver;
+use crate::replica::HambandNode;
+use crate::transport::Transport;
+
+impl<O> HambandNode<O>
+where
+    O: WorkloadSupport,
+    O::Update: Wire,
+{
+    /// React to the failure detector (or a `Retired` announcement)
+    /// suspecting `suspect`.
+    pub(crate) fn on_suspect<T: Transport>(&mut self, ctx: &mut T, suspect: NodeId) {
+        let node = self.me;
+        ctx.emit(|| TraceEvent::FdSuspect { node, suspect });
+        let members = self.fd.membership();
+        // 1. Reliable-broadcast recovery: the lowest alive node reads
+        //    the suspect's backup slots and re-executes pending writes.
+        if members.lowest_alive(Some(suspect)) == self.me {
+            let size = self.layout.backup_slots() * self.layout.backup_slot(0).1;
+            let wr = ctx.post_read(suspect, self.layout.backup, 0, size);
+            self.wr_routes.insert(wr, Route::RecoveryRead { suspect });
+        }
+        // 2. Workload adoption: the next alive node picks up the
+        //    suspect's remaining conflict-free quota.
+        let adopter = members.next_alive_after(suspect);
+        if adopter == self.me && !self.adopted[suspect.index()] {
+            self.adopted[suspect.index()] = true;
+            let their = Driver::new(&self.workload, &self.coord, suspect.index(), self.n);
+            let remaining: Vec<u64> = (0..self.coord.method_count())
+                .map(|m| {
+                    if matches!(
+                        self.coord.category(MethodId(m)),
+                        MethodCategory::Conflicting { .. }
+                    ) {
+                        return 0;
+                    }
+                    let planned = their.initial_free_quota(m);
+                    let seen = self.applied.get(Pid(suspect.index()), MethodId(m));
+                    planned.saturating_sub(seen)
+                })
+                .collect();
+            // Query progress at the suspect is unobservable directly;
+            // estimate it from its observable update progress (the
+            // driver interleaves both uniformly) and adopt the rest.
+            let planned_updates: u64 =
+                (0..self.coord.method_count()).map(|m| their.initial_free_quota(m)).sum();
+            let seen_updates: u64 = (0..self.coord.method_count())
+                .map(|m| self.applied.get(Pid(suspect.index()), MethodId(m)))
+                .sum::<u64>()
+                .min(planned_updates);
+            let remaining_queries = (their.initial_queries()
+                * (planned_updates - seen_updates))
+                .checked_div(planned_updates)
+                .unwrap_or_else(|| their.initial_queries());
+            self.driver.adopt_free_quota(&remaining, remaining_queries);
+        }
+        // 3. Leader change for groups whose current leader is down —
+        //    the new suspect, or an earlier suspect whose designated
+        //    election starter only now emerges (e.g. the previous
+        //    starter itself just got suspected). A halted node never
+        //    runs for leadership: it could win but would never issue
+        //    the group's remaining quota.
+        for g in 0..self.engines.len() {
+            let lv = NodeId(self.engines[g].leader_view.index());
+            if (lv == suspect || self.fd.is_suspected(lv))
+                && !self.halted
+                && !matches!(self.engines[g].role, crate::conf::Role::Candidate { .. })
+                && members.lowest_alive(Some(lv)) == self.me
+            {
+                self.start_election(ctx, g);
+            }
+        }
+        self.pump(ctx);
+    }
+
+    /// Re-execute a suspected source's pending broadcasts from its
+    /// backup slots (the agreement half of reliable broadcast).
+    pub(crate) fn recover_backups<T: Transport>(
+        &mut self,
+        ctx: &mut T,
+        suspect: NodeId,
+        bytes: &[u8],
+    ) {
+        let (_, slot_size) = self.layout.backup_slot(0);
+        for i in 0..self.layout.backup_slots() {
+            let b = &bytes[i * slot_size..(i + 1) * slot_size];
+            let Some((kind, group, seq, slot)) = parse_backup_slot(b) else {
+                continue;
+            };
+            match kind {
+                BACKUP_FREE => {
+                    let ring_off = self.layout.free_ring_base(suspect)
+                        + ((seq - 1) as usize % self.layout.free_cap()) * self.layout.entry_size();
+                    for q in 0..self.n {
+                        if NodeId(q) == suspect {
+                            continue;
+                        }
+                        if q == self.me.index() {
+                            ctx.local_write(self.layout.free_rings, ring_off, slot);
+                        } else {
+                            ctx.post_write(NodeId(q), self.layout.free_rings, ring_off, slot);
+                        }
+                    }
+                }
+                _ => {
+                    let off = self.layout.summary_offset(group as usize, suspect);
+                    for q in 0..self.n {
+                        if NodeId(q) == suspect {
+                            continue;
+                        }
+                        if q == self.me.index() {
+                            ctx.local_write(self.layout.summaries, off, slot);
+                        } else {
+                            ctx.post_write(NodeId(q), self.layout.summaries, off, slot);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

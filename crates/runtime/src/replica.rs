@@ -1,210 +1,131 @@
-//! The Hamband replica node: the full runtime of §4 as a simulator
-//! application.
+//! The Hamband replica node: a thin orchestrator over the protocol
+//! modules.
 //!
-//! Per update-method category:
+//! The actual protocol lives in one module per path (Fig. 7):
 //!
-//! * **reducible** — the call is folded into this node's summary for
-//!   its summarization group and the new summary slot (which carries
-//!   the per-method applied counts) is written locally and then
-//!   remotely to every peer; the client is acknowledged when all remote
-//!   writes complete (reliable broadcast: a backup slot holds the
-//!   in-flight slot bytes until then).
-//! * **irreducible conflict-free** — the call is applied locally,
-//!   paired with its dependency projection, and appended to the `F`
-//!   ring this node feeds at every peer (same broadcast discipline).
-//! * **conflicting** — only the current leader of the method's
-//!   synchronization group issues it: the entry is appended to every
-//!   peer's `L` ring; once a majority of the cluster holds it, the
-//!   leader advances the group's commit index (written to a commit cell
-//!   at each peer, Mu-style) and acknowledges the client. *All*
-//!   replicas — the leader included — apply `L` entries in ring order,
-//!   gated by the commit index and by the entry's dependency map; the
-//!   leader checks permissibility against a speculative view that
-//!   includes its own uncommitted entries.
+//! * [`reduce`](crate::reduce) — reducible calls folded into summary
+//!   slots and broadcast write-combined;
+//! * [`free`](crate::free) — irreducible conflict-free calls appended
+//!   to per-source `F` rings;
+//! * [`conf`](crate::conf) — conflicting calls serialized by one
+//!   [`GroupEngine`] per synchronization
+//!   group, with [`commit`](crate::commit) advancement,
+//!   [`election`](crate::election)/takeover, and
+//!   [`recovery`](crate::recovery) around failures;
+//! * [`calls`](crate::calls) — per-call lifecycle shared by all paths;
+//! * [`views`](crate::views) — the σ/mat/spec_mat view discipline.
 //!
-//! Applying at commit rather than at issue is a deliberate deviation
-//! from the paper's Fig. 7 (whose CONF rule applies at the leader
-//! immediately): it is exactly Mu's execution discipline, and it makes
-//! a deposed leader's unacknowledged calls vanish without state
-//! rollback, so even a suspended leader converges with the rest of the
-//! cluster. See DESIGN.md.
+//! This module owns the [`HambandNode`] struct itself, startup, the
+//! client pump, the completion/message dispatchers, and the
+//! [`App`] event-loop glue. Everything runs over a generic
+//! [`Transport`], so the same replica drives the discrete-event
+//! simulator and the in-process [`loopback`](crate::loopback) backend.
+//!
+//! Applying conflicting entries at commit rather than at issue is a
+//! deliberate deviation from the paper's Fig. 7 (whose CONF rule
+//! applies at the leader immediately): it is exactly Mu's execution
+//! discipline, and it makes a deposed leader's unacknowledged calls
+//! vanish without state rollback, so even a suspended leader converges
+//! with the rest of the cluster. See DESIGN.md.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{HashMap, VecDeque};
 
-use hamband_core::coord::{CoordSpec, MethodCategory};
+use hamband_core::coord::CoordSpec;
 use hamband_core::counts::CountMap;
-use hamband_core::ids::{MethodId, Pid, Rid};
+use hamband_core::ids::Pid;
 use hamband_core::object::{ObjectSpec, WorkloadSupport};
 use hamband_core::wire::Wire;
 use rdma_sim::{
-    App, AppFault, CompletionStatus, Ctx, Event, NodeId, Phase, RingKind, SimTime, TraceEvent,
-    WrId,
+    App, AppFault, CompletionStatus, Ctx, Event, NodeId, RingKind, TraceEvent, WrId,
 };
 
-use crate::codec::{
-    compose_backup_slot, parse_backup_slot, slot_ready, summary_version, Entry, SummarySlot,
-    BACKUP_FREE, BACKUP_SUMMARY,
-};
+use crate::calls::{Outstanding, Route};
+use crate::conf::GroupEngine;
 use crate::config::RuntimeConfig;
-use crate::driver::{Driver, Planned, Workload};
+use crate::driver::{Driver, Workload};
 use crate::heartbeat::{FailureDetector, FdEvent, Heartbeat};
 use crate::layout::Layout;
 use crate::messages::ControlMsg;
 use crate::metrics::NodeMetrics;
+use crate::reduce::CachedSummary;
 use crate::rings::{RingReader, RingWriter};
+use crate::transport::Transport;
 
-const TAG_POLL: u64 = 0;
-const TAG_HEARTBEAT: u64 = 1;
-const TAG_FD: u64 = 2;
-const TAG_RETRY: u64 = 3;
-
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Route {
-    SummaryWrite { group: usize, target: NodeId, version: u64 },
-    CommitWrite { group: usize },
-    RecoveryRead { suspect: NodeId },
-    CatchupRead { group: usize, from_seq: u64, count: u64, max_tail: u64 },
-}
-
-#[derive(Debug)]
-struct Outstanding {
-    issued_at: SimTime,
-    method: MethodId,
-    /// Protocol path this call travels (REDUCE/FREE/CONF).
-    phase: Phase,
-    /// For conflicting calls: (synchronization group, L-ring seq).
-    conf: Option<(usize, u64)>,
-    /// Remote completions still needed before the client is acked.
-    ack_remaining: usize,
-    /// Remote completions still outstanding in total (backup clear).
-    total_remaining: usize,
-    backup_slot: Option<usize>,
-}
-
-#[derive(Debug, Clone)]
-struct CachedSummary<U> {
-    version: u64,
-    counts: Vec<u64>,
-    summary: Option<U>,
-}
-
-#[derive(Debug)]
-struct Election {
-    epoch: u64,
-    acks: usize,
-    max_tail: u64,
-    max_tail_holder: NodeId,
-    max_commit: u64,
-}
-
-/// Per-synchronization-group leadership state.
-#[derive(Debug)]
-struct GroupState {
-    leader_view: Pid,
-    epoch: u64,
-    promised: u64,
-    /// Leader only: per-target ring writers.
-    writers: Option<Vec<Option<RingWriter>>>,
-    /// Leader only: entries appended so far (global ordinal).
-    appended: u64,
-    /// Leader only: remote-ack counts per sequence number.
-    pending_acks: BTreeMap<u64, usize>,
-    /// Leader only: commit index.
-    commit: u64,
-    /// Leader only: last commit value pushed to followers.
-    commit_written: u64,
-    /// Leader only: outstanding commit-cell writes.
-    commit_writes_inflight: usize,
-    /// Leader only: seq → client call id awaiting commit.
-    client_by_seq: HashMap<u64, u64>,
-    /// This node was deposed (a newer leader took the ring over).
-    deposed: bool,
-    /// Candidate state during an election.
-    election: Option<Election>,
-    /// Leader only: still reconciling the ring after takeover.
-    catching_up: bool,
-    /// Leader only: do not issue new conflicting calls until our own
-    /// reader has applied the ring through this sequence number. A new
-    /// leader adopts the old tail before it has applied every entry
-    /// below it; issuing against that incomplete view would approve
-    /// calls the full history forbids (Lemma 1 needs the check view to
-    /// contain every earlier ring entry).
-    issue_floor: u64,
-    /// Own uncommitted entries (suffix of the ring), oldest first.
-    uncommitted: Vec<(u64, MethodId)>,
-}
+pub(crate) const TAG_POLL: u64 = 0;
+pub(crate) const TAG_HEARTBEAT: u64 = 1;
+pub(crate) const TAG_FD: u64 = 2;
+pub(crate) const TAG_RETRY: u64 = 3;
 
 /// The Hamband replica application. One per simulated node.
 pub struct HambandNode<O: ObjectSpec> {
-    spec: O,
-    coord: CoordSpec,
-    cfg: RuntimeConfig,
-    layout: Layout,
-    me: NodeId,
-    n: usize,
+    pub(crate) spec: O,
+    pub(crate) coord: CoordSpec,
+    pub(crate) cfg: RuntimeConfig,
+    pub(crate) layout: Layout,
+    pub(crate) me: NodeId,
+    pub(crate) n: usize,
 
     /// Stored state σ (buffered calls only).
-    sigma: O::State,
+    pub(crate) sigma: O::State,
     /// Materialized committed view: σ with all summaries applied.
-    mat: O::State,
-    mat_dirty: bool,
+    pub(crate) mat: O::State,
+    pub(crate) mat_dirty: bool,
     /// Speculative view including own uncommitted conflicting calls
     /// (`None` while there are none — then the view equals `mat`).
-    spec_mat: Option<O::State>,
+    pub(crate) spec_mat: Option<O::State>,
     /// Applied-calls map `A`, including summary-carried counts.
-    applied: CountMap,
+    pub(crate) applied: CountMap,
     /// Summary caches per (summarization group, source).
-    sum_cache: Vec<Vec<CachedSummary<O::Update>>>,
+    pub(crate) sum_cache: Vec<Vec<CachedSummary<O::Update>>>,
     /// Write-combining: version of the summary WRITE in flight per
     /// (summarization group, peer); `None` = the channel is idle. At
     /// most one summary WRITE per (group, peer) is ever in flight —
     /// further reduces only fold locally, and completion reposts the
     /// latest slot if it moved past what landed (slots are
     /// last-writer-wins, so this is the paper's own amortization).
-    sum_inflight: Vec<Vec<Option<u64>>>,
+    pub(crate) sum_inflight: Vec<Vec<Option<u64>>>,
     /// Per (summarization group, peer): calls whose summary version has
     /// not yet landed at that peer, oldest first (`(version, call_id)`).
     /// A completed write carrying version `v` covers every waiter with
     /// version `<= v`.
-    sum_waiters: Vec<Vec<VecDeque<(u64, u64)>>>,
+    pub(crate) sum_waiters: Vec<Vec<VecDeque<(u64, u64)>>>,
     /// Per summarization group: reusable encode buffer holding the
     /// latest own summary slot (the used prefix — exactly the bytes a
     /// repost must write).
-    sum_slot_buf: Vec<Vec<u8>>,
+    pub(crate) sum_slot_buf: Vec<Vec<u8>>,
 
-    free_writers: Vec<Option<RingWriter>>,
-    free_readers: Vec<Option<RingReader>>,
-    conf_readers: Vec<RingReader>,
-    groups: Vec<GroupState>,
+    pub(crate) free_writers: Vec<Option<RingWriter>>,
+    pub(crate) free_readers: Vec<Option<RingReader>>,
+    /// One consensus engine per synchronization group.
+    pub(crate) engines: Vec<GroupEngine>,
 
-    hb: Heartbeat,
-    fd: FailureDetector,
+    pub(crate) hb: Heartbeat,
+    pub(crate) fd: FailureDetector,
     /// Peers whose conflict-free quota we already adopted.
-    adopted: Vec<bool>,
+    pub(crate) adopted: Vec<bool>,
 
-    driver: Driver,
-    workload: Workload,
+    pub(crate) driver: Driver,
+    pub(crate) workload: Workload,
     /// Exposed measurements.
     pub metrics: NodeMetrics,
 
     /// Payloads of own uncommitted conflicting calls, oldest first
-    /// (mirrors the groups' `uncommitted` queues; kept to rebuild the
+    /// (mirrors the engines' `uncommitted` queues; kept to rebuild the
     /// speculative view after non-monotone summary refreshes).
-    speculative_store: Vec<O::Update>,
-    next_call_id: u64,
-    next_rid_seq: u64,
-    outstanding: HashMap<u64, Outstanding>,
+    pub(crate) speculative_store: Vec<O::Update>,
+    pub(crate) next_call_id: u64,
+    pub(crate) next_rid_seq: u64,
+    pub(crate) outstanding: HashMap<u64, Outstanding>,
     /// (free ring seq) → call id.
-    free_call_by_seq: HashMap<u64, u64>,
-    wr_routes: HashMap<WrId, Route>,
+    pub(crate) free_call_by_seq: HashMap<u64, u64>,
+    pub(crate) wr_routes: HashMap<WrId, Route>,
     /// Denied conflicting-ring writes awaiting retry: (group, target,
     /// seq). A denial means the target has not (yet) granted this
     /// leader write permission; retried until it does or until a higher
     /// epoch deposes us.
-    conf_retries: Vec<(usize, NodeId, u64)>,
-    retry_timer_armed: bool,
-    halted: bool,
+    pub(crate) conf_retries: Vec<(usize, NodeId, u64)>,
+    pub(crate) retry_timer_armed: bool,
+    pub(crate) halted: bool,
 }
 
 impl<O> HambandNode<O>
@@ -241,24 +162,22 @@ where
                     .collect()
             })
             .collect();
-        let groups = leaders
+        let engines = leaders
             .iter()
-            .map(|&l| GroupState {
-                leader_view: l,
-                epoch: 1,
-                promised: 1,
-                writers: None,
-                appended: 0,
-                pending_acks: BTreeMap::new(),
-                commit: 0,
-                commit_written: 0,
-                commit_writes_inflight: 0,
-                client_by_seq: HashMap::new(),
-                deposed: false,
-                election: None,
-                catching_up: false,
-                issue_floor: 0,
-                uncommitted: Vec::new(),
+            .enumerate()
+            .map(|(g, &l)| {
+                GroupEngine::new(
+                    l,
+                    RingReader::new(
+                        RingKind::Conf,
+                        layout.conf[g],
+                        layout.conf_ring_base(),
+                        layout.conf_cap(),
+                        layout.entry_size(),
+                        layout.heads,
+                        layout.conf_head_offset(g),
+                    ),
+                )
             })
             .collect();
         let sum_group_count = coord.sum_groups().len();
@@ -274,8 +193,7 @@ where
             sum_slot_buf: vec![Vec::new(); sum_group_count],
             free_writers: Vec::new(),
             free_readers: Vec::new(),
-            conf_readers: Vec::new(),
-            groups,
+            engines,
             hb: Heartbeat::new(layout.heartbeat),
             fd: FailureDetector::new(me, n, layout.heartbeat, cfg.fd_suspect_after)
                 .with_min_sample_gap(cfg.heartbeat_interval),
@@ -301,201 +219,22 @@ where
         }
     }
 
-    // ------------------------------------------------------------------
-    // Introspection for harnesses and tests
-    // ------------------------------------------------------------------
-
-    /// The node's current (committed) object state.
-    pub fn state_snapshot(&self) -> O::State {
-        let mut s = self.sigma.clone();
-        for group in &self.sum_cache {
-            for cache in group {
-                if let Some(sum) = &cache.summary {
-                    self.spec.apply_mut(&mut s, sum);
-                }
-            }
-        }
-        s
-    }
-
-    /// The applied-calls map `A`.
-    pub fn applied_map(&self) -> &CountMap {
-        &self.applied
-    }
-
-    /// Whether the local workload is fully issued and acknowledged.
-    ///
-    /// Conflicting quota is gated only at the node that currently
-    /// leads each group (the quota is global and follows leadership);
-    /// the harness separately requires equal applied maps across
-    /// replicas, which covers follower catch-up. A group whose leader
-    /// is suspected, or with an election in flight, keeps everyone
-    /// not-done until a new leader resumes the quota.
-    pub fn workload_done(&self) -> bool {
-        if self.halted {
-            return self.outstanding.is_empty();
-        }
-        let me = self.me.index();
-        let conf_done = (0..self.groups.len()).all(|g| {
-            let gs = &self.groups[g];
-            if gs.election.is_some() || gs.catching_up {
-                return false;
-            }
-            let lv = gs.leader_view;
-            if self.fd.is_suspected(NodeId(lv.index())) {
-                return false; // leaderless: quota will move
-            }
-            if lv.index() == me && !gs.deposed {
-                self.driver.conf_remaining(g, gs.appended) == 0
-            } else {
-                // Followers watch the global quota through their own
-                // ring: committed entries they have applied.
-                self.driver.conf_remaining(g, self.conf_readers.get(g).map_or(0, |r| r.applied()))
-                    == 0
-            }
-        });
-        self.driver.local_done() && self.outstanding.is_empty() && conf_done
-    }
-
-    /// The leader this node currently recognizes for group `g`.
-    pub fn leader_view(&self, g: usize) -> Pid {
-        self.groups[g].leader_view
-    }
-
-    /// Whether this node halted (its heartbeat was suspended).
-    pub fn is_halted(&self) -> bool {
-        self.halted
-    }
-
-    /// Total update calls applied locally (own and remote).
-    pub fn applied_updates(&self) -> u64 {
-        self.applied.total()
-    }
-
-    /// One-line diagnostic snapshot (for harness debugging).
-    pub fn debug_status(&self) -> String {
-        let groups: Vec<String> = self
-            .groups
-            .iter()
-            .enumerate()
-            .map(|(g, gs)| {
-                format!(
-                    "g{g}[ldr={} app={} com={} rd={} dep={} cu={} el={} unc={}]",
-                    gs.leader_view,
-                    gs.appended,
-                    gs.commit,
-                    self.conf_readers.get(g).map_or(0, |r| r.applied()),
-                    gs.deposed,
-                    gs.catching_up,
-                    gs.election.is_some(),
-                    gs.uncommitted.len(),
-                )
-            })
-            .collect();
-        format!(
-            "n{} done={} drv_done={} out={} halt={} applied={} {}",
-            self.me.index(),
-            self.workload_done(),
-            self.driver.local_done(),
-            self.outstanding.len(),
-            self.halted,
-            self.applied.total(),
-            groups.join(" ")
-        )
-    }
-
-    fn majority_remote(&self) -> usize {
+    /// Remote copies needed for a majority (the leader's own counts).
+    pub(crate) fn majority_remote(&self) -> usize {
         self.n / 2
-    }
-
-    // ------------------------------------------------------------------
-    // Views
-    // ------------------------------------------------------------------
-
-    fn refresh_mat(&mut self) {
-        if !self.mat_dirty {
-            return;
-        }
-        self.mat = self.state_snapshot();
-        self.mat_dirty = false;
-    }
-
-    /// The view used for permissibility checks and call generation.
-    fn check_view(&self) -> &O::State {
-        self.spec_mat.as_ref().unwrap_or(&self.mat)
-    }
-
-    /// Apply a call to the committed views (σ stays per caller choice).
-    fn apply_to_views(&mut self, call: &O::Update) {
-        if !self.mat_dirty {
-            self.spec.apply_mut(&mut self.mat, call);
-        }
-        if let Some(sm) = self.spec_mat.as_mut() {
-            self.spec.apply_mut(sm, call);
-        }
     }
 
     // ------------------------------------------------------------------
     // Startup
     // ------------------------------------------------------------------
 
-    fn setup(&mut self, ctx: &mut Ctx<'_>) {
-        let n = self.n;
-        // Ring endpoints.
-        for src in 0..n {
-            let node = NodeId(src);
-            if node == self.me {
-                self.free_writers.push(None);
-                self.free_readers.push(None);
-                continue;
-            }
-            self.free_writers.push(Some(
-                RingWriter::new(
-                    RingKind::Free,
-                    node,
-                    self.layout.free_rings,
-                    self.layout.free_ring_base(self.me),
-                    self.layout.free_cap(),
-                    self.layout.entry_size(),
-                    self.layout.heads,
-                    self.layout.free_head_offset(self.me),
-                )
-                .with_max_batch(self.cfg.max_batch),
-            ));
-            self.free_readers.push(Some(RingReader::new(
-                RingKind::Free,
-                self.layout.free_rings,
-                self.layout.free_ring_base(node),
-                self.layout.free_cap(),
-                self.layout.entry_size(),
-                self.layout.heads,
-                self.layout.free_head_offset(node),
-            )));
-        }
-        for g in 0..self.groups.len() {
-            self.conf_readers.push(RingReader::new(
-                RingKind::Conf,
-                self.layout.conf[g],
-                self.layout.conf_ring_base(),
-                self.layout.conf_cap(),
-                self.layout.entry_size(),
-                self.layout.heads,
-                self.layout.conf_head_offset(g),
-            ));
-            // Only the leader may write this group's ring and commit
-            // cell (the Mu permission discipline).
-            let leader = self.groups[g].leader_view;
-            for q in 0..n {
-                ctx.set_write_permission(
-                    self.layout.conf[g],
-                    NodeId(q),
-                    Pid(q) == leader,
-                );
-            }
-            if leader.index() == self.me.index() {
-                self.become_writer(g, 0);
-            }
-        }
+    /// Bring the replica up on `ctx`: build the ring endpoints
+    /// (`free.rs` / `conf.rs`), install the initial permission grants,
+    /// arm the timers, and start pumping. Called once by the event
+    /// loop's start hook.
+    pub fn start<T: Transport>(&mut self, ctx: &mut T) {
+        self.setup_free_endpoints();
+        self.setup_conf_groups(ctx);
         ctx.set_timer(self.cfg.poll_interval, TAG_POLL);
         // Heartbeat and failure detection run as dedicated threads
         // (§4), so a busy application CPU cannot silence liveness.
@@ -505,706 +244,24 @@ where
         self.pump(ctx);
     }
 
-    fn become_writer(&mut self, g: usize, tail: u64) {
-        let mut writers = Vec::with_capacity(self.n);
-        for q in 0..self.n {
-            if q == self.me.index() {
-                writers.push(None);
-            } else {
-                let mut w = RingWriter::new(
-                    RingKind::Conf,
-                    NodeId(q),
-                    self.layout.conf[g],
-                    self.layout.conf_ring_base(),
-                    self.layout.conf_cap(),
-                    self.layout.entry_size(),
-                    self.layout.heads,
-                    self.layout.conf_head_offset(g),
-                )
-                .with_max_batch(self.cfg.max_batch);
-                w.adopt_tail(tail);
-                writers.push(Some(w));
-            }
-        }
-        let gs = &mut self.groups[g];
-        gs.writers = Some(writers);
-        gs.appended = tail;
-    }
-
     // ------------------------------------------------------------------
-    // Client pump
+    // Dispatch: polling, completions, control messages
     // ------------------------------------------------------------------
 
-    fn pump(&mut self, ctx: &mut Ctx<'_>) {
-        if self.halted {
-            return;
-        }
-        self.refresh_mat();
-        let mut reject_streak = 0u32;
-        loop {
-            let is_leader: Vec<bool> = (0..self.groups.len())
-                .map(|g| {
-                    let gs = &self.groups[g];
-                    gs.leader_view.index() == self.me.index()
-                        && !gs.deposed
-                        && !gs.catching_up
-                        && gs.writers.is_some()
-                        && self.conf_readers[g].next_seq() > gs.issue_floor
-                })
-                .collect();
-            let appended: Vec<u64> = self.groups.iter().map(|g| g.appended).collect();
-            let planned = {
-                let view = self.spec_mat.as_ref().unwrap_or(&self.mat);
-                self.driver.next(&self.spec, view, &self.coord, &is_leader, &appended)
-            };
-            match planned {
-                None => break,
-                Some(Planned::Query(q)) => {
-                    let reply = self.spec.query(self.check_view(), &q);
-                    let _ = reply;
-                    ctx.consume(ctx.latency().apply_cost);
-                    let cost = ctx.latency().apply_cost;
-                    self.metrics.ack_query(cost);
-                }
-                Some(Planned::Update(u)) => {
-                    let rejected_before = self.metrics.rejected;
-                    self.issue(ctx, u);
-                    if self.metrics.rejected > rejected_before {
-                        // A rejected call consumes no ring quota, so the
-                        // driver will happily regenerate it. Bound the
-                        // streak per pump so a view in which nothing is
-                        // permissible yields back to the event loop
-                        // instead of spinning (later entries or a leader
-                        // change may unwedge it).
-                        reject_streak += 1;
-                        if reject_streak >= 64 {
-                            break;
-                        }
-                    } else {
-                        reject_streak = 0;
-                    }
-                }
-            }
-        }
-        // The whole burst of appends is queued by now: post it as
-        // coalesced ring WRITEs (deferring to here is free in virtual
-        // time — same instant, fewer doorbells).
-        self.flush_writers(ctx);
-    }
-
-    /// Post everything the pump queued: coalesced WRITEs for the free
-    /// rings and for any leader-fed conflicting rings. Idle writers
-    /// cost one empty check each.
-    fn flush_writers(&mut self, ctx: &mut Ctx<'_>) {
-        for w in self.free_writers.iter_mut().flatten() {
-            w.flush(ctx);
-        }
-        for gs in self.groups.iter_mut() {
-            if let Some(writers) = gs.writers.as_mut() {
-                for w in writers.iter_mut().flatten() {
-                    w.flush(ctx);
-                }
-            }
-        }
-    }
-
-    fn issue(&mut self, ctx: &mut Ctx<'_>, update: O::Update) {
-        let method = self.spec.method_of(&update);
-        match self.coord.category(method) {
-            MethodCategory::Reducible { sum_group } => {
-                self.issue_reduce(ctx, update, method, sum_group.index())
-            }
-            MethodCategory::IrreducibleFree => self.issue_free(ctx, update, method),
-            MethodCategory::Conflicting { sync_group } => {
-                self.issue_conf(ctx, update, method, sync_group.index())
-            }
-        }
-    }
-
-    fn permissible_now(&mut self, update: &O::Update) -> bool {
-        self.refresh_mat();
-        let post = self.spec.apply(self.check_view(), update);
-        self.spec.invariant(&post)
-    }
-
-    fn reject(&mut self, method: MethodId) {
-        let _ = method;
-        self.metrics.rejected += 1;
-        self.driver.on_abort();
-    }
-
-    fn mint_call(&mut self, method: MethodId, ctx: &Ctx<'_>) -> (u64, Rid) {
-        let call_id = self.next_call_id;
-        self.next_call_id += 1;
-        let rid = Rid::new(Pid(self.me.index()), self.next_rid_seq);
-        self.next_rid_seq += 1;
-        let _ = (method, ctx);
-        (call_id, rid)
-    }
-
-    /// REDUCE: fold into the summary, broadcast the slot.
-    fn issue_reduce(&mut self, ctx: &mut Ctx<'_>, update: O::Update, method: MethodId, g: usize) {
-        if !self.permissible_now(&update) {
-            self.reject(method);
-            return;
-        }
-        ctx.consume(ctx.latency().apply_cost);
-        let me = self.me.index();
-        let group_methods: Vec<MethodId> = self.coord.sum_groups()[g].clone();
-        let midx = group_methods.iter().position(|&m| m == method).expect("method in group");
-        // Summarize with the current own summary.
-        let new_summary = match &self.sum_cache[g][me].summary {
-            None => update.clone(),
-            Some(prev) => self
-                .spec
-                .summarize(prev, &update)
-                .expect("summarization group closed under summarize"),
-        };
-        let cache = &mut self.sum_cache[g][me];
-        cache.version += 1;
-        cache.counts[midx] += 1;
-        cache.summary = Some(new_summary);
-        let version = cache.version;
-        // Encode the latest slot once into the group's reusable buffer
-        // (used prefix only) straight from the cache — no clones.
-        let mut slot = std::mem::take(&mut self.sum_slot_buf[g]);
-        {
-            let cache = &self.sum_cache[g][me];
-            SummarySlot::encode_parts_into(
-                version,
-                &cache.counts,
-                cache.summary.as_ref(),
-                self.layout.summary_size(g),
-                &mut slot,
-            );
-        }
-        self.applied.set(Pid(me), method, self.sum_cache[g][me].counts[midx]);
-        // Local effects: the call itself lands in the views.
-        self.apply_to_views(&update);
-        self.metrics.last_apply = ctx.now();
-
-        let (call_id, _rid) = self.mint_call(method, ctx);
-        // Reliable broadcast: backup first, then the remote writes.
-        let backup_slot = self.write_backup(ctx, call_id, BACKUP_SUMMARY, g as u8, version, &slot);
-        let offset = self.layout.summary_offset(g, self.me);
-        ctx.local_write(self.layout.summaries, offset, &slot);
-        // Write-combining: post only where the (group, peer) channel is
-        // idle; otherwise the call waits for a later write to carry its
-        // (or a newer) version — the slot is last-writer-wins, so a
-        // landed version v acknowledges every call folded in up to v.
-        let mut remotes = 0;
-        for q in 0..self.n {
-            if q == me {
-                continue;
-            }
-            remotes += 1;
-            self.sum_waiters[g][q].push_back((version, call_id));
-            if self.sum_inflight[g][q].is_none() {
-                self.post_summary(ctx, g, NodeId(q), version, &slot, method.index());
-            }
-        }
-        self.sum_slot_buf[g] = slot;
-        self.outstanding.insert(
-            call_id,
-            Outstanding {
-                issued_at: ctx.now(),
-                method,
-                phase: Phase::Reduce,
-                conf: None,
-                ack_remaining: remotes,
-                total_remaining: remotes,
-                backup_slot: Some(backup_slot),
-            },
-        );
-        if remotes == 0 {
-            self.finish_call(ctx, call_id);
-        }
-    }
-
-    /// Post one summary WRITE of `slot` (carrying `version`) to
-    /// `target` and mark the (group, peer) channel busy. `method` only
-    /// labels the trace event (a combined write carries the whole
-    /// group's summary).
-    fn post_summary(
-        &mut self,
-        ctx: &mut Ctx<'_>,
-        g: usize,
-        target: NodeId,
-        version: u64,
-        slot: &[u8],
-        method: usize,
-    ) {
-        debug_assert!(self.sum_inflight[g][target.index()].is_none(), "one in flight per peer");
-        let offset = self.layout.summary_offset(g, self.me);
-        let wr = ctx.post_write(target, self.layout.summaries, offset, slot);
-        let issuer = self.me;
-        ctx.emit(|| TraceEvent::SummaryWrite { issuer, target, method, version });
-        self.sum_inflight[g][target.index()] = Some(version);
-        self.wr_routes.insert(wr, Route::SummaryWrite { group: g, target, version });
-    }
-
-    /// FREE: apply locally, append to every peer's `F` ring.
-    fn issue_free(&mut self, ctx: &mut Ctx<'_>, update: O::Update, method: MethodId) {
-        if !self.permissible_now(&update) {
-            self.reject(method);
-            return;
-        }
-        ctx.consume(ctx.latency().apply_cost);
-        let deps = self.applied.project(self.coord.dependencies(method));
-        let (call_id, rid) = self.mint_call(method, ctx);
-        self.spec.apply_mut(&mut self.sigma, &update);
-        self.apply_to_views(&update);
-        self.applied.increment(Pid(self.me.index()), method);
-        self.metrics.last_apply = ctx.now();
-
-        let entry = Entry { rid, update, deps };
-        let mut seq_assigned = None;
-        let mut remotes = 0;
-        for q in 0..self.n {
-            if q == self.me.index() {
-                continue;
-            }
-            let w = self.free_writers[q].as_mut().expect("writer for peer");
-            let seq = w.append(ctx, &entry);
-            match seq_assigned {
-                None => seq_assigned = Some(seq),
-                Some(s) => assert_eq!(s, seq, "free rings advance in lockstep"),
-            }
-            remotes += 1;
-        }
-        let backup_slot = seq_assigned.map(|seq| {
-            let slot = entry.to_slot(seq, self.layout.entry_size());
-            self.write_backup(ctx, call_id, BACKUP_FREE, 0xff, seq, &slot)
-        });
-        if let Some(seq) = seq_assigned {
-            self.free_call_by_seq.insert(seq, call_id);
-        }
-        self.outstanding.insert(
-            call_id,
-            Outstanding {
-                issued_at: ctx.now(),
-                method,
-                phase: Phase::Free,
-                conf: None,
-                ack_remaining: remotes,
-                total_remaining: remotes,
-                backup_slot,
-            },
-        );
-        if remotes == 0 {
-            self.finish_call(ctx, call_id);
-        }
-    }
-
-    /// CONF: append to the group's `L` rings; apply at commit.
-    fn issue_conf(&mut self, ctx: &mut Ctx<'_>, update: O::Update, method: MethodId, g: usize) {
-        if !self.permissible_now(&update) {
-            self.reject(method);
-            return;
-        }
-        ctx.consume(ctx.latency().apply_cost);
-        let deps = self.applied.project(self.coord.dependencies(method));
-        let (call_id, rid) = self.mint_call(method, ctx);
-        // Speculative view gains the call; σ/mat only at commit.
-        if self.spec_mat.is_none() {
-            self.refresh_mat();
-            self.spec_mat = Some(self.mat.clone());
-        }
-        if let Some(sm) = self.spec_mat.as_mut() {
-            self.spec.apply_mut(sm, &update);
-        }
-
-        self.speculative_store.push(update.clone());
-        let entry = Entry { rid, update, deps };
-        let seq = self.groups[g].appended + 1;
-        self.groups[g].appended = seq;
-        self.groups[g].uncommitted.push((seq, method));
-        let slot = entry.to_slot(seq, self.layout.entry_size());
-        // Local ring copy (leader's log for catch-up by successors).
-        let ring_off = self.layout.conf_ring_base()
-            + ((seq - 1) as usize % self.layout.conf_cap()) * self.layout.entry_size();
-        ctx.local_write(self.layout.conf[g], ring_off, &slot);
-        if let Some(writers) = self.groups[g].writers.as_mut() {
-            for w in writers.iter_mut().flatten() {
-                let s = w.append(ctx, &entry);
-                debug_assert_eq!(s, seq, "conf rings advance with the group ordinal");
-            }
-        }
-        self.groups[g].pending_acks.insert(seq, 0);
-        self.groups[g].client_by_seq.insert(seq, call_id);
-        self.outstanding.insert(
-            call_id,
-            Outstanding {
-                issued_at: ctx.now(),
-                method,
-                phase: Phase::Conf,
-                conf: Some((g, seq)),
-                // Acked when the commit index passes this seq.
-                ack_remaining: usize::MAX,
-                total_remaining: 0,
-                backup_slot: None,
-            },
-        );
-        if self.majority_remote() == 0 {
-            // Single-node cluster: commit immediately.
-            self.advance_commit(ctx, g);
-        }
-    }
-
-    fn write_backup(
-        &mut self,
-        ctx: &mut Ctx<'_>,
-        call_id: u64,
-        kind: u8,
-        group: u8,
-        seq: u64,
-        slot: &[u8],
-    ) -> usize {
-        let idx = (call_id % self.layout.backup_slots() as u64) as usize;
-        let (off, size) = self.layout.backup_slot(idx);
-        let buf = compose_backup_slot(kind, group, seq, slot, size);
-        ctx.local_write(self.layout.backup, off, &buf);
-        idx
-    }
-
-    fn clear_backup(&mut self, ctx: &mut Ctx<'_>, idx: usize) {
-        let (off, _) = self.layout.backup_slot(idx);
-        ctx.local_write(self.layout.backup, off, &[0]);
-    }
-
-    fn finish_call(&mut self, ctx: &mut Ctx<'_>, call_id: u64) {
-        if let Some(o) = self.outstanding.get_mut(&call_id) {
-            if o.ack_remaining != 0 {
-                return;
-            }
-            let method = o.method;
-            let issued_at = o.issued_at;
-            let phase = o.phase;
-            let conf = o.conf;
-            self.metrics.ack_update(method.index(), phase, issued_at, ctx.now());
-            let node = self.me;
-            ctx.emit(|| TraceEvent::Ack {
-                node,
-                method: method.index(),
-                phase,
-                group: conf.map(|(g, _)| g),
-                seq: conf.map(|(_, s)| s),
-            });
-            self.driver.on_ack();
-            let done = o.total_remaining == 0;
-            if done {
-                let slot = o.backup_slot;
-                self.outstanding.remove(&call_id);
-                if let Some(idx) = slot {
-                    self.clear_backup(ctx, idx);
-                }
-            } else {
-                // Acked but writes still in flight: keep for backup GC.
-                o.ack_remaining = 0;
-            }
-        }
-        self.pump(ctx);
-    }
-
-    /// One peer now durably holds this reducible call's summary: the
-    /// per-call remote bookkeeping (ack countdown, backup GC) that a
-    /// dedicated completion used to drive before write-combining.
-    fn credit_summary_peer(&mut self, ctx: &mut Ctx<'_>, call_id: u64) {
-        let mut finished = false;
-        let mut cleanup = None;
-        if let Some(o) = self.outstanding.get_mut(&call_id) {
-            o.total_remaining = o.total_remaining.saturating_sub(1);
-            if o.ack_remaining > 0 && o.ack_remaining != usize::MAX {
-                o.ack_remaining -= 1;
-                finished = o.ack_remaining == 0;
-            }
-            if o.total_remaining == 0 && !finished {
-                cleanup = Some(call_id);
-            }
-        }
-        if let Some(cid) = cleanup {
-            if let Some(o) = self.outstanding.remove(&cid) {
-                if let Some(idx) = o.backup_slot {
-                    self.clear_backup(ctx, idx);
-                }
-            }
-        } else if finished {
-            self.finish_call(ctx, call_id);
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Polling: summaries, F rings, L rings
-    // ------------------------------------------------------------------
-
-    fn poll(&mut self, ctx: &mut Ctx<'_>) {
+    fn poll<T: Transport>(&mut self, ctx: &mut T) {
         ctx.consume(self.cfg.poll_cost);
         self.poll_summaries(ctx);
         self.poll_free(ctx);
         self.poll_conf(ctx);
-        for g in 0..self.groups.len() {
+        for g in 0..self.engines.len() {
             self.flush_commit(ctx, g);
         }
         self.pump(ctx);
     }
 
-    fn poll_summaries(&mut self, ctx: &mut Ctx<'_>) {
-        let monotone = self.spec.summaries_monotone();
-        for g in 0..self.sum_cache.len() {
-            let group_methods: Vec<MethodId> = self.coord.sum_groups()[g].clone();
-            for src in 0..self.n {
-                if src == self.me.index() {
-                    continue;
-                }
-                let off = self.layout.summary_offset(g, NodeId(src));
-                let size = self.layout.summary_size(g);
-                let parsed = {
-                    let bytes = ctx.local(self.layout.summaries, off, size);
-                    // Fast path: peek the leading version word before
-                    // paying for a full seqlock parse — an unchanged
-                    // slot is the common case in the poll loop.
-                    if summary_version(bytes) <= self.sum_cache[g][src].version {
-                        continue;
-                    }
-                    SummarySlot::<O::Update>::from_slot(bytes, group_methods.len())
-                };
-                let Some(slot) = parsed else { continue };
-                if slot.version <= self.sum_cache[g][src].version {
-                    continue;
-                }
-                ctx.consume(ctx.latency().apply_cost);
-                for (i, &m) in group_methods.iter().enumerate() {
-                    let old = self.applied.get(Pid(src), m);
-                    self.applied.set(Pid(src), m, old.max(slot.counts[i]));
-                }
-                if monotone {
-                    if let Some(sum) = &slot.summary {
-                        if !self.mat_dirty {
-                            self.spec.apply_mut(&mut self.mat, sum);
-                        }
-                        if let Some(sm) = self.spec_mat.as_mut() {
-                            self.spec.apply_mut(sm, sum);
-                        }
-                    }
-                } else {
-                    self.mat_dirty = true;
-                    // A stale speculative view would corrupt checks:
-                    // rebuild it from scratch below if present.
-                    if self.spec_mat.is_some() {
-                        self.rebuild_spec_mat();
-                    }
-                }
-                self.metrics.remote_applied += 1;
-                self.metrics.last_apply = ctx.now();
-                self.sum_cache[g][src] =
-                    CachedSummary { version: slot.version, counts: slot.counts, summary: slot.summary };
-            }
-        }
-    }
-
-    /// Rebuild the speculative view after a non-monotone summary
-    /// change: committed snapshot + replay of uncommitted own entries.
-    /// Uncommitted conflicting entries are kept by each group, but the
-    /// update payloads are no longer at hand; since non-monotone
-    /// summaries and uncommitted entries can only coexist for objects
-    /// whose conflicting methods commute with summaries (summaries are
-    /// conflict-free by construction), replaying is legal — we keep the
-    /// payloads for exactly this purpose.
-    fn rebuild_spec_mat(&mut self) {
-        self.refresh_mat();
-        // Replay: collect pending own entries from the replay store.
-        let mut view = self.mat.clone();
-        for u in &self.pending_speculative_updates() {
-            self.spec.apply_mut(&mut view, u);
-        }
-        self.spec_mat = Some(view);
-    }
-
-    fn pending_speculative_updates(&self) -> Vec<O::Update> {
-        self.speculative_store.clone()
-    }
-
-    fn speculative_pop(&mut self) {
-        if !self.speculative_store.is_empty() {
-            self.speculative_store.remove(0);
-        }
-    }
-
-    fn speculative_clear(&mut self) {
-        self.speculative_store.clear();
-    }
-
-    fn poll_free(&mut self, ctx: &mut Ctx<'_>) {
-        for src in 0..self.n {
-            if src == self.me.index() {
-                continue;
-            }
-            loop {
-                let entry = {
-                    let reader = self.free_readers[src].as_ref().expect("reader for peer");
-                    reader.peek::<O::Update>(ctx)
-                };
-                let Some(entry) = entry else { break };
-                if !self.applied.satisfies(&entry.deps) {
-                    break; // blocked on a dependency; retry next poll
-                }
-                ctx.consume(ctx.latency().apply_cost);
-                let method = self.spec.method_of(&entry.update);
-                self.spec.apply_mut(&mut self.sigma, &entry.update);
-                self.apply_to_views(&entry.update);
-                self.applied.increment(entry.rid.issuer, method);
-                self.metrics.remote_applied += 1;
-                self.metrics.last_apply = ctx.now();
-                self.free_readers[src].as_mut().expect("reader").advance(ctx, NodeId(src));
-            }
-        }
-    }
-
-    fn poll_conf(&mut self, ctx: &mut Ctx<'_>) {
-        for g in 0..self.groups.len() {
-            // Followers learn the commit index from the commit cell;
-            // the leader knows it directly.
-            let commit = if self.groups[g].writers.is_some() && !self.groups[g].deposed {
-                self.groups[g].commit
-            } else {
-                let cell = ctx.local(self.layout.conf[g], self.layout.conf_commit_offset(), 8);
-                u64::from_le_bytes(cell.try_into().expect("8 bytes"))
-            };
-            loop {
-                let next = self.conf_readers[g].next_seq();
-                if next > commit {
-                    break;
-                }
-                let entry = self.conf_readers[g].peek::<O::Update>(ctx);
-                let Some(entry) = entry else { break };
-                if !self.applied.satisfies(&entry.deps) {
-                    break;
-                }
-                ctx.consume(ctx.latency().apply_cost);
-                let method = self.spec.method_of(&entry.update);
-                self.spec.apply_mut(&mut self.sigma, &entry.update);
-                // Own uncommitted entry reaching commit: it is already
-                // in the speculative view; only σ/mat advance.
-                let own_head = self.groups[g]
-                    .uncommitted
-                    .first()
-                    .is_some_and(|&(s, _)| s == next);
-                if own_head {
-                    self.groups[g].uncommitted.remove(0);
-                    self.speculative_pop();
-                    if !self.mat_dirty {
-                        self.spec.apply_mut(&mut self.mat, &entry.update);
-                    }
-                    if self.no_uncommitted() {
-                        self.spec_mat = None;
-                    }
-                } else {
-                    self.apply_to_views(&entry.update);
-                }
-                self.applied.increment(entry.rid.issuer, method);
-                if entry.rid.issuer.index() != self.me.index() {
-                    self.metrics.remote_applied += 1;
-                }
-                self.metrics.last_apply = ctx.now();
-                // The entry's issuer is the leader that appended it.
-                self.conf_readers[g].advance(ctx, NodeId(entry.rid.issuer.index()));
-            }
-        }
-    }
-
-    fn no_uncommitted(&self) -> bool {
-        self.groups.iter().all(|g| g.uncommitted.is_empty())
-    }
-
-    // ------------------------------------------------------------------
-    // Commit handling (leader)
-    // ------------------------------------------------------------------
-
-    fn advance_commit(&mut self, ctx: &mut Ctx<'_>, g: usize) {
-        let need = self.majority_remote();
-        let before = self.groups[g].commit;
-        loop {
-            let gs = &mut self.groups[g];
-            let next = gs.commit + 1;
-            match gs.pending_acks.get(&next) {
-                Some(&count) if count >= need => {
-                    gs.pending_acks.remove(&next);
-                    gs.commit = next;
-                }
-                _ => break,
-            }
-        }
-        let commit = self.groups[g].commit;
-        if commit > before {
-            // Recorded before the client acks below, so a collected
-            // trace always shows CommitAdvance ahead of the Acks it
-            // enables.
-            let node = self.me;
-            ctx.emit(|| TraceEvent::CommitAdvance { node, group: g, commit });
-        }
-        // Acknowledge committed client calls.
-        let acked: Vec<u64> = self.groups[g]
-            .client_by_seq
-            .iter()
-            .filter(|&(&seq, _)| seq <= commit)
-            .map(|(_, &cid)| cid)
-            .collect();
-        let seqs: Vec<u64> = self.groups[g]
-            .client_by_seq
-            .keys()
-            .copied()
-            .filter(|&s| s <= commit)
-            .collect();
-        for s in seqs {
-            self.groups[g].client_by_seq.remove(&s);
-        }
-        for cid in acked {
-            if let Some(o) = self.outstanding.get_mut(&cid) {
-                o.ack_remaining = 0;
-            }
-            self.finish_call(ctx, cid);
-        }
-        // Push the commit index to followers (coalesced).
-        self.flush_commit(ctx, g);
-        // The leader's own commit cell (read by poll_conf fallback and
-        // by successors).
-        ctx.local_write(self.layout.conf[g], self.layout.conf_commit_offset(), &commit.to_le_bytes());
-    }
-
-    fn flush_commit(&mut self, ctx: &mut Ctx<'_>, g: usize) {
-        let gs = &self.groups[g];
-        if gs.writers.is_none() || gs.deposed {
-            return;
-        }
-        if gs.commit > gs.commit_written && gs.commit_writes_inflight == 0 {
-            let commit = gs.commit;
-            let mut inflight = 0;
-            for q in 0..self.n {
-                if q == self.me.index() {
-                    continue;
-                }
-                let wr = ctx.post_write(
-                    NodeId(q),
-                    self.layout.conf[g],
-                    self.layout.conf_commit_offset(),
-                    &commit.to_le_bytes(),
-                );
-                self.wr_routes.insert(wr, Route::CommitWrite { group: g });
-                inflight += 1;
-            }
-            let gs = &mut self.groups[g];
-            gs.commit_written = commit;
-            gs.commit_writes_inflight = inflight;
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Completions
-    // ------------------------------------------------------------------
-
-    fn on_completion(
+    fn on_completion<T: Transport>(
         &mut self,
-        ctx: &mut Ctx<'_>,
+        ctx: &mut T,
         wr: WrId,
         status: CompletionStatus,
         data: Option<&[u8]>,
@@ -1232,482 +289,26 @@ where
             self.on_routed(ctx, route, status, data);
             return;
         }
-        // Free-ring appends.
-        let mut free_done = None;
-        for q in 0..self.n {
-            if let Some(w) = self.free_writers.get_mut(q).and_then(|w| w.as_mut()) {
-                if let Some(done) = w.on_completion(ctx, wr, status, data) {
-                    free_done = Some(done);
-                    break;
-                }
-            }
-        }
-        if let Some(done) = free_done {
-            // A coalesced WRITE completes every entry it spans.
-            for seq in done.seqs() {
-                if let Some(&cid) = self.free_call_by_seq.get(&seq) {
-                    self.on_free_write_done(ctx, cid, seq, done.status);
-                }
-            }
+        // Ring appends: free rings first, then each group's conf rings.
+        if self.on_free_completion(ctx, wr, status, data) {
             return;
         }
-        // Conf-ring appends.
-        for g in 0..self.groups.len() {
-            let mut result = None;
-            if let Some(writers) = self.groups[g].writers.as_mut() {
-                for w in writers.iter_mut().flatten() {
-                    if let Some(done) = w.on_completion(ctx, wr, status, data) {
-                        result = Some((done, w.target()));
-                        break;
-                    }
-                }
-            }
-            if let Some((done, target)) = result {
-                for seq in done.seqs() {
-                    self.on_conf_write_done(ctx, g, target, seq, done.status);
-                }
-                return;
-            }
-        }
+        self.on_conf_completion(ctx, wr, status, data);
     }
 
-    fn on_free_write_done(
+    fn on_routed<T: Transport>(
         &mut self,
-        ctx: &mut Ctx<'_>,
-        call_id: u64,
-        seq: u64,
-        status: CompletionStatus,
-    ) {
-        debug_assert!(status.is_success(), "free rings are never permission-revoked");
-        let mut finished = false;
-        let mut fully_done = false;
-        if let Some(o) = self.outstanding.get_mut(&call_id) {
-            o.total_remaining = o.total_remaining.saturating_sub(1);
-            if o.ack_remaining > 0 && o.ack_remaining != usize::MAX {
-                o.ack_remaining -= 1;
-                if o.ack_remaining == 0 {
-                    finished = true;
-                }
-            }
-            fully_done = o.total_remaining == 0;
-        }
-        if fully_done {
-            self.free_call_by_seq.remove(&seq);
-            if !finished {
-                // Already acked earlier; clean up now.
-                if let Some(o) = self.outstanding.remove(&call_id) {
-                    if let Some(idx) = o.backup_slot {
-                        self.clear_backup(ctx, idx);
-                    }
-                }
-                return;
-            }
-        }
-        if finished {
-            self.finish_call(ctx, call_id);
-        }
-    }
-
-    fn on_conf_write_done(
-        &mut self,
-        ctx: &mut Ctx<'_>,
-        g: usize,
-        target: NodeId,
-        seq: u64,
-        status: CompletionStatus,
-    ) {
-        if !status.is_success() {
-            // The target has not granted us write permission (it may
-            // simply not have processed our election yet, or a newer
-            // leader exists — the latter reaches us as a higher-epoch
-            // message and deposes us there). Retry until either happens;
-            // the entry can still commit through the other followers.
-            // Suspected peers are retried too: a suspended-but-alive
-            // node still grants permission once it sees the election.
-            if !self.groups[g].deposed {
-                self.conf_retries.push((g, target, seq));
-                if !self.retry_timer_armed {
-                    self.retry_timer_armed = true;
-                    ctx.set_timer(rdma_sim::SimDuration::micros(5), TAG_RETRY);
-                }
-            }
-            return;
-        }
-        if let Some(count) = self.groups[g].pending_acks.get_mut(&seq) {
-            *count += 1;
-        }
-        self.advance_commit(ctx, g);
-    }
-
-    fn run_retries(&mut self, ctx: &mut Ctx<'_>) {
-        self.retry_timer_armed = false;
-        let retries = std::mem::take(&mut self.conf_retries);
-        for (g, target, seq) in retries {
-            if self.groups[g].deposed || self.groups[g].writers.is_none() {
-                continue;
-            }
-            let off = self.layout.conf_ring_base()
-                + ((seq - 1) as usize % self.layout.conf_cap()) * self.layout.entry_size();
-            let slot = ctx.local(self.layout.conf[g], off, self.layout.entry_size()).to_vec();
-            if let Some(writers) = self.groups[g].writers.as_mut() {
-                if let Some(w) = writers[target.index()].as_mut() {
-                    w.rewrite(ctx, seq, slot);
-                }
-            }
-        }
-    }
-
-    fn depose(&mut self, ctx: &mut Ctx<'_>, g: usize) {
-        let gs = &mut self.groups[g];
-        if gs.deposed {
-            return;
-        }
-        let (node, epoch) = (self.me, gs.promised);
-        ctx.emit(|| TraceEvent::Deposed { group: g, node, epoch });
-        let gs = &mut self.groups[g];
-        gs.deposed = true;
-        gs.writers = None;
-        // Abort unacknowledged conflicting calls: their entries may or
-        // may not survive into the new leader's log; the speculative
-        // view simply vanishes (σ and mat were never touched).
-        let orphans: Vec<u64> = gs.client_by_seq.values().copied().collect();
-        gs.client_by_seq.clear();
-        gs.pending_acks.clear();
-        gs.uncommitted.clear();
-        self.conf_retries.retain(|&(rg, _, _)| rg != g);
-        self.speculative_clear();
-        self.spec_mat = None;
-        for cid in orphans {
-            if self.outstanding.remove(&cid).is_some() {
-                self.metrics.rejected += 1;
-                self.driver.on_abort();
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Failure handling
-    // ------------------------------------------------------------------
-
-    fn on_suspect(&mut self, ctx: &mut Ctx<'_>, suspect: NodeId) {
-        let node = self.me;
-        ctx.emit(|| TraceEvent::FdSuspect { node, suspect });
-        // 1. Reliable-broadcast recovery: the lowest alive node reads
-        //    the suspect's backup slots and re-executes pending writes.
-        if self.fd.lowest_alive(Some(suspect)) == self.me {
-            let size = self.layout.backup_slots() * self.layout.backup_slot(0).1;
-            let wr = ctx.post_read(suspect, self.layout.backup, 0, size);
-            self.wr_routes.insert(wr, Route::RecoveryRead { suspect });
-        }
-        // 2. Workload adoption: the next alive node picks up the
-        //    suspect's remaining conflict-free quota.
-        let adopter = self.next_alive_after(suspect);
-        if adopter == self.me && !self.adopted[suspect.index()] {
-            self.adopted[suspect.index()] = true;
-            let their = Driver::new(&self.workload, &self.coord, suspect.index(), self.n);
-            let remaining: Vec<u64> = (0..self.coord.method_count())
-                .map(|m| {
-                    if matches!(
-                        self.coord.category(MethodId(m)),
-                        MethodCategory::Conflicting { .. }
-                    ) {
-                        return 0;
-                    }
-                    let planned = their.initial_free_quota(m);
-                    let seen = self.applied.get(Pid(suspect.index()), MethodId(m));
-                    planned.saturating_sub(seen)
-                })
-                .collect();
-            // Query progress at the suspect is unobservable directly;
-            // estimate it from its observable update progress (the
-            // driver interleaves both uniformly) and adopt the rest.
-            let planned_updates: u64 =
-                (0..self.coord.method_count()).map(|m| their.initial_free_quota(m)).sum();
-            let seen_updates: u64 = (0..self.coord.method_count())
-                .map(|m| self.applied.get(Pid(suspect.index()), MethodId(m)))
-                .sum::<u64>()
-                .min(planned_updates);
-            let remaining_queries = (their.initial_queries()
-                * (planned_updates - seen_updates))
-                .checked_div(planned_updates)
-                .unwrap_or_else(|| their.initial_queries());
-            self.driver.adopt_free_quota(&remaining, remaining_queries);
-        }
-        // 3. Leader change for groups whose current leader is down —
-        //    the new suspect, or an earlier suspect whose designated
-        //    election starter only now emerges (e.g. the previous
-        //    starter itself just got suspected). A halted node never
-        //    runs for leadership: it could win but would never issue
-        //    the group's remaining quota.
-        for g in 0..self.groups.len() {
-            let lv = NodeId(self.groups[g].leader_view.index());
-            if (lv == suspect || self.fd.is_suspected(lv))
-                && !self.halted
-                && self.groups[g].election.is_none()
-                && self.fd.lowest_alive(Some(lv)) == self.me
-            {
-                self.start_election(ctx, g);
-            }
-        }
-        self.pump(ctx);
-    }
-
-    fn next_alive_after(&self, suspect: NodeId) -> NodeId {
-        for d in 1..=self.n {
-            let q = NodeId((suspect.index() + d) % self.n);
-            if q != suspect && !self.fd.is_suspected(q) {
-                return q;
-            }
-        }
-        self.me
-    }
-
-    fn start_election(&mut self, ctx: &mut Ctx<'_>, g: usize) {
-        let epoch = self.groups[g].promised + 1;
-        self.groups[g].promised = epoch;
-        self.groups[g].epoch = epoch;
-        // Vote for ourselves: grant our own permission and record tail.
-        for q in 0..self.n {
-            ctx.set_write_permission(self.layout.conf[g], NodeId(q), q == self.me.index());
-        }
-        let own_tail = self.landed_tail(ctx, g);
-        let own_commit = self.known_commit(ctx, g);
-        self.groups[g].election = Some(Election {
-            epoch,
-            acks: 1,
-            max_tail: own_tail,
-            max_tail_holder: self.me,
-            max_commit: own_commit,
-        });
-        let msg = ControlMsg::LeaderRequest { group: g as u32, epoch };
-        for q in 0..self.n {
-            if q != self.me.index() && !self.fd.is_suspected(NodeId(q)) {
-                ctx.send(NodeId(q), msg.to_bytes().into());
-            }
-        }
-        self.maybe_win(ctx, g);
-    }
-
-    /// Highest fully landed entry sequence in our copy of group `g`'s
-    /// ring.
-    fn landed_tail(&self, ctx: &Ctx<'_>, g: usize) -> u64 {
-        let reader = &self.conf_readers[g];
-        let mut tail = reader.applied();
-        for _ in 0..self.layout.conf_cap() {
-            let probe = tail + 1;
-            let off = self.layout.conf_ring_base()
-                + ((probe - 1) as usize % self.layout.conf_cap()) * self.layout.entry_size();
-            let slot = ctx.local(self.layout.conf[g], off, self.layout.entry_size());
-            // The seq+canary prefix check is the landing test; no need
-            // to decode the payload just to probe the tail.
-            if slot_ready(slot, probe) {
-                tail = probe;
-            } else {
-                break;
-            }
-        }
-        tail.max(self.groups[g].appended)
-    }
-
-    fn known_commit(&self, ctx: &Ctx<'_>, g: usize) -> u64 {
-        let cell = ctx.local(self.layout.conf[g], self.layout.conf_commit_offset(), 8);
-        u64::from_le_bytes(cell.try_into().expect("8 bytes")).max(self.groups[g].commit)
-    }
-
-    fn on_control(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: ControlMsg) {
-        match msg {
-            ControlMsg::LeaderRequest { group, epoch } => {
-                let g = group as usize;
-                if epoch > self.groups[g].promised {
-                    self.groups[g].promised = epoch;
-                    // Revoke the old leader, grant the candidate.
-                    for q in 0..self.n {
-                        ctx.set_write_permission(self.layout.conf[g], NodeId(q), q == from.index());
-                    }
-                    self.groups[g].leader_view = Pid(from.index());
-                    if self.groups[g].writers.is_some() {
-                        // We were the old leader and just got replaced.
-                        self.depose(ctx, g);
-                    }
-                    let tail = self.landed_tail(ctx, g);
-                    let commit = self.known_commit(ctx, g);
-                    let ack =
-                        ControlMsg::LeaderAck { group, epoch, tail, commit };
-                    ctx.send(from, ack.to_bytes().into());
-                }
-            }
-            ControlMsg::LeaderAck { group, epoch, tail, commit } => {
-                let g = group as usize;
-                let me = self.me;
-                if let Some(e) = self.groups[g].election.as_mut() {
-                    if e.epoch == epoch {
-                        e.acks += 1;
-                        if tail > e.max_tail {
-                            e.max_tail = tail;
-                            e.max_tail_holder = from;
-                        }
-                        e.max_commit = e.max_commit.max(commit);
-                        let _ = me;
-                    }
-                }
-                self.maybe_win(ctx, g);
-            }
-            ControlMsg::Retired => {
-                // Workload-level crash-stop announcement: from now on
-                // treat the sender exactly like a detected crash, and
-                // keep the suspicion sticky even though its heartbeat
-                // counter still moves.
-                if self.fd.mark_workload_dead(from) {
-                    self.on_suspect(ctx, from);
-                }
-            }
-            ControlMsg::LeaderAnnounce { group, epoch, leader } => {
-                let g = group as usize;
-                if epoch >= self.groups[g].promised {
-                    self.groups[g].promised = epoch;
-                    self.groups[g].leader_view = Pid(leader as usize);
-                    if leader as usize != self.me.index() {
-                        for q in 0..self.n {
-                            ctx.set_write_permission(
-                                self.layout.conf[g],
-                                NodeId(q),
-                                q == leader as usize,
-                            );
-                        }
-                        if self.groups[g].writers.is_some() {
-                            self.depose(ctx, g);
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    fn maybe_win(&mut self, ctx: &mut Ctx<'_>, g: usize) {
-        let majority = self.n / 2 + 1;
-        let Some(e) = self.groups[g].election.as_ref() else { return };
-        if e.acks < majority {
-            return;
-        }
-        let (max_tail, holder, max_commit, epoch) =
-            (e.max_tail, e.max_tail_holder, e.max_commit, e.epoch);
-        self.groups[g].election = None;
-        self.groups[g].deposed = false;
-        self.groups[g].leader_view = Pid(self.me.index());
-        self.groups[g].epoch = epoch;
-        self.groups[g].commit = max_commit.max(self.groups[g].commit);
-        self.groups[g].commit_written = 0;
-        let own_tail = self.landed_tail(ctx, g);
-        if own_tail < max_tail && holder != self.me {
-            // Catch up: read the missing suffix from the best follower.
-            let from_seq = own_tail + 1;
-            let count = max_tail - own_tail;
-            self.groups[g].catching_up = true;
-            // Ring is positional: read slot-by-slot range; wrap handled
-            // by issuing one read per slot (the suffix is short).
-            for s in from_seq..=max_tail {
-                let off = self.layout.conf_ring_base()
-                    + ((s - 1) as usize % self.layout.conf_cap()) * self.layout.entry_size();
-                let wr = ctx.post_read(holder, self.layout.conf[g], off, self.layout.entry_size());
-                self.wr_routes.insert(
-                    wr,
-                    Route::CatchupRead { group: g, from_seq: s, count, max_tail },
-                );
-            }
-        } else {
-            self.finish_takeover(ctx, g, max_tail);
-        }
-    }
-
-    fn finish_takeover(&mut self, ctx: &mut Ctx<'_>, g: usize, max_tail: u64) {
-        let (leader, epoch) = (self.me, self.groups[g].epoch);
-        ctx.emit(|| TraceEvent::LeaderChange { group: g, leader, epoch });
-        self.groups[g].catching_up = false;
-        self.groups[g].issue_floor = max_tail;
-        self.become_writer(g, max_tail);
-        // Rebroadcast the window between the adopted commit and the
-        // tail so every follower's ring converges, then re-count acks.
-        let commit = self.groups[g].commit;
-        for s in (commit + 1)..=max_tail {
-            self.groups[g].pending_acks.insert(s, 0);
-            let off = self.layout.conf_ring_base()
-                + ((s - 1) as usize % self.layout.conf_cap()) * self.layout.entry_size();
-            let slot = ctx.local(self.layout.conf[g], off, self.layout.entry_size()).to_vec();
-            let writers = self.groups[g].writers.as_mut().expect("just created");
-            for w in writers.iter_mut().flatten() {
-                w.rewrite(ctx, s, slot.clone());
-            }
-        }
-        // Announce.
-        let msg = ControlMsg::LeaderAnnounce {
-            group: g as u32,
-            epoch: self.groups[g].epoch,
-            leader: self.me.index() as u32,
-        };
-        for q in 0..self.n {
-            if q != self.me.index() {
-                ctx.send(NodeId(q), msg.to_bytes().into());
-            }
-        }
-        self.advance_commit(ctx, g);
-        self.pump(ctx);
-    }
-
-    fn on_routed(
-        &mut self,
-        ctx: &mut Ctx<'_>,
+        ctx: &mut T,
         route: Route,
         status: CompletionStatus,
         data: Option<&[u8]>,
     ) {
         match route {
-            Route::SummaryWrite { group: g, target, version } => {
-                // Summary regions never revoke write permission, so the
-                // status needs no inspection (same as before combining).
-                let q = target.index();
-                debug_assert_eq!(self.sum_inflight[g][q], Some(version), "routed write matches");
-                self.sum_inflight[g][q] = None;
-                // The slot is last-writer-wins: landing version v makes
-                // every folded-in call up to v durable at this peer.
-                let mut credited = Vec::new();
-                while let Some(&(v, cid)) = self.sum_waiters[g][q].front() {
-                    if v > version {
-                        break;
-                    }
-                    self.sum_waiters[g][q].pop_front();
-                    credited.push(cid);
-                }
-                // Dirty channel: the local summary moved past what
-                // landed — repost the latest slot (it is already
-                // encoded in the group's reuse buffer). This must
-                // happen BEFORE crediting: crediting re-enters the
-                // pump, and a fresh reduce issued there must find the
-                // channel busy again, not post a second in-flight
-                // write on it.
-                let latest = self.sum_cache[g][self.me.index()].version;
-                if latest > version {
-                    debug_assert!(
-                        !self.sum_waiters[g][q].is_empty(),
-                        "a newer local version implies someone still waits"
-                    );
-                    let slot = std::mem::take(&mut self.sum_slot_buf[g]);
-                    let method = self.coord.sum_groups()[g][0].index();
-                    self.post_summary(ctx, g, target, latest, &slot, method);
-                    self.sum_slot_buf[g] = slot;
-                }
-                for cid in credited {
-                    self.credit_summary_peer(ctx, cid);
-                }
+            Route::SummaryWrite { group, target, version } => {
+                self.on_summary_write_done(ctx, group, target, version);
             }
             Route::CommitWrite { group } => {
-                let gs = &mut self.groups[group];
-                gs.commit_writes_inflight = gs.commit_writes_inflight.saturating_sub(1);
-                if !status.is_success() {
-                    // Straggler has not granted us yet; force a re-push
-                    // of the commit index on the next flush.
-                    gs.commit_written = 0;
-                }
-                self.flush_commit(ctx, group);
+                self.on_commit_write_done(ctx, group, status);
             }
             Route::RecoveryRead { suspect } => {
                 if let Some(bytes) = data {
@@ -1715,72 +316,15 @@ where
                 }
             }
             Route::CatchupRead { group, from_seq, max_tail, .. } => {
-                if let Some(bytes) = data {
-                    let off = self.layout.conf_ring_base()
-                        + ((from_seq - 1) as usize % self.layout.conf_cap())
-                            * self.layout.entry_size();
-                    ctx.local_write(self.layout.conf[group], off, bytes);
-                }
-                // Are we fully caught up now?
-                if self.groups[group].catching_up && self.landed_tail(ctx, group) >= max_tail {
-                    self.finish_takeover(ctx, group, max_tail);
-                }
+                self.on_catchup_read(ctx, group, from_seq, max_tail, data);
             }
         }
     }
 
-    /// Re-execute a suspected source's pending broadcasts from its
-    /// backup slots (the agreement half of reliable broadcast).
-    fn recover_backups(&mut self, ctx: &mut Ctx<'_>, suspect: NodeId, bytes: &[u8]) {
-        let (_, slot_size) = self.layout.backup_slot(0);
-        for i in 0..self.layout.backup_slots() {
-            let b = &bytes[i * slot_size..(i + 1) * slot_size];
-            let Some((kind, group, seq, slot)) = parse_backup_slot(b) else {
-                continue;
-            };
-            match kind {
-                BACKUP_FREE => {
-                    let ring_off = self.layout.free_ring_base(suspect)
-                        + ((seq - 1) as usize % self.layout.free_cap()) * self.layout.entry_size();
-                    for q in 0..self.n {
-                        if NodeId(q) == suspect {
-                            continue;
-                        }
-                        if q == self.me.index() {
-                            ctx.local_write(self.layout.free_rings, ring_off, slot);
-                        } else {
-                            ctx.post_write(NodeId(q), self.layout.free_rings, ring_off, slot);
-                        }
-                    }
-                }
-                _ => {
-                    let off = self.layout.summary_offset(group as usize, suspect);
-                    for q in 0..self.n {
-                        if NodeId(q) == suspect {
-                            continue;
-                        }
-                        if q == self.me.index() {
-                            ctx.local_write(self.layout.summaries, off, slot);
-                        } else {
-                            ctx.post_write(NodeId(q), self.layout.summaries, off, slot);
-                        }
-                    }
-                }
-            }
-        }
-    }
-}
-
-impl<O> App for HambandNode<O>
-where
-    O: WorkloadSupport,
-    O::Update: Wire,
-{
-    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-        self.setup(ctx);
-    }
-
-    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+    /// Feed one event-loop event to the replica. Public so non-`App`
+    /// event loops (the loopback backend) can drive the same state
+    /// machine the simulator does.
+    pub fn handle_event<T: Transport>(&mut self, ctx: &mut T, event: Event) {
         match event {
             Event::Timer { tag: TAG_POLL, .. } => {
                 self.poll(ctx);
@@ -1835,5 +379,19 @@ where
                 }
             }
         }
+    }
+}
+
+impl<O> App for HambandNode<O>
+where
+    O: WorkloadSupport,
+    O::Update: Wire,
+{
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.start(ctx);
+    }
+
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
+        self.handle_event(ctx, event);
     }
 }

@@ -28,9 +28,10 @@
 use std::collections::{HashMap, VecDeque};
 
 use hamband_core::wire::Wire;
-use rdma_sim::{CompletionStatus, Ctx, NodeId, RegionId, RingKind, TraceEvent, WrId};
+use rdma_sim::{CompletionStatus, NodeId, RegionId, RingKind, TraceEvent, WrId};
 
 use crate::codec::Entry;
+use crate::transport::Transport;
 
 /// How many encoded-slot buffers a writer keeps around for reuse.
 const SPARE_SLOTS: usize = 32;
@@ -171,7 +172,7 @@ impl RingWriter {
     /// Append an encoded entry; returns its sequence number. The entry
     /// is only queued: call [`flush`](Self::flush) to post the pending
     /// entries (coalesced) once the current burst of appends is done.
-    pub fn append<U: Wire>(&mut self, ctx: &mut Ctx<'_>, entry: &Entry<U>) -> u64 {
+    pub fn append<U: Wire>(&mut self, ctx: &mut impl Transport, entry: &Entry<U>) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
         let (kind, writer, reader) = (self.kind, ctx.node(), self.target);
@@ -184,14 +185,14 @@ impl RingWriter {
 
     /// Re-write a specific already-assigned slot (leader catch-up and
     /// broadcast recovery): positional, idempotent at the reader.
-    pub fn rewrite(&mut self, ctx: &mut Ctx<'_>, seq: u64, slot: Vec<u8>) {
+    pub fn rewrite(&mut self, ctx: &mut impl Transport, seq: u64, slot: Vec<u8>) {
         let offset = self.slot_offset(seq);
         let wr = ctx.post_write(self.target, self.region, offset, &slot);
         ctx.note_ring_write(1);
         self.posted.insert(wr, (seq, seq));
     }
 
-    fn maybe_read_head(&mut self, ctx: &mut Ctx<'_>) {
+    fn maybe_read_head(&mut self, ctx: &mut impl Transport) {
         let lag = (self.next_seq - 1).saturating_sub(self.acked_head);
         if self.head_read.is_none() && (lag * 2 > self.cap || !self.pending.is_empty()) {
             self.head_read =
@@ -204,7 +205,7 @@ impl RingWriter {
     /// absorbed internally).
     pub fn on_completion(
         &mut self,
-        ctx: &mut Ctx<'_>,
+        ctx: &mut impl Transport,
         wr: WrId,
         status: CompletionStatus,
         data: Option<&[u8]>,
@@ -231,7 +232,7 @@ impl RingWriter {
     /// cap`), at ring wraparound (the next slot is not adjacent in
     /// memory), and at `max_batch` slots. Entries beyond the window
     /// stay queued until a head read observes room.
-    pub fn flush(&mut self, ctx: &mut Ctx<'_>) {
+    pub fn flush(&mut self, ctx: &mut impl Transport) {
         loop {
             let first = match self.pending.front() {
                 Some(&(seq, _)) if seq <= self.acked_head + self.cap => seq,
@@ -341,7 +342,7 @@ impl RingReader {
 
     /// Whether the next entry has fully landed (sequence and canary
     /// prefix check), without decoding the payload.
-    pub fn next_ready(&self, ctx: &Ctx<'_>) -> bool {
+    pub fn next_ready(&self, ctx: &impl Transport) -> bool {
         let slot = ctx.local(self.region, self.slot_offset(self.next), self.slot_size);
         crate::codec::slot_ready(slot, self.next)
     }
@@ -351,7 +352,7 @@ impl RingReader {
     /// not concurrently being written, the receiver checks the canary").
     /// The cheap [`next_ready`](Self::next_ready) prefix check runs
     /// first so an empty or in-flight slot costs no payload decode.
-    pub fn peek<U: Wire>(&self, ctx: &Ctx<'_>) -> Option<Entry<U>> {
+    pub fn peek<U: Wire>(&self, ctx: &impl Transport) -> Option<Entry<U>> {
         if !self.next_ready(ctx) {
             return None;
         }
@@ -360,7 +361,7 @@ impl RingReader {
     }
 
     /// Raw bytes of the slot holding `seq` (leader catch-up reads).
-    pub fn raw_slot<'c>(&self, ctx: &'c Ctx<'_>, seq: u64) -> &'c [u8] {
+    pub fn raw_slot<'c>(&self, ctx: &'c impl Transport, seq: u64) -> &'c [u8] {
         ctx.local(self.region, self.slot_offset(seq), self.slot_size)
     }
 
@@ -368,7 +369,7 @@ impl RingReader {
     /// new head counter for the writer's flow-control reads. `writer`
     /// is the node that appended the consumed entry (the ring's feeder
     /// for `F` rings, the appending leader for `L` rings).
-    pub fn advance(&mut self, ctx: &mut Ctx<'_>, writer: NodeId) {
+    pub fn advance(&mut self, ctx: &mut impl Transport, writer: NodeId) {
         let seq = self.next;
         self.next += 1;
         let (kind, reader) = (self.kind, ctx.node());
@@ -379,9 +380,16 @@ impl RingReader {
 
     /// Adopt a head position (node joining an in-progress ring — not
     /// used in the normal protocol, provided for recovery tooling).
-    pub fn adopt_head(&mut self, ctx: &mut Ctx<'_>, applied: u64) {
+    pub fn adopt_head(&mut self, ctx: &mut impl Transport, applied: u64) {
         self.next = applied + 1;
         ctx.local_write(self.head_region, self.head_offset, &applied.to_le_bytes());
+    }
+
+    /// Test-only: pretend entries through `applied` were consumed,
+    /// without a transport (role-machine unit tests).
+    #[cfg(test)]
+    pub(crate) fn skip_to_for_test(&mut self, applied: u64) {
+        self.next = applied + 1;
     }
 }
 
@@ -392,7 +400,7 @@ mod tests {
     use hamband_core::demo::{Account, AccountUpdate};
     use hamband_core::ids::{Pid, Rid};
     use rdma_sim::{
-        App, CollectingSink, Event, FaultPlan, LatencyModel, SimDuration, SimTime, Simulator,
+        App, CollectingSink, Ctx, Event, FaultPlan, LatencyModel, SimDuration, SimTime, Simulator,
         Stats,
     };
 

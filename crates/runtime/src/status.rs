@@ -1,0 +1,221 @@
+//! Structured replica status for harness diagnostics.
+//!
+//! Replaces the old stringly `debug_status()`: a [`NodeStatus`] is a
+//! typed snapshot of the replica's observable progress, and its
+//! [`Display`](std::fmt::Display) renders the familiar one-line form
+//! used by harness debug output and chaos failure reports. Structured
+//! fields mean a failing chaos case can be inspected programmatically
+//! (e.g. "which group still has uncommitted entries?") instead of by
+//! string-grepping.
+
+use std::fmt;
+
+use hamband_core::ids::Pid;
+use hamband_core::object::WorkloadSupport;
+use hamband_core::wire::Wire;
+
+use crate::conf::Role;
+use crate::replica::HambandNode;
+
+/// Which role a node holds for one synchronization group (the
+/// discriminant of [`Role`], without the role's payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoleKind {
+    /// Applying committed entries, following the recognized leader.
+    Follower,
+    /// Tallying `LeaderAck`s for an in-flight candidacy.
+    Candidate,
+    /// Won an election, still catching up the ring suffix.
+    TakingOver,
+    /// Leading the group.
+    Leader,
+}
+
+impl fmt::Display for RoleKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RoleKind::Follower => "follower",
+            RoleKind::Candidate => "candidate",
+            RoleKind::TakingOver => "takeover",
+            RoleKind::Leader => "leader",
+        };
+        f.write_str(s)
+    }
+}
+
+impl From<&Role> for RoleKind {
+    fn from(role: &Role) -> Self {
+        match role {
+            Role::Follower => RoleKind::Follower,
+            Role::Candidate { .. } => RoleKind::Candidate,
+            Role::TakingOver { .. } => RoleKind::TakingOver,
+            Role::Leader(_) => RoleKind::Leader,
+        }
+    }
+}
+
+/// One synchronization group's consensus progress as seen by one node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupStatus {
+    /// Group ordinal.
+    pub group: usize,
+    /// The leader this node currently recognizes.
+    pub leader_view: Pid,
+    /// This node's role in the group.
+    pub role: RoleKind,
+    /// Highest epoch this node promised.
+    pub promised: u64,
+    /// The group tail as this node best knows it.
+    pub tail: u64,
+    /// Commit index as this node last knew it directly.
+    pub commit: u64,
+    /// Ring entries this node's reader has applied.
+    pub applied: u64,
+    /// Own uncommitted entries (leader only; 0 otherwise).
+    pub uncommitted: usize,
+}
+
+impl fmt::Display for GroupStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "g{}[ldr={} role={} ep={} tail={} com={} rd={} unc={}]",
+            self.group,
+            self.leader_view,
+            self.role,
+            self.promised,
+            self.tail,
+            self.commit,
+            self.applied,
+            self.uncommitted,
+        )
+    }
+}
+
+/// A typed snapshot of one replica's observable progress.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeStatus {
+    /// Node index.
+    pub node: usize,
+    /// Whether the local workload is fully issued and acknowledged.
+    pub done: bool,
+    /// Whether the driver has planned out its whole quota.
+    pub driver_done: bool,
+    /// Client calls still awaiting acknowledgement.
+    pub outstanding: usize,
+    /// Whether the node halted (heartbeat suspended).
+    pub halted: bool,
+    /// Total update calls applied locally (own and remote).
+    pub applied: u64,
+    /// Peers this node's failure detector currently suspects.
+    pub suspected: Vec<usize>,
+    /// Per-synchronization-group progress.
+    pub groups: Vec<GroupStatus>,
+}
+
+impl fmt::Display for NodeStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n{} done={} drv_done={} out={} halt={} applied={} susp={:?}",
+            self.node,
+            self.done,
+            self.driver_done,
+            self.outstanding,
+            self.halted,
+            self.applied,
+            self.suspected,
+        )?;
+        for g in &self.groups {
+            write!(f, " {g}")?;
+        }
+        Ok(())
+    }
+}
+
+impl<O> HambandNode<O>
+where
+    O: WorkloadSupport,
+    O::Update: Wire,
+{
+    /// The applied-calls map `A`.
+    pub fn applied_map(&self) -> &hamband_core::counts::CountMap {
+        &self.applied
+    }
+
+    /// Whether the local workload is fully issued and acknowledged.
+    ///
+    /// Conflicting quota is gated only at the node that currently
+    /// leads each group (the quota is global and follows leadership);
+    /// the harness separately requires equal applied maps across
+    /// replicas, which covers follower catch-up. A group whose leader
+    /// is suspected, or with an election or takeover in flight, keeps
+    /// everyone not-done until a new leader resumes the quota.
+    pub fn workload_done(&self) -> bool {
+        if self.halted {
+            return self.outstanding.is_empty();
+        }
+        let me = self.me.index();
+        let conf_done = self.engines.iter().enumerate().all(|(g, e)| {
+            if matches!(e.role, Role::Candidate { .. } | Role::TakingOver { .. }) {
+                return false;
+            }
+            let lv = e.leader_view;
+            if self.fd.is_suspected(rdma_sim::NodeId(lv.index())) {
+                return false; // leaderless: quota will move
+            }
+            if lv.index() == me && e.is_leader() {
+                self.driver.conf_remaining(g, e.known_tail()) == 0
+            } else {
+                // Followers watch the global quota through their own
+                // ring: committed entries they have applied.
+                self.driver.conf_remaining(g, e.reader.applied()) == 0
+            }
+        });
+        self.driver.local_done() && self.outstanding.is_empty() && conf_done
+    }
+
+    /// The leader this node currently recognizes for group `g`.
+    pub fn leader_view(&self, g: usize) -> Pid {
+        self.engines[g].leader_view
+    }
+
+    /// Whether this node halted (its heartbeat was suspended).
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Total update calls applied locally (own and remote).
+    pub fn applied_updates(&self) -> u64 {
+        self.applied.total()
+    }
+
+    /// A structured diagnostic snapshot (replaces `debug_status()`;
+    /// render with `Display` for the one-line form).
+    pub fn status(&self) -> NodeStatus {
+        NodeStatus {
+            node: self.me.index(),
+            done: self.workload_done(),
+            driver_done: self.driver.local_done(),
+            outstanding: self.outstanding.len(),
+            halted: self.halted,
+            applied: self.applied.total(),
+            suspected: self.fd.suspected().iter().map(|p| p.index()).collect(),
+            groups: self
+                .engines
+                .iter()
+                .enumerate()
+                .map(|(g, e)| GroupStatus {
+                    group: g,
+                    leader_view: e.leader_view,
+                    role: RoleKind::from(&e.role),
+                    promised: e.promised,
+                    tail: e.known_tail(),
+                    commit: e.commit,
+                    applied: e.reader.applied(),
+                    uncommitted: e.leader().map_or(0, |l| l.uncommitted.len()),
+                })
+                .collect(),
+        }
+    }
+}

@@ -43,7 +43,7 @@ fn leader_failure_trace() {
         if step % 4 == 0 {
             println!("--- t={} ---", sim.now());
             for i in 0..n {
-                println!("{}", sim.app(NodeId(i)).debug_status());
+                println!("{}", sim.app(NodeId(i)).status());
             }
         }
         let alive: Vec<NodeId> = (1..n).map(NodeId).collect();
@@ -59,7 +59,7 @@ fn leader_failure_trace() {
     // Let in-flight commit-index writes and summary writes settle.
     sim.run_for(SimDuration::micros(500));
     for i in 0..n {
-        println!("final: {}", sim.app(NodeId(i)).debug_status());
+        println!("final: {}", sim.app(NodeId(i)).status());
     }
     // 300 updates total; all nodes, including the suspended old leader
     // n0 (which keeps applying), must have applied every one.
@@ -68,7 +68,7 @@ fn leader_failure_trace() {
             sim.app(NodeId(i)).applied_updates(),
             300,
             "node {i} missed updates: {}",
-            sim.app(NodeId(i)).debug_status()
+            sim.app(NodeId(i)).status()
         );
     }
     // New leader is node 1 everywhere.

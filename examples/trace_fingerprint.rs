@@ -1,0 +1,64 @@
+//! Behavior-parity fingerprint: run fixed-seed workloads (including a
+//! faulty one) with trace collection on and print a digest of the full
+//! event stream. Used to verify refactors preserve identical traces.
+
+use hamband_runtime::{RunConfig, Runner, System, TraceMode, Workload};
+use hamband_types::{Bank, Counter, GSet};
+use rdma_sim::{Fault, FaultPlan, NodeId, SimTime};
+
+fn digest(events: &[hamband_runtime::TraceRecord]) -> (usize, u64) {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for e in events {
+        let s = format!("{:?}@{:?}", e.event, e.at);
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    (events.len(), h)
+}
+
+fn main() {
+    for seed in [1u64, 7, 13] {
+        let c = Counter::default();
+        let cfg = RunConfig::new(3, Workload::new(300, 0.5).with_seed(seed))
+            .with_seed(seed)
+            .with_trace(TraceMode::Collect);
+        let out = Runner::new(System::Hamband, cfg).run(&c, &c.coord_spec());
+        let (n, h) = digest(&out.events);
+        println!("counter seed={seed} conv={} events={n} hash={h:016x}", out.report.converged);
+
+        let b = Bank::default();
+        let cfg = RunConfig::new(4, Workload::new(400, 0.5).with_seed(seed))
+            .with_seed(seed)
+            .with_trace(TraceMode::Collect);
+        let out = Runner::new(System::Hamband, cfg).run(&b, &b.coord_spec());
+        let (n, h) = digest(&out.events);
+        println!("bank seed={seed} conv={} events={n} hash={h:016x}", out.report.converged);
+
+        let g = GSet::default();
+        let plan = FaultPlan::new()
+            .at(SimTime(40_000), Fault::SuspendHeartbeat(NodeId(0)))
+            .at(SimTime(60_000), Fault::Crash(NodeId(2)));
+        let cfg = RunConfig::new(4, Workload::new(300, 0.5).with_seed(seed))
+            .with_seed(seed)
+            .with_faults(plan)
+            .with_trace(TraceMode::Collect);
+        let out = Runner::new(System::Hamband, cfg).run(&g, &g.coord_spec_buffered());
+        let (n, h) = digest(&out.events);
+        println!("gset+faults seed={seed} conv={} events={n} hash={h:016x}", out.report.converged);
+
+        let b = Bank::default();
+        let plan = FaultPlan::new().at(SimTime(50_000), Fault::SuspendHeartbeat(NodeId(1)));
+        let cfg = RunConfig::new(5, Workload::new(400, 0.5).with_seed(seed))
+            .with_seed(seed)
+            .with_faults(plan)
+            .with_trace(TraceMode::Collect);
+        let out = Runner::new(System::Hamband, cfg).run(&b, &b.coord_spec());
+        let (n, h) = digest(&out.events);
+        println!(
+            "bank+leaderfault seed={seed} conv={} events={n} hash={h:016x}",
+            out.report.converged
+        );
+    }
+}

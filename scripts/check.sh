@@ -4,6 +4,17 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== module size guard (no src/*.rs over 900 lines) =="
+oversized=0
+while IFS= read -r f; do
+  lines=$(wc -l < "$f")
+  if [ "$lines" -gt 900 ]; then
+    echo "FAIL: $f has $lines lines (max 900) — split it into focused modules"
+    oversized=1
+  fi
+done < <(find crates/*/src src -name '*.rs' 2>/dev/null)
+[ "$oversized" -eq 0 ] || exit 1
+
 echo "== build (release) =="
 cargo build --release
 
@@ -18,6 +29,9 @@ cargo test -q --workspace
 
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== rustdoc (broken intra-doc links are errors) =="
+RUSTDOCFLAGS="-D rustdoc::broken_intra_doc_links" cargo doc --no-deps --workspace -q
 
 echo "== headline regression gate (vs committed BENCH_headline.json) =="
 cargo build --release -p hamband-bench
