@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use hamband_runtime::{RunConfig, Runner, System, Workload};
+use hamband_runtime::{RunConfig, Runner, System, WorkloadSpec};
 use hamband_types::{Counter, OrSet};
 
 fn bench_hamband_counter(c: &mut Criterion) {
@@ -14,7 +14,7 @@ fn bench_hamband_counter(c: &mut Criterion) {
     let coord = counter.coord_spec();
     c.bench_function("cluster/hamband_counter_400ops_4nodes", |b| {
         b.iter(|| {
-            let run = RunConfig::new(4, Workload::new(400, 0.25));
+            let run = RunConfig::new(4, WorkloadSpec::ops(400).with_update_ratio(0.25));
             let rep = Runner::new(System::Hamband, run).run(&counter, &coord).report;
             assert!(rep.converged);
             std::hint::black_box(rep.throughput_ops_per_us)
@@ -26,7 +26,7 @@ fn bench_smr_counter(c: &mut Criterion) {
     let counter = Counter::default();
     c.bench_function("cluster/mu_smr_counter_400ops_4nodes", |b| {
         b.iter(|| {
-            let run = RunConfig::new(4, Workload::new(400, 0.25));
+            let run = RunConfig::new(4, WorkloadSpec::ops(400).with_update_ratio(0.25));
             let rep = Runner::new(System::MuSmr, run).run(&counter, &counter.coord_spec()).report;
             assert!(rep.converged);
             std::hint::black_box(rep.throughput_ops_per_us)
@@ -39,7 +39,7 @@ fn bench_msg_orset(c: &mut Criterion) {
     let coord = orset.coord_spec();
     c.bench_function("cluster/msg_orset_400ops_4nodes", |b| {
         b.iter(|| {
-            let run = RunConfig::new(4, Workload::new(400, 0.25));
+            let run = RunConfig::new(4, WorkloadSpec::ops(400).with_update_ratio(0.25));
             let rep = Runner::new(System::Msg, run).run(&orset, &coord).report;
             assert!(rep.converged);
             std::hint::black_box(rep.throughput_ops_per_us)

@@ -7,7 +7,7 @@
 //! overwrite per peer, no buffer traversal) and once through the `F`
 //! ring buffers (append + periodic traversal), on identical workloads.
 
-use hamband_runtime::{RunConfig, Runner, System, Workload};
+use hamband_runtime::{RunConfig, Runner, System, WorkloadSpec};
 use hamband_types::GSet;
 
 fn main() {
@@ -21,7 +21,7 @@ fn main() {
     let mut gains = Vec::new();
     for ratio in [0.25, 0.15, 0.05] {
         for n in [3usize, 5, 7] {
-            let rc = RunConfig::new(n, Workload::new(opts.ops, ratio).with_seed(opts.seed));
+            let rc = RunConfig::new(n, WorkloadSpec::ops(opts.ops).with_update_ratio(ratio).with_seed(opts.seed));
             let red = Runner::new(System::Hamband, rc.clone())
                 .with_label("hamband-reduce")
                 .run(&g, &g.coord_spec())

@@ -1,0 +1,125 @@
+//! Ingress session sweep: flat-combining scaling from 1 to 10k client
+//! sessions per replica. Scale the op budget with HAMBAND_OPS.
+//!
+//! Prints a per-point table (throughput, per-user rate, Jain's index,
+//! p99 across sessions) and writes `BENCH_ingress.json` keyed by
+//! session count (`s1`, `s8`, … `s10000`), each value a full
+//! `RunReport` including the fairness block.
+//!
+//! Built-in gates, exit nonzero on failure:
+//!
+//! * every sweep point converges;
+//! * throughput is non-decreasing from 1 to 1024 sessions (the
+//!   combiner must turn extra sessions into extra in-flight budget,
+//!   not overhead);
+//! * with `--baseline <path>`, the 1024-session throughput must stay
+//!   within 20% of the committed baseline — the CI regression gate.
+
+/// Pull the first `"key": <number>` after `anchor` out of `json`
+/// (enough structure awareness for our own stable-key-order reports —
+/// no JSON parser in the tree).
+fn extract_f64(json: &str, anchor: &str, key: &str) -> Option<f64> {
+    let start = json.find(anchor)?;
+    let tail = &json[start..];
+    let at = tail.find(key)? + key.len();
+    let rest = tail[at..].trim_start_matches([':', ' ']);
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let baseline =
+        args.iter().position(|a| a == "--baseline").and_then(|i| args.get(i + 1)).cloned();
+
+    let opts = hamband_bench::ExpOptions::from_env();
+    let sweep = hamband_bench::ingress_sweep(&opts);
+
+    println!(
+        "  {:>9}  {:>12}  {:>12}  {:>8}  {:>14}",
+        "sessions", "tput op/us", "ops/user/s", "jain", "p99 sess rt us"
+    );
+    let mut ok = true;
+    for (sessions, rep) in &sweep {
+        let fair = rep.fairness.unwrap_or_default();
+        println!(
+            "  {:>9}  {:>12.3}  {:>12.0}  {:>8.3}  {:>14.2}  conv={}",
+            sessions,
+            rep.throughput_ops_per_us,
+            fair.ops_per_user_per_sec,
+            fair.jain_index,
+            fair.p99_session_rt_us,
+            rep.converged
+        );
+        if !rep.converged {
+            eprintln!("sweep point {sessions} sessions did not converge");
+            ok = false;
+        }
+    }
+
+    // Flat combining must scale: more sessions means a larger
+    // aggregate window, never slower service, up to the 1k point
+    // (beyond it the backup-slot cap makes extra sessions pure
+    // bookkeeping, so 10k is reported but not gated).
+    for pair in sweep.iter().take_while(|(s, _)| *s <= 1_024).collect::<Vec<_>>().windows(2) {
+        let (s_lo, lo) = pair[0];
+        let (s_hi, hi) = pair[1];
+        if hi.throughput_ops_per_us < lo.throughput_ops_per_us {
+            eprintln!(
+                "throughput decreased growing {s_lo} -> {s_hi} sessions: {:.3} -> {:.3} ops/us",
+                lo.throughput_ops_per_us, hi.throughput_ops_per_us
+            );
+            ok = false;
+        }
+    }
+
+    let json = {
+        let mut s = String::from("{");
+        for (i, (sessions, rep)) in sweep.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"s{sessions}\": {}", rep.to_json()));
+        }
+        s.push('}');
+        s
+    };
+
+    if let Some(path) = baseline {
+        match std::fs::read_to_string(&path) {
+            Ok(s) => match extract_f64(&s, "\"s1024\":", "\"throughput_ops_per_us\"") {
+                Some(base) => {
+                    let cur = extract_f64(&json, "\"s1024\":", "\"throughput_ops_per_us\"")
+                        .unwrap_or(0.0);
+                    println!(
+                        "baseline check: 1024-session throughput {cur:.3} vs committed {base:.3} ops/us"
+                    );
+                    if cur < 0.8 * base {
+                        eprintln!(
+                            "throughput regression >20%: {cur:.3} < 0.8 * {base:.3} (from {path})"
+                        );
+                        ok = false;
+                    }
+                }
+                None => {
+                    eprintln!("no s1024 throughput in baseline {path}");
+                    ok = false;
+                }
+            },
+            Err(e) => {
+                eprintln!("could not read baseline {path}: {e}");
+                ok = false;
+            }
+        }
+    }
+
+    let path = "BENCH_ingress.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -13,7 +13,7 @@ use hamband_core::coord::CoordSpec;
 use hamband_core::ids::Pid;
 use hamband_core::object::WorkloadSupport;
 use hamband_core::wire::Wire;
-use hamband_runtime::{RunConfig, RunReport, Runner, System, Workload};
+use hamband_runtime::{RunConfig, RunReport, Runner, System, WorkloadSpec};
 use hamband_types::{Bank, Cart, Counter, Courseware, GSet, LwwRegister, Movie, OrSet, Project};
 use rdma_sim::{Fault, FaultPlan, NodeId, SimTime};
 
@@ -95,7 +95,7 @@ fn check(claim: &str, holds: bool, detail: String) -> Check {
 }
 
 fn cfg(nodes: usize, ops: u64, ratio: f64, seed: u64) -> RunConfig {
-    RunConfig::new(nodes, Workload::new(ops, ratio).with_seed(seed)).with_seed(seed ^ 0xfab)
+    RunConfig::new(nodes, WorkloadSpec::ops(ops).with_update_ratio(ratio).with_seed(seed)).with_seed(seed ^ 0xfab)
 }
 
 fn run_hb<O>(spec: &O, coord: &CoordSpec, rc: &RunConfig) -> RunReport
@@ -735,6 +735,41 @@ pub fn headline(opts: &ExpOptions) -> FigOutcome {
         ),
     ];
     FigOutcome { name: "Headline (§5 summary claims)".into(), table, checks }
+}
+
+// ---------------------------------------------------------------------
+// Ingress session sweep (flat-combining scaling)
+// ---------------------------------------------------------------------
+
+/// Sessions-per-node points of the ingress sweep.
+pub const INGRESS_SWEEP_SESSIONS: [usize; 6] = [1, 8, 64, 256, 1_024, 10_000];
+
+/// Flat-combining ingress sweep: Counter on four nodes, growing the
+/// number of client sessions per node from 1 to 10k while holding the
+/// total op budget fixed. Each session gets a small window (2), so the
+/// aggregate in-flight budget grows with the session count until it
+/// saturates the replica's backup-slot cap — throughput should rise
+/// from 1 session to ~1k and then plateau, while the report's
+/// `fairness` block tracks per-user rates and Jain's index.
+pub fn ingress_sweep(opts: &ExpOptions) -> Vec<(usize, RunReport)> {
+    let c = Counter::default();
+    let coord = c.coord_spec();
+    INGRESS_SWEEP_SESSIONS
+        .iter()
+        .map(|&sessions| {
+            let spec = WorkloadSpec::ops(opts.ops)
+                .with_update_ratio(0.25)
+                .with_sessions(sessions)
+                .with_window(2)
+                .with_seed(opts.seed + 700);
+            let rc = RunConfig::new(4, spec).with_seed(opts.seed ^ 0xfab);
+            let rep = Runner::new(System::Hamband, rc)
+                .with_label(format!("hamband-{sessions}sess"))
+                .run(&c, &coord)
+                .report;
+            (sessions, rep)
+        })
+        .collect()
 }
 
 /// A machine-readable headline run: Hamband on the bank schema, whose

@@ -16,5 +16,5 @@ pub mod experiments;
 
 pub use experiments::{
     fig10, fig11, fig12, fig13, fig8, fig9, headline, headline_report, headline_report_unbatched,
-    reduce_report, ExpOptions, FigOutcome,
+    ingress_sweep, reduce_report, ExpOptions, FigOutcome, INGRESS_SWEEP_SESSIONS,
 };

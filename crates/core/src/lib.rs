@@ -73,5 +73,5 @@ pub use coord::{CoordSpec, MethodCategory};
 pub use counts::{CountMap, DepMap};
 pub use error::SemError;
 pub use ids::{GroupId, MethodId, Pid, Rid};
-pub use object::{ObjectSpec, SpecSampler, WorkloadSupport};
+pub use object::{KeySkew, ObjectSpec, SpecSampler, WorkloadSupport};
 pub use rdma_sem::RdmaWrdt;

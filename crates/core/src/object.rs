@@ -6,8 +6,68 @@
 //! tuple; every replicated data type shipped with Hamband implements it.
 
 use rand::rngs::StdRng;
+use rand::Rng as _;
 
 use crate::ids::MethodId;
+
+/// How workload generators pick keys (accounts, set elements, cart
+/// line-items) out of a key space.
+///
+/// The paper's evaluation draws keys uniformly; production traffic is
+/// rarely uniform, so the ingress layer lets workloads skew key
+/// popularity. Generators that have a notion of a key honor this via
+/// [`WorkloadSupport::gen_update_skewed`]; key-free types (counters,
+/// registers) ignore it.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum KeySkew {
+    /// Every key equally likely (the paper's §5 setup).
+    #[default]
+    Uniform,
+    /// Power-law popularity: low-numbered keys are hot. `theta` in
+    /// `[0, 1)`; `0.0` degrades to uniform, `0.99` is a YCSB-style hot
+    /// set. Implemented as a bounded Pareto draw
+    /// (`key = ⌊space · u^(1/(1-theta))⌋`), the standard cheap
+    /// approximation of a rank-zipfian — deterministic given the RNG
+    /// stream.
+    Zipfian {
+        /// Skew exponent in `[0, 1)`: higher is more skewed.
+        theta: f64,
+    },
+}
+
+impl KeySkew {
+    /// Sample a key in `0..space` under this skew.
+    ///
+    /// `Uniform` draws exactly one `gen_range(0..space)` so a uniform
+    /// skewed generator consumes the same RNG stream as its unskewed
+    /// counterpart (the ingress parity tests rely on this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `space == 0` or a zipfian `theta` is outside `[0, 1)`.
+    pub fn sample(&self, rng: &mut StdRng, space: u64) -> u64 {
+        assert!(space > 0, "key space must be non-empty");
+        match *self {
+            KeySkew::Uniform => rng.gen_range(0..space),
+            KeySkew::Zipfian { theta } => {
+                assert!((0.0..1.0).contains(&theta), "zipfian theta must be in [0,1)");
+                let u: f64 = rng.gen_range(0.0..1.0);
+                let x = u.powf(1.0 / (1.0 - theta));
+                ((x * space as f64) as u64).min(space - 1)
+            }
+        }
+    }
+
+    /// Sample an index in `0..len` under this skew (for picking from an
+    /// observed collection, e.g. the open accounts of a bank state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn sample_index(&self, rng: &mut StdRng, len: usize) -> usize {
+        self.sample(rng, len as u64) as usize
+    }
+}
 
 /// A class of replicated objects: ⟨Σ, I, ū:=d̄, q̄:=d̄⟩ (Fig. 3).
 ///
@@ -128,7 +188,6 @@ pub trait SpecSampler: ObjectSpec {
 
     /// Sample an update call on any method.
     fn sample_update(&self, rng: &mut StdRng) -> Self::Update {
-        use rand::Rng;
         let m = rng.gen_range(0..self.method_count());
         self.sample_update_of(MethodId(m), rng)
     }
@@ -163,6 +222,27 @@ pub trait WorkloadSupport: SpecSampler {
     ) -> Option<Self::Update> {
         let _ = (state, node, seq);
         Some(self.sample_update_of(method, rng))
+    }
+
+    /// [`gen_update`](Self::gen_update) with key-popularity skew.
+    ///
+    /// Types with a notion of a key (bank accounts, set elements)
+    /// override this to draw their key through `skew`; the override's
+    /// `KeySkew::Uniform` path must consume the identical RNG stream as
+    /// `gen_update` so uniform workloads stay bit-compatible with the
+    /// pre-skew driver. Key-free types keep this default, which ignores
+    /// `skew` entirely.
+    fn gen_update_skewed(
+        &self,
+        state: &Self::State,
+        node: usize,
+        seq: u64,
+        method: MethodId,
+        rng: &mut StdRng,
+        skew: KeySkew,
+    ) -> Option<Self::Update> {
+        let _ = skew;
+        self.gen_update(state, node, seq, method, rng)
     }
 }
 

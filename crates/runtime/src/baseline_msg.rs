@@ -22,7 +22,8 @@ use hamband_core::wire::{DecodeError, Reader, Wire, Writer};
 use rdma_sim::{App, AppFault, Ctx, Event, NodeId, Phase, SimTime, TraceEvent};
 
 use crate::codec::Entry;
-use crate::driver::{Driver, Planned, Workload};
+use crate::driver::{Planned, WorkloadSpec};
+use crate::ingress::Ingress;
 use crate::metrics::NodeMetrics;
 
 const TAG_PUMP: u64 = 0;
@@ -76,9 +77,10 @@ pub struct MsgCrdtNode<O: ObjectSpec> {
     applied: CountMap,
     /// Buffered out-of-order remote calls, per source.
     pending: Vec<VecDeque<Entry<O::Update>>>,
-    driver: Driver,
-    /// Own call seq → (call id, acks still expected).
-    awaiting: HashMap<u64, (u64, usize, SimTime, MethodId)>,
+    ingress: Ingress,
+    /// Own call seq → (call id, acks still expected, issue time,
+    /// method, issuing session).
+    awaiting: HashMap<u64, (u64, usize, SimTime, MethodId, u32)>,
     outstanding_meta: HashMap<u64, ()>,
     next_seq: u64,
     next_call_id: u64,
@@ -98,18 +100,20 @@ where
     ///
     /// Panics if the object has conflicting methods (MSG provides no
     /// synchronization).
-    pub fn new(spec: O, coord: CoordSpec, me: NodeId, n: usize, workload: Workload) -> Self {
+    pub fn new(spec: O, coord: CoordSpec, me: NodeId, n: usize, workload: WorkloadSpec) -> Self {
         assert!(
             coord.sync_groups().is_empty(),
             "the MSG baseline only replicates conflict-free objects"
         );
         let state = spec.initial();
-        let driver = Driver::new(&workload, &coord, me.index(), n);
+        // No backup ring in the MSG baseline: sessions are bounded by
+        // their windows alone.
+        let ingress = Ingress::new(&workload, &coord, me.index(), n, usize::MAX);
         MsgCrdtNode {
             state,
             applied: CountMap::new(n, coord.method_count()),
             pending: (0..n).map(|_| VecDeque::new()).collect(),
-            driver,
+            ingress,
             awaiting: HashMap::new(),
             outstanding_meta: HashMap::new(),
             next_seq: 0,
@@ -140,7 +144,12 @@ where
 
     /// Whether the local workload is fully issued and acknowledged.
     pub fn workload_done(&self) -> bool {
-        (self.driver.local_done() || self.halted) && self.awaiting.is_empty()
+        (self.ingress.local_done() || self.halted) && self.awaiting.is_empty()
+    }
+
+    /// Per-session completion stats (for harness fairness accounting).
+    pub fn session_stats(&self) -> Vec<crate::ingress::SessionStats> {
+        self.ingress.session_stats()
     }
 
     /// Whether this node halted.
@@ -167,7 +176,7 @@ where
         format!(
             "awaiting={} pending={pend:?} drv_done={}{heads}",
             self.awaiting.len(),
-            self.driver.local_done()
+            self.ingress.local_done()
         )
     }
 
@@ -176,26 +185,26 @@ where
             return;
         }
         loop {
-            let planned = self.driver.next(&self.spec, &self.state, &self.coord, &[], &[]);
+            let planned = self.ingress.next(&self.spec, &self.state, &self.coord, &[], &[]);
             match planned {
                 None => return,
-                Some(Planned::Query(q)) => {
+                Some((_, Planned::Query(q))) => {
                     let _ = self.spec.query(&self.state, &q);
                     ctx.consume(ctx.latency().apply_cost);
                     let cost = ctx.latency().apply_cost;
                     self.metrics.ack_query(cost);
                 }
-                Some(Planned::Update(u)) => self.issue(ctx, u),
+                Some((session, Planned::Update(u))) => self.issue(ctx, u, session),
             }
         }
     }
 
-    fn issue(&mut self, ctx: &mut Ctx<'_>, update: O::Update) {
+    fn issue(&mut self, ctx: &mut Ctx<'_>, update: O::Update, session: u32) {
         let method = self.spec.method_of(&update);
         let post = self.spec.apply(&self.state, &update);
         if !self.spec.invariant(&post) {
             self.metrics.rejected += 1;
-            self.driver.on_abort();
+            self.ingress.on_abort(session);
             return;
         }
         ctx.consume(ctx.latency().apply_cost);
@@ -215,7 +224,7 @@ where
                 ctx.send(NodeId(q), frame.clone().into());
             }
         }
-        self.awaiting.insert(seq, (call_id, self.n - 1, ctx.now(), method));
+        self.awaiting.insert(seq, (call_id, self.n - 1, ctx.now(), method, session));
         self.outstanding_meta.insert(call_id, ());
         if self.n == 1 {
             self.complete(ctx, seq);
@@ -223,7 +232,7 @@ where
     }
 
     fn complete(&mut self, ctx: &mut Ctx<'_>, seq: u64) {
-        if let Some((_, _, issued_at, method)) = self.awaiting.remove(&seq) {
+        if let Some((_, _, issued_at, method, session)) = self.awaiting.remove(&seq) {
             // MSG replicates every update through the conflict-free
             // broadcast path; report it under the FREE phase.
             self.metrics.ack_update(method.index(), Phase::Free, issued_at, ctx.now());
@@ -235,7 +244,8 @@ where
                 group: None,
                 seq: Some(seq),
             });
-            self.driver.on_ack();
+            let rt_ns = ctx.now().since(issued_at).as_nanos();
+            self.ingress.on_ack(session, rt_ns);
         }
         self.pump(ctx);
     }
@@ -321,7 +331,7 @@ where
             Event::Completion { .. } => {}
             Event::Fault { kind: AppFault::SuspendHeartbeat } => {
                 self.halted = true;
-                self.driver.halt();
+                self.ingress.halt();
             }
             Event::Fault { kind: AppFault::ResumeHeartbeat } => {}
         }

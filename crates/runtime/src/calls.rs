@@ -51,6 +51,8 @@ pub(crate) enum Route {
 pub(crate) struct Outstanding {
     pub(crate) issued_at: SimTime,
     pub(crate) method: MethodId,
+    /// Client session (ingress slot) the ack fans back to.
+    pub(crate) session: u32,
     /// Protocol path this call travels (REDUCE/FREE/CONF).
     pub(crate) phase: Phase,
     /// For conflicting calls: (synchronization group, L-ring seq).
@@ -67,9 +69,11 @@ where
     O: WorkloadSupport,
     O::Update: Wire,
 {
-    /// Drain the driver's plan: issue queries and updates until the
-    /// driver yields (or an impermissible streak suggests waiting for
-    /// the views to move), then flush the queued ring appends.
+    /// The flat-combining drain: act as the combiner for the node's
+    /// client sessions, planning and issuing their calls round-robin
+    /// until the ingress yields (or an impermissible streak suggests
+    /// waiting for the views to move), then flush the whole combined
+    /// burst as coalesced ring appends.
     pub(crate) fn pump<T: Transport>(&mut self, ctx: &mut T) {
         if self.halted {
             return;
@@ -82,20 +86,20 @@ where
             let appended: Vec<u64> = self.engines.iter().map(|e| e.known_tail()).collect();
             let planned = {
                 let view = self.spec_mat.as_ref().unwrap_or(&self.mat);
-                self.driver.next(&self.spec, view, &self.coord, &is_leader, &appended)
+                self.ingress.next(&self.spec, view, &self.coord, &is_leader, &appended)
             };
             match planned {
                 None => break,
-                Some(Planned::Query(q)) => {
+                Some((_, Planned::Query(q))) => {
                     let reply = self.spec.query(self.check_view(), &q);
                     let _ = reply;
                     ctx.consume(ctx.latency().apply_cost);
                     let cost = ctx.latency().apply_cost;
                     self.metrics.ack_query(cost);
                 }
-                Some(Planned::Update(u)) => {
+                Some((session, Planned::Update(u))) => {
                     let rejected_before = self.metrics.rejected;
-                    self.issue(ctx, u);
+                    self.issue(ctx, u, session);
                     if self.metrics.rejected > rejected_before {
                         // A rejected call consumes no ring quota, so the
                         // driver will happily regenerate it. Bound the
@@ -135,15 +139,15 @@ where
         }
     }
 
-    fn issue<T: Transport>(&mut self, ctx: &mut T, update: O::Update) {
+    fn issue<T: Transport>(&mut self, ctx: &mut T, update: O::Update, session: u32) {
         let method = self.spec.method_of(&update);
         match self.coord.category(method) {
             MethodCategory::Reducible { sum_group } => {
-                self.issue_reduce(ctx, update, method, sum_group.index())
+                self.issue_reduce(ctx, update, method, sum_group.index(), session)
             }
-            MethodCategory::IrreducibleFree => self.issue_free(ctx, update, method),
+            MethodCategory::IrreducibleFree => self.issue_free(ctx, update, method, session),
             MethodCategory::Conflicting { sync_group } => {
-                self.issue_conf(ctx, update, method, sync_group.index())
+                self.issue_conf(ctx, update, method, sync_group.index(), session)
             }
         }
     }
@@ -158,12 +162,12 @@ where
         (call_id, rid)
     }
 
-    /// Reject an impermissible call: count it and let the driver plan a
-    /// replacement.
-    pub(crate) fn reject(&mut self, method: MethodId) {
+    /// Reject an impermissible call: count it, free the session's
+    /// window slot, and let the ingress plan a replacement.
+    pub(crate) fn reject(&mut self, method: MethodId, session: u32) {
         let _ = method;
         self.metrics.rejected += 1;
-        self.driver.on_abort();
+        self.ingress.on_abort(session);
     }
 
     /// Stash the encoded slot in this node's backup region before the
@@ -191,9 +195,10 @@ where
     }
 
     /// Acknowledge a call whose ack countdown reached zero: record the
-    /// latency, emit the trace event, release the driver, and GC the
-    /// backup slot once no write is in flight. Re-enters the pump —
-    /// an ack frees driver budget for the next planned call.
+    /// latency, emit the trace event, fan the completion back to the
+    /// issuing session, and GC the backup slot once no write is in
+    /// flight. Re-enters the pump — an ack frees window budget for the
+    /// next planned call.
     pub(crate) fn finish_call<T: Transport>(&mut self, ctx: &mut T, call_id: u64) {
         if let Some(o) = self.outstanding.get_mut(&call_id) {
             if o.ack_remaining != 0 {
@@ -203,6 +208,7 @@ where
             let issued_at = o.issued_at;
             let phase = o.phase;
             let conf = o.conf;
+            let session = o.session;
             self.metrics.ack_update(method.index(), phase, issued_at, ctx.now());
             let node = self.me;
             ctx.emit(|| TraceEvent::Ack {
@@ -212,7 +218,8 @@ where
                 group: conf.map(|(g, _)| g),
                 seq: conf.map(|(_, s)| s),
             });
-            self.driver.on_ack();
+            let rt_ns = ctx.now().since(issued_at).as_nanos();
+            self.ingress.on_ack(session, rt_ns);
             let done = o.total_remaining == 0;
             if done {
                 let slot = o.backup_slot;

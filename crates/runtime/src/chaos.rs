@@ -34,7 +34,7 @@ use hamband_core::object::WorkloadSupport;
 use hamband_core::wire::Wire;
 use rdma_sim::{Fault, FaultGenConfig, FaultPlan, NodeId, Phase, SimTime, TraceEvent};
 
-use crate::driver::Workload;
+use crate::driver::WorkloadSpec;
 use crate::harness::{RunConfig, Runner, System, TraceMode};
 
 /// Knobs of one chaos campaign (shared by every case in it).
@@ -123,7 +123,7 @@ where
     O: WorkloadSupport + Clone,
     O::Update: Wire,
 {
-    let workload = Workload::new(opts.ops, opts.update_ratio).with_seed(seed);
+    let workload = WorkloadSpec::ops(opts.ops).with_update_ratio(opts.update_ratio).with_seed(seed);
     let config = RunConfig::new(opts.nodes, workload)
         .with_seed(seed)
         .with_faults(plan.clone())

@@ -370,9 +370,10 @@ where
         update: O::Update,
         method: MethodId,
         g: usize,
+        session: u32,
     ) {
         if !self.permissible_now(&update) {
-            self.reject(method);
+            self.reject(method, session);
             return;
         }
         ctx.consume(ctx.latency().apply_cost);
@@ -412,6 +413,7 @@ where
             Outstanding {
                 issued_at: ctx.now(),
                 method,
+                session,
                 phase: rdma_sim::Phase::Conf,
                 conf: Some((g, seq)),
                 // Acked when the commit index passes this seq.
@@ -577,9 +579,9 @@ where
         self.speculative_clear();
         self.spec_mat = None;
         for cid in orphans {
-            if self.outstanding.remove(&cid).is_some() {
+            if let Some(o) = self.outstanding.remove(&cid) {
                 self.metrics.rejected += 1;
-                self.driver.on_abort();
+                self.ingress.on_abort(o.session);
             }
         }
     }

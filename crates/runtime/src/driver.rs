@@ -1,4 +1,4 @@
-//! Workload generation and client pacing.
+//! Workload specification and the per-node quota split.
 //!
 //! The evaluation setup of §5: "We randomly generate method calls and
 //! uniformly distribute update calls between updated methods. The calls
@@ -7,37 +7,84 @@
 //! conflict-free and query calls are divided equally between the
 //! nodes."
 //!
-//! Each node runs a [`Driver`]: a closed-loop client that keeps up to
-//! `window` update calls outstanding. Conflict-free (and query) quotas
-//! are per node; conflicting quotas are *global per synchronization
-//! group* and are consumed by whichever node currently leads the group
-//! (the redirection above — and, under leader failure, the natural
-//! hand-off of the remaining conflicting workload to the new leader).
+//! [`WorkloadSpec`] is the composable description of one run's client
+//! load: total call count, update/query mix, key-popularity skew,
+//! per-session closed-loop windows, and how many independent client
+//! sessions each node serves. The issuing machinery itself lives in
+//! [`crate::ingress`]: every node runs an
+//! [`Ingress`](crate::ingress::Ingress) whose pump flat-combines the
+//! sessions' operations into the replica's batched protocol paths.
+//! [`QuotaSplit`] is the pure §5 arithmetic both the ingress and
+//! failure [`recovery`](crate::recovery) (quota adoption) share.
 
 use hamband_core::coord::{CoordSpec, MethodCategory};
 use hamband_core::ids::MethodId;
-use hamband_core::object::WorkloadSupport;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hamband_core::object::KeySkew;
 
-/// Workload parameters for one run.
+/// Workload parameters for one run, builder-style.
+///
+/// ```
+/// use hamband_runtime::{KeySkew, WorkloadSpec};
+///
+/// let spec = WorkloadSpec::ops(10_000)
+///     .with_update_ratio(0.25)
+///     .with_sessions(1_000)
+///     .with_window(4)
+///     .with_skew(KeySkew::Zipfian { theta: 0.9 })
+///     .with_seed(42);
+/// assert_eq!(spec.sessions, 1_000);
+/// ```
 #[derive(Debug, Clone)]
-pub struct Workload {
+pub struct WorkloadSpec {
     /// Total calls (updates + queries) across the whole cluster.
     pub total_ops: u64,
     /// Fraction of calls that are updates (e.g. `0.25`).
     pub update_ratio: f64,
-    /// Client pipelining: max outstanding updates per node.
+    /// Independent client sessions per node. Each session is its own
+    /// seeded op stream with its own closed-loop window; the replica's
+    /// pump flat-combines them into batched appends.
+    pub sessions: usize,
+    /// Client pipelining: max outstanding updates *per session*.
     pub window: usize,
-    /// RNG seed (per-node streams are derived from it).
+    /// RNG seed (per-node, per-session streams are derived from it).
     pub seed: u64,
+    /// Key-popularity skew applied by state-aware generators.
+    pub skew: KeySkew,
 }
 
-impl Workload {
-    /// A workload of `total_ops` calls with the given update ratio.
+impl WorkloadSpec {
+    /// Builder entry point: a workload of `total_ops` calls with an
+    /// even update/query mix, one session per node, window 8, uniform
+    /// keys. Chain `with_*` calls to customize.
+    pub fn ops(total_ops: u64) -> Self {
+        WorkloadSpec {
+            total_ops,
+            update_ratio: 0.5,
+            sessions: 1,
+            window: 8,
+            seed: 0xda7a,
+            skew: KeySkew::Uniform,
+        }
+    }
+
+    /// Back-compat constructor from before the builder redesign.
+    #[deprecated(note = "use `WorkloadSpec::ops(n).with_update_ratio(r)` instead")]
     pub fn new(total_ops: u64, update_ratio: f64) -> Self {
+        WorkloadSpec::ops(total_ops).with_update_ratio(update_ratio)
+    }
+
+    /// Builder-style update-ratio override (`0.0 ..= 1.0`).
+    pub fn with_update_ratio(mut self, update_ratio: f64) -> Self {
         assert!((0.0..=1.0).contains(&update_ratio));
-        Workload { total_ops, update_ratio, window: 8, seed: 0xda7a }
+        self.update_ratio = update_ratio;
+        self
+    }
+
+    /// Builder-style session-count override (per node, ≥ 1).
+    pub fn with_sessions(mut self, sessions: usize) -> Self {
+        assert!(sessions >= 1, "a node needs at least one client session");
+        self.sessions = sessions;
+        self
     }
 
     /// Builder-style seed override.
@@ -46,14 +93,25 @@ impl Workload {
         self
     }
 
-    /// Builder-style window override.
+    /// Builder-style per-session window override (≥ 1).
     pub fn with_window(mut self, window: usize) -> Self {
+        assert!(window >= 1, "window must be at least 1");
         self.window = window;
+        self
+    }
+
+    /// Builder-style key-skew override.
+    pub fn with_skew(mut self, skew: KeySkew) -> Self {
+        self.skew = skew;
         self
     }
 }
 
-/// What the driver wants to do next.
+/// Pre-redesign name of [`WorkloadSpec`].
+#[deprecated(note = "renamed to `WorkloadSpec`")]
+pub type Workload = WorkloadSpec;
+
+/// What a client session wants to do next.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Planned<U, Q> {
     /// Issue this update call (occupies a window slot until acked).
@@ -62,52 +120,38 @@ pub enum Planned<U, Q> {
     Query(Q),
 }
 
-/// Per-node closed-loop client.
-#[derive(Debug)]
-pub struct Driver {
-    rng: StdRng,
-    node: usize,
-    /// Remaining local query quota.
-    queries_left: u64,
-    /// The query quota this node started with.
-    initial_queries: u64,
-    /// Remaining local update quota per conflict-free method.
-    free_left: Vec<u64>,
-    /// The quota each conflict-free method started with (used to
-    /// compute how much of a failed peer's plan remains to adopt).
-    initial_free: Vec<u64>,
-    /// Global conflicting quota per sync group (consumed by leaders;
-    /// progress is measured against the group ring's appended count).
-    conf_target: Vec<u64>,
-    /// Currently outstanding updates.
-    outstanding: usize,
-    window: usize,
-    /// Sequence for fresh identifiers handed to generators.
-    next_seq: u64,
-    /// Consecutive fully-idle planning attempts that produced nothing.
-    dry_streak: u64,
-    /// Halted by failure injection: stop issuing.
-    halted: bool,
+/// The §5 workload split for one node of an `n`-node cluster: local
+/// query quota, local conflict-free quota per method, and the *global*
+/// conflicting quota per synchronization group (consumed by whichever
+/// node leads the group).
+///
+/// Pure arithmetic over the spec — cheap to recompute for any node,
+/// which is exactly what failure recovery does to size the quota a
+/// surviving node adopts from a suspect.
+#[derive(Debug, Clone)]
+pub struct QuotaSplit {
+    /// Local query quota.
+    pub queries: u64,
+    /// Local conflict-free update quota per method (0 for conflicting
+    /// methods).
+    pub free: Vec<u64>,
+    /// Global conflicting quota per synchronization group.
+    pub conf_target: Vec<u64>,
 }
 
-/// After this many consecutive idle planning attempts with pending but
-/// ungeneratable quota, the driver forfeits the remainder (e.g. a
-/// remove-only tail on an empty set). At one attempt per poll this is
-/// on the order of a millisecond of virtual time.
-const FORFEIT_AFTER: u64 = 2_000;
-
-impl Driver {
-    /// Build the driver for `node` of `n`, splitting the workload as §5
-    /// prescribes.
-    pub fn new(workload: &Workload, coord: &CoordSpec, node: usize, n: usize) -> Self {
-        let updates_total = (workload.total_ops as f64 * workload.update_ratio).round() as u64;
-        let queries_total = workload.total_ops - updates_total;
+impl QuotaSplit {
+    /// Split `spec` for `node` of `n` as §5 prescribes: conflict-free
+    /// and query quotas divided evenly (remainders spread over low
+    /// nodes), conflicting quotas pooled globally per group.
+    pub fn for_node(spec: &WorkloadSpec, coord: &CoordSpec, node: usize, n: usize) -> Self {
+        let updates_total = (spec.total_ops as f64 * spec.update_ratio).round() as u64;
+        let queries_total = spec.total_ops - updates_total;
         let methods = coord.method_count() as u64;
         let per_method = updates_total / methods;
 
-        let mut free_left = vec![0u64; coord.method_count()];
+        let mut free = vec![0u64; coord.method_count()];
         let mut conf_target = vec![0u64; coord.sync_groups().len()];
-        for (m, left) in free_left.iter_mut().enumerate() {
+        for (m, left) in free.iter_mut().enumerate() {
             match coord.category(MethodId(m)) {
                 MethodCategory::Conflicting { sync_group } => {
                     conf_target[sync_group.index()] += per_method;
@@ -122,203 +166,7 @@ impl Driver {
         }
         let q_base = queries_total / n as u64;
         let q_extra = u64::from((node as u64) < queries_total % n as u64);
-
-        Driver {
-            rng: StdRng::seed_from_u64(workload.seed ^ (node as u64).wrapping_mul(0x9e3779b97f4a7c15)),
-            node,
-            queries_left: q_base + q_extra,
-            initial_queries: q_base + q_extra,
-            initial_free: free_left.clone(),
-            free_left,
-            conf_target,
-            outstanding: 0,
-            window: workload.window,
-            next_seq: 0,
-            dry_streak: 0,
-            halted: false,
-        }
-    }
-
-    /// Remaining global conflicting quota of group `g`, given how many
-    /// entries its ring already carries.
-    pub fn conf_remaining(&self, g: usize, ring_appended: u64) -> u64 {
-        self.conf_target[g].saturating_sub(ring_appended)
-    }
-
-    /// The conflict-free quota method `m` started with at this node.
-    pub fn initial_free_quota(&self, m: usize) -> u64 {
-        self.initial_free[m]
-    }
-
-    /// Stop issuing (the node was "failed" by the fault plan).
-    pub fn halt(&mut self) {
-        self.halted = true;
-    }
-
-    /// Whether the driver was halted.
-    pub fn is_halted(&self) -> bool {
-        self.halted
-    }
-
-    /// Adopt part of a failed peer's conflict-free quota ("after a
-    /// failure, all the requests of the failed node are redirected to
-    /// the next available node"). The adopter also takes over the
-    /// failed client's pipelining window — it now serves two client
-    /// streams.
-    pub fn adopt_free_quota(&mut self, per_method: &[u64], queries: u64) {
-        for (m, extra) in per_method.iter().enumerate() {
-            self.free_left[m] += extra;
-        }
-        self.queries_left += queries;
-        self.window *= 2;
-        self.dry_streak = 0;
-    }
-
-    /// The query quota this node started with.
-    pub fn initial_queries(&self) -> u64 {
-        // queries_left only decreases (plus adoption, which callers
-        // account separately), so reconstruct from the workload split.
-        self.initial_queries
-    }
-
-    /// An update was acknowledged: free a window slot.
-    pub fn on_ack(&mut self) {
-        self.outstanding = self.outstanding.saturating_sub(1);
-    }
-
-    /// An outstanding update failed permanently (e.g. deposed leader):
-    /// free its slot without restoring quota.
-    pub fn on_abort(&mut self) {
-        self.outstanding = self.outstanding.saturating_sub(1);
-    }
-
-    /// Whether every local quota is spent and nothing is outstanding.
-    /// (Conflicting quotas are global; the harness checks them against
-    /// the rings.)
-    pub fn local_done(&self) -> bool {
-        self.halted
-            || (self.queries_left == 0
-                && self.free_left.iter().all(|&x| x == 0)
-                && self.outstanding == 0)
-    }
-
-    /// Updates currently outstanding.
-    pub fn outstanding(&self) -> usize {
-        self.outstanding
-    }
-
-    /// Plan the next call, if the window has room and quota remains.
-    ///
-    /// `is_leader_of[g]` and `ring_appended[g]` gate the conflicting
-    /// quota; `state` lets generators produce context-sensitive calls.
-    /// Returns `None` when nothing can be issued right now.
-    pub fn next<O: WorkloadSupport>(
-        &mut self,
-        spec: &O,
-        state: &O::State,
-        coord: &CoordSpec,
-        is_leader_of: &[bool],
-        ring_appended: &[u64],
-    ) -> Option<Planned<O::Update, O::Query>> {
-        if self.halted {
-            return None;
-        }
-        // Candidate update methods with remaining quota.
-        let mut candidates: Vec<(MethodId, u64)> = Vec::new();
-        let mut updates_left = 0u64;
-        for m in 0..coord.method_count() {
-            let left = match coord.category(MethodId(m)) {
-                MethodCategory::Conflicting { sync_group } => {
-                    let g = sync_group.index();
-                    if is_leader_of[g] {
-                        self.conf_remaining(g, ring_appended[g])
-                    } else {
-                        0
-                    }
-                }
-                _ => self.free_left[m],
-            };
-            if left > 0 {
-                candidates.push((MethodId(m), left));
-                updates_left += left;
-            }
-        }
-        let can_update = updates_left > 0 && self.outstanding < self.window;
-        let can_query = self.queries_left > 0;
-        if !can_update && !can_query {
-            return None;
-        }
-        
-        // Choose update vs query proportional to remaining quotas so
-        // the mix stays uniform over the run.
-        let pick_update = match (can_update, can_query) {
-            (true, false) => true,
-            (false, true) => false,
-            _ => {
-                let total = updates_left + self.queries_left;
-                self.rng.gen_range(0..total) < updates_left
-            }
-            // (false,false) handled above
-        };
-        if !pick_update {
-            self.queries_left -= 1;
-            self.dry_streak = 0;
-            return Some(Planned::Query(spec.sample_query(&mut self.rng)));
-        }
-        // Weighted method choice by remaining quota; fall back to other
-        // methods when the generator has no valid call in this state.
-        let mut tries = candidates.clone();
-        while !tries.is_empty() {
-            let total: u64 = tries.iter().map(|&(_, w)| w).sum();
-            let mut pick = self.rng.gen_range(0..total);
-            let idx = tries
-                .iter()
-                .position(|&(_, w)| {
-                    if pick < w {
-                        true
-                    } else {
-                        pick -= w;
-                        false
-                    }
-                })
-                .expect("weighted pick in range");
-            let (method, _) = tries.swap_remove(idx);
-            let seq = self.next_seq;
-            if let Some(u) = spec.gen_update(state, self.node, seq, method, &mut self.rng) {
-                self.next_seq += 1;
-                self.charge(coord, method);
-                self.outstanding += 1;
-                self.dry_streak = 0;
-                return Some(Planned::Update(u));
-            }
-        }
-        // No method has a valid call in this state; try again later —
-        // but give up on quota that stays ungeneratable for a long
-        // time, so impossible workload tails terminate the run.
-        if self.outstanding == 0 {
-            self.dry_streak += 1;
-            if self.dry_streak >= FORFEIT_AFTER {
-                self.free_left.fill(0);
-                for (g, target) in self.conf_target.iter_mut().enumerate() {
-                    if is_leader_of.get(g).copied().unwrap_or(false) {
-                        *target = (*target).min(ring_appended[g]);
-                    }
-                }
-            }
-        }
-        None
-    }
-
-    fn charge(&mut self, coord: &CoordSpec, method: MethodId) {
-        match coord.category(method) {
-            MethodCategory::Conflicting { .. } => {
-                // Global quota is measured against the ring; nothing to
-                // decrement locally.
-            }
-            _ => {
-                self.free_left[method.index()] -= 1;
-            }
-        }
+        QuotaSplit { queries: q_base + q_extra, free, conf_target }
     }
 }
 
@@ -327,106 +175,56 @@ mod tests {
     use super::*;
     use hamband_core::demo::Account;
 
-    fn account_coord() -> CoordSpec {
-        Account::default().coord_spec()
-    }
-
     #[test]
     fn quota_split_covers_total() {
-        let coord = account_coord();
-        let w = Workload::new(1_000, 0.5);
+        let coord = Account::default().coord_spec();
+        let w = WorkloadSpec::ops(1_000);
         let n = 3;
         let mut queries = 0;
         let mut deposits = 0;
         for node in 0..n {
-            let d = Driver::new(&w, &coord, node, n);
-            queries += d.queries_left;
-            deposits += d.free_left[0];
+            let s = QuotaSplit::for_node(&w, &coord, node, n);
+            queries += s.queries;
+            deposits += s.free[0];
         }
-        let d0 = Driver::new(&w, &coord, 0, n);
+        let s0 = QuotaSplit::for_node(&w, &coord, 0, n);
         // 500 updates over 2 methods = 250 each; withdraw quota global.
         assert_eq!(deposits, 250);
-        assert_eq!(d0.conf_target[0], 250);
+        assert_eq!(s0.conf_target[0], 250);
         assert_eq!(queries, 500);
     }
 
     #[test]
-    fn window_limits_outstanding() {
-        let acc = Account::new(10);
-        let coord = account_coord();
-        let w = Workload::new(10_000, 1.0).with_window(4);
-        let mut d = Driver::new(&w, &coord, 0, 1);
-        let state = 1_000i128;
-        let mut issued = 0;
-        while let Some(p) = d.next(&acc, &state, &coord, &[true], &[issued]) {
-            match p {
-                Planned::Update(_) => issued += 1,
-                Planned::Query(_) => {}
-            }
-            if d.outstanding() == 4 {
-                break;
-            }
-        }
-        assert_eq!(d.outstanding(), 4);
-        assert!(d.next(&acc, &state, &coord, &[true], &[issued]).is_none());
-        d.on_ack();
-        assert!(d.next(&acc, &state, &coord, &[true], &[issued]).is_some());
+    fn builders_compose() {
+        let w = WorkloadSpec::ops(500)
+            .with_update_ratio(1.0)
+            .with_sessions(64)
+            .with_window(2)
+            .with_seed(9)
+            .with_skew(KeySkew::Zipfian { theta: 0.5 });
+        assert_eq!(w.total_ops, 500);
+        assert_eq!(w.update_ratio, 1.0);
+        assert_eq!(w.sessions, 64);
+        assert_eq!(w.window, 2);
+        assert_eq!(w.seed, 9);
+        assert_eq!(w.skew, KeySkew::Zipfian { theta: 0.5 });
     }
 
     #[test]
-    fn non_leader_cannot_issue_conflicting() {
-        let acc = Account::new(10);
-        let coord = account_coord();
-        // Updates only on withdraw: make deposits unavailable by using
-        // ratio 1.0 then draining deposit quota.
-        let w = Workload::new(100, 1.0).with_window(64);
-        let mut d = Driver::new(&w, &coord, 0, 1);
-        let state = 1_000i128;
-        let mut saw_withdraw = false;
-        let mut appended = 0u64;
-        while let Some(p) = d.next(&acc, &state, &coord, &[false], &[appended]) {
-            if let Planned::Update(u) = p {
-                assert!(matches!(u, hamband_core::demo::AccountUpdate::Deposit(_)));
-                let _ = &u;
-                appended += 0; // no conflicting ring activity
-                saw_withdraw |= matches!(u, hamband_core::demo::AccountUpdate::Withdraw(_));
-                d.on_ack();
-            }
-        }
-        assert!(!saw_withdraw);
+    #[allow(deprecated)]
+    fn deprecated_constructor_matches_builder() {
+        let old = Workload::new(300, 0.25).with_seed(7);
+        let new = WorkloadSpec::ops(300).with_update_ratio(0.25).with_seed(7);
+        assert_eq!(old.total_ops, new.total_ops);
+        assert_eq!(old.update_ratio, new.update_ratio);
+        assert_eq!(old.sessions, new.sessions);
+        assert_eq!(old.window, new.window);
+        assert_eq!(old.seed, new.seed);
     }
 
     #[test]
-    fn halt_stops_issuing() {
-        let acc = Account::new(10);
-        let coord = account_coord();
-        let w = Workload::new(100, 0.5);
-        let mut d = Driver::new(&w, &coord, 0, 1);
-        d.halt();
-        assert!(d.local_done());
-        assert!(d.next(&acc, &0i128, &coord, &[true], &[0]).is_none());
-    }
-
-    #[test]
-    fn adoption_extends_quota() {
-        let coord = account_coord();
-        let w = Workload::new(400, 1.0);
-        let mut d = Driver::new(&w, &coord, 0, 2);
-        let before = d.free_left[0];
-        d.adopt_free_quota(&[10, 0], 5);
-        assert_eq!(d.free_left[0], before + 10);
-    }
-
-    #[test]
-    fn generator_dry_state_returns_none_without_burning_quota() {
-        let acc = Account::new(10);
-        let coord = account_coord();
-        // Pure withdraw workload at zero balance: generator yields None.
-        let w = Workload::new(10, 1.0);
-        let mut d = Driver::new(&w, &coord, 0, 1);
-        d.free_left[0] = 0; // no deposits
-        let state = 0i128;
-        assert_eq!(d.next(&acc, &state, &coord, &[true], &[0]), None);
-        assert_eq!(d.outstanding(), 0);
+    #[should_panic(expected = "at least one client session")]
+    fn zero_sessions_rejected() {
+        let _ = WorkloadSpec::ops(10).with_sessions(0);
     }
 }

@@ -65,9 +65,10 @@ where
         ctx: &mut T,
         update: O::Update,
         method: MethodId,
+        session: u32,
     ) {
         if !self.permissible_now(&update) {
-            self.reject(method);
+            self.reject(method, session);
             return;
         }
         ctx.consume(ctx.latency().apply_cost);
@@ -105,6 +106,7 @@ where
             Outstanding {
                 issued_at: ctx.now(),
                 method,
+                session,
                 phase: Phase::Free,
                 conf: None,
                 ack_remaining: remotes,

@@ -28,9 +28,10 @@ use rdma_sim::{
 
 use crate::baseline_msg::MsgCrdtNode;
 use crate::config::RuntimeConfig;
-use crate::driver::Workload;
+use crate::driver::WorkloadSpec;
+use crate::ingress::SessionStats;
 use crate::layout::Layout;
-use crate::metrics::{LatencyHistogram, NodeMetrics, RunReport};
+use crate::metrics::{FairnessSummary, LatencyHistogram, NodeMetrics, RunReport};
 use crate::replica::HambandNode;
 
 /// Which replication system to run.
@@ -83,7 +84,7 @@ pub struct RunConfig {
     /// Cluster size.
     pub nodes: usize,
     /// The workload to apply.
-    pub workload: Workload,
+    pub workload: WorkloadSpec,
     /// Runtime tuning.
     pub runtime: RuntimeConfig,
     /// Fabric latency model.
@@ -109,7 +110,7 @@ impl RunConfig {
     /// The summary-slot capacity is scaled to the workload, since
     /// grow-only summaries accumulate every call their issuer folded
     /// in.
-    pub fn new(nodes: usize, workload: Workload) -> Self {
+    pub fn new(nodes: usize, workload: WorkloadSpec) -> Self {
         assert!(nodes >= 1, "a cluster needs at least one node");
         let mut runtime = RuntimeConfig::default();
         runtime.summary_payload_cap =
@@ -131,12 +132,12 @@ impl RunConfig {
     /// `nodes`-node cluster with a small mixed workload (1000 calls,
     /// 25% updates). Chain `with_*` calls to customize.
     pub fn for_nodes(nodes: usize) -> Self {
-        RunConfig::new(nodes, Workload::new(1_000, 0.25))
+        RunConfig::new(nodes, WorkloadSpec::ops(1_000).with_update_ratio(0.25))
     }
 
     /// Replace the workload (re-scales the summary-slot capacity the
     /// same way [`RunConfig::new`] does).
-    pub fn with_workload(mut self, workload: Workload) -> Self {
+    pub fn with_workload(mut self, workload: WorkloadSpec) -> Self {
         self.runtime.summary_payload_cap =
             self.runtime.summary_payload_cap.max(workload.total_ops as usize * 16);
         self.workload = workload;
@@ -225,11 +226,12 @@ pub struct NodeEndState<S> {
 /// One experiment: a [`System`] plus a [`RunConfig`].
 ///
 /// ```
-/// use hamband_runtime::{Runner, RunConfig, System, Workload};
+/// use hamband_runtime::{Runner, RunConfig, System, WorkloadSpec};
 /// use hamband_types::Counter;
 ///
 /// let c = Counter::default();
-/// let config = RunConfig::for_nodes(3).with_workload(Workload::new(300, 0.5));
+/// let config =
+///     RunConfig::for_nodes(3).with_workload(WorkloadSpec::ops(300).with_update_ratio(0.5));
 /// let outcome = Runner::new(System::Hamband, config).run(&c, &c.coord_spec());
 /// assert!(outcome.report.converged);
 /// println!("{}", outcome.report.to_json());
@@ -326,6 +328,8 @@ trait HarnessNode: App {
     fn applied_updates(&self) -> u64;
     fn snapshot(&self) -> Self::Snapshot;
     fn metrics(&self) -> &NodeMetrics;
+    /// Per-session completion stats from the node's client ingress.
+    fn session_stats(&self) -> Vec<SessionStats>;
     /// One-line human-readable status (debug output, failure reports).
     fn status_line(&self) -> String;
 }
@@ -354,6 +358,9 @@ where
     }
     fn metrics(&self) -> &NodeMetrics {
         &self.metrics
+    }
+    fn session_stats(&self) -> Vec<SessionStats> {
+        HambandNode::session_stats(self)
     }
     fn status_line(&self) -> String {
         self.status().to_string()
@@ -384,6 +391,9 @@ where
     }
     fn metrics(&self) -> &NodeMetrics {
         &self.metrics
+    }
+    fn session_stats(&self) -> Vec<SessionStats> {
+        MsgCrdtNode::session_stats(self)
     }
     fn status_line(&self) -> String {
         self.debug_pending()
@@ -507,9 +517,19 @@ fn collect_outcome<A: HarnessNode, O: WorkloadSupport>(
     // completion checks exclude it.
     let node_metrics: Vec<NodeMetrics> =
         (0..run.nodes).map(|i| sim.app(NodeId(i)).metrics().clone()).collect();
+    let sessions: Vec<SessionStats> =
+        (0..run.nodes).flat_map(|i| sim.app(NodeId(i)).session_stats()).collect();
     let stats = sim.stats().clone();
-    let report =
-        summarize(label, run.nodes, &node_metrics, spec, completed_at, converged, &stats);
+    let report = summarize(
+        label,
+        run.nodes,
+        &node_metrics,
+        &sessions,
+        spec,
+        completed_at,
+        converged,
+        &stats,
+    );
     RunOutcome {
         report,
         events: buffer.map(|b| b.take()).unwrap_or_default(),
@@ -602,10 +622,51 @@ where
     (collect_outcome(&sim, spec, label, run, completed_at, converged, buffer), states)
 }
 
+/// Cross-session fairness over every session's completion stats: how
+/// evenly the combiners served their client populations, measured over
+/// the run's virtual completion time.
+fn summarize_fairness(sessions: &[SessionStats], completed_at: SimTime) -> Option<FairnessSummary> {
+    if sessions.is_empty() {
+        return None;
+    }
+    let elapsed_sec = (completed_at.as_micros() / 1e6).max(1e-12);
+    let completed: Vec<u64> = sessions.iter().map(|s| s.completed()).collect();
+    let total: u64 = completed.iter().sum();
+    let min = *completed.iter().min().expect("non-empty") as f64 / elapsed_sec;
+    let max = *completed.iter().max().expect("non-empty") as f64 / elapsed_sec;
+    let sum_sq: f64 = completed.iter().map(|&c| (c as f64) * (c as f64)).sum();
+    let jain = if sum_sq > 0.0 {
+        let s = total as f64;
+        s * s / (sessions.len() as f64 * sum_sq)
+    } else {
+        1.0 // nobody completed anything: evenly (non-)served
+    };
+    // p99 across sessions of per-session mean update response time.
+    let mut rts: Vec<f64> =
+        sessions.iter().filter(|s| s.acked > 0).map(|s| s.mean_rt_us()).collect();
+    rts.sort_by(|a, b| a.partial_cmp(b).expect("finite means"));
+    let p99 = if rts.is_empty() {
+        0.0
+    } else {
+        let rank = ((0.99 * rts.len() as f64).ceil() as usize).clamp(1, rts.len());
+        rts[rank - 1]
+    };
+    Some(FairnessSummary {
+        sessions: sessions.len(),
+        ops_per_user_per_sec: total as f64 / sessions.len() as f64 / elapsed_sec,
+        min_session_ops_per_sec: min,
+        max_session_ops_per_sec: max,
+        p99_session_rt_us: p99,
+        jain_index: jain,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
 fn summarize<O: WorkloadSupport>(
     label: &str,
     nodes: usize,
     metrics: &[NodeMetrics],
+    sessions: &[SessionStats],
     spec: &O,
     completed_at: SimTime,
     converged: bool,
@@ -654,6 +715,7 @@ fn summarize<O: WorkloadSupport>(
             .map(|p| (p.label().to_string(), per_phase[p.index()].summarize()))
             .collect(),
         converged,
+        fairness: summarize_fairness(sessions, completed_at),
     }
 }
 
@@ -681,7 +743,7 @@ mod tests {
     #[test]
     fn config_builders_compose() {
         let rc = RunConfig::for_nodes(5)
-            .with_workload(Workload::new(10_000, 0.5))
+            .with_workload(WorkloadSpec::ops(10_000).with_update_ratio(0.5))
             .with_seed(42)
             .with_trace(TraceMode::Collect)
             .with_max_time(SimTime(1_000_000));

@@ -27,11 +27,13 @@
 //! * [`chaos`] — deterministic chaos campaigns: randomized fault
 //!   schedules checked for convergence, integrity, and trace
 //!   invariants, with ddmin-style shrinking of failing schedules;
-//! * [`driver`] / [`metrics`] / [`harness`] — workload generation and
-//!   the measurement harness producing the paper's throughput and
-//!   response-time numbers (the Mu-SMR baseline is the same runtime
-//!   with a complete conflict relation, per §3.2's observation that
-//!   linearizable types are WRDTs with a complete conflict relation).
+//! * [`driver`] / [`ingress`] / [`metrics`] / [`harness`] — the
+//!   [`WorkloadSpec`] client-load description, the flat-combining
+//!   session ingress, and the measurement harness producing the
+//!   paper's throughput, response-time, and per-session fairness
+//!   numbers (the Mu-SMR baseline is the same runtime with a complete
+//!   conflict relation, per §3.2's observation that linearizable types
+//!   are WRDTs with a complete conflict relation).
 //!
 //! ## Running an experiment
 //!
@@ -40,12 +42,12 @@
 //! object spec and its coordination spec:
 //!
 //! ```
-//! use hamband_runtime::{RunConfig, Runner, System, TraceMode, Workload};
+//! use hamband_runtime::{RunConfig, Runner, System, TraceMode, WorkloadSpec};
 //! use hamband_types::Counter;
 //!
 //! let c = Counter::default();
 //! let config = RunConfig::for_nodes(3)
-//!     .with_workload(Workload::new(300, 0.5))
+//!     .with_workload(WorkloadSpec::ops(300).with_update_ratio(0.5))
 //!     .with_seed(7)
 //!     .with_trace(TraceMode::Collect);
 //! let outcome = Runner::new(System::Hamband, config).run(&c, &c.coord_spec());
@@ -56,6 +58,29 @@
 //! // Machine-readable report with per-phase p50/p90/p99 latencies:
 //! let json = outcome.report.to_json();
 //! assert!(json.contains("\"phases\""));
+//! ```
+//!
+//! ## Serving many clients per replica
+//!
+//! Each node's client load is described by a [`WorkloadSpec`]: op
+//! count, update/query mix, key skew, and — via
+//! [`WorkloadSpec::with_sessions`] — how many independent client
+//! sessions the node serves. Sessions are flat-combined by the
+//! replica's pump (see [`ingress`]), so a node can serve thousands of
+//! users while the fabric still sees one combined, write-coalesced
+//! stream:
+//!
+//! ```
+//! use hamband_runtime::{RunConfig, Runner, System, WorkloadSpec};
+//! use hamband_types::Counter;
+//!
+//! let c = Counter::default();
+//! let spec = WorkloadSpec::ops(2_000).with_sessions(250).with_window(2);
+//! let outcome =
+//!     Runner::new(System::Hamband, RunConfig::new(3, spec)).run(&c, &c.coord_spec());
+//! let fairness = outcome.report.fairness.as_ref().expect("multi-session run");
+//! assert_eq!(fairness.sessions, 750); // 250 per node × 3 nodes
+//! assert!(outcome.report.converged);
 //! ```
 //!
 //! The JSON report has a stable key order, e.g.:
@@ -92,6 +117,7 @@ pub mod election;
 pub mod free;
 pub mod harness;
 pub mod heartbeat;
+pub mod ingress;
 pub mod layout;
 pub mod loopback;
 pub mod membership;
@@ -109,12 +135,17 @@ pub use baseline_msg::MsgCrdtNode;
 pub use chaos::{run_case, run_seed, shrink, shrink_case, CaseReport, ChaosOptions, Violation};
 pub use conf::{GroupEngine, LeaderState, Role};
 pub use config::RuntimeConfig;
+#[allow(deprecated)]
 pub use driver::Workload;
+pub use driver::{Planned, QuotaSplit, WorkloadSpec};
 pub use harness::{NodeEndState, RunConfig, RunOutcome, Runner, System, TraceMode};
+pub use ingress::{ClientSession, Ingress, SessionStats};
 pub use layout::Layout;
 pub use loopback::{LoopbackCluster, LoopbackCtx};
 pub use membership::Membership;
-pub use metrics::{LatencyHistogram, LatencySummary, NodeMetrics, RunReport};
+pub use metrics::{
+    FairnessSummary, LatencyHistogram, LatencySummary, NodeMetrics, RunReport,
+};
 pub use replica::HambandNode;
 pub use status::{GroupStatus, NodeStatus, RoleKind};
 pub use transport::Transport;
@@ -122,3 +153,7 @@ pub use transport::Transport;
 // Trace vocabulary, re-exported so harness consumers need not depend on
 // `rdma_sim` directly.
 pub use rdma_sim::{Phase, RingKind, TraceEvent, TraceRecord, TraceSink};
+
+// Workload vocabulary from the core crate, re-exported so experiment
+// code can configure key skew without depending on `hamband_core`.
+pub use hamband_core::object::KeySkew;

@@ -31,7 +31,7 @@ use rdma_sim::{
 };
 
 use crate::config::RuntimeConfig;
-use crate::driver::Workload;
+use crate::driver::WorkloadSpec;
 use crate::layout::Layout;
 use crate::replica::HambandNode;
 use crate::transport::Transport;
@@ -297,7 +297,7 @@ where
         spec: &O,
         coord: &CoordSpec,
         cfg: RuntimeConfig,
-        workload: Workload,
+        workload: WorkloadSpec,
     ) -> LoopbackCluster<O> {
         let mut net = LoopbackNet::new(n);
         let layout = Layout::plan(n, coord, &cfg, |size| net.add_region_all(size));
@@ -400,7 +400,7 @@ mod tests {
     fn three_node_counter_converges_over_loopback() {
         let spec = Counter::default();
         let coord = spec.coord_spec();
-        let workload = Workload::new(120, 1.0).with_seed(42);
+        let workload = WorkloadSpec::ops(120).with_update_ratio(1.0).with_seed(42);
         let mut cluster =
             LoopbackCluster::new(3, &spec, &coord, RuntimeConfig::default(), workload);
         assert!(

@@ -232,6 +232,46 @@ impl NodeMetrics {
     }
 }
 
+/// Cross-session fairness for a multi-session (flat-combined) run:
+/// how evenly the combiner served the client sessions.
+///
+/// Throughputs are per-session *completed* operations (acked updates +
+/// queries) over the run's virtual completion time. Jain's index is
+/// `(Σx)² / (n·Σx²)` over the per-session completed-op counts: 1.0 is
+/// perfectly even service, `1/n` is one session starving all others.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FairnessSummary {
+    /// Client sessions across the whole cluster.
+    pub sessions: usize,
+    /// Mean per-session throughput, completed ops per second.
+    pub ops_per_user_per_sec: f64,
+    /// Slowest session's throughput, completed ops per second.
+    pub min_session_ops_per_sec: f64,
+    /// Fastest session's throughput, completed ops per second.
+    pub max_session_ops_per_sec: f64,
+    /// 99th percentile across sessions of per-session mean update
+    /// response time, microseconds (0 when no session acked updates).
+    pub p99_session_rt_us: f64,
+    /// Jain's fairness index over per-session completed-op counts.
+    pub jain_index: f64,
+}
+
+impl FairnessSummary {
+    fn push_json(&self, out: &mut String) {
+        out.push_str(&format!("{{\"sessions\":{},\"ops_per_user_per_sec\":", self.sessions));
+        push_json_f64(out, self.ops_per_user_per_sec);
+        out.push_str(",\"min_session_ops_per_sec\":");
+        push_json_f64(out, self.min_session_ops_per_sec);
+        out.push_str(",\"max_session_ops_per_sec\":");
+        push_json_f64(out, self.max_session_ops_per_sec);
+        out.push_str(",\"p99_session_rt_us\":");
+        push_json_f64(out, self.p99_session_rt_us);
+        out.push_str(",\"jain_index\":");
+        push_json_f64(out, self.jain_index);
+        out.push('}');
+    }
+}
+
 /// A cluster-level run summary produced by the harness.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -269,6 +309,9 @@ pub struct RunReport {
     pub phases: BTreeMap<String, LatencySummary>,
     /// Whether all replicas converged to equal states at the end.
     pub converged: bool,
+    /// Cross-session fairness (present when the backend exposes
+    /// per-session stats; `None` for backends without an ingress).
+    pub fairness: Option<FairnessSummary>,
 }
 
 /// Append `s` JSON-escaped (quotes, backslashes, control characters).
@@ -357,7 +400,12 @@ impl RunReport {
             out.push(':');
             summary.push_json(&mut out);
         }
-        out.push_str("}}");
+        out.push('}');
+        if let Some(fairness) = &self.fairness {
+            out.push_str(",\"fairness\":");
+            fairness.push_json(&mut out);
+        }
+        out.push('}');
         out
     }
 }
@@ -380,6 +428,17 @@ impl std::fmt::Display for RunReport {
                 f,
                 "\n           {name:<7} n={:<6} p50={:.2}us p90={:.2}us p99={:.2}us max={:.2}us",
                 s.count, s.p50_us, s.p90_us, s.p99_us, s.max_us
+            )?;
+        }
+        if let Some(fair) = &self.fairness {
+            write!(
+                f,
+                "\n           fairness sessions={} ops/user/s={:.0} min={:.0} max={:.0} jain={:.3}",
+                fair.sessions,
+                fair.ops_per_user_per_sec,
+                fair.min_session_ops_per_sec,
+                fair.max_session_ops_per_sec,
+                fair.jain_index
             )?;
         }
         Ok(())
@@ -506,6 +565,14 @@ mod tests {
             per_method_rt_us: BTreeMap::new(),
             phases,
             converged: true,
+            fairness: Some(FairnessSummary {
+                sessions: 4_000,
+                ops_per_user_per_sec: 125.0,
+                min_session_ops_per_sec: 100.0,
+                max_session_ops_per_sec: 150.0,
+                p99_session_rt_us: 9.5,
+                jain_index: 0.987,
+            }),
         };
         let s = r.to_string();
         assert!(s.contains("hamband"));
@@ -513,6 +580,8 @@ mod tests {
         assert!(s.contains("w/op=2.40"));
         assert!(s.contains("reduce"));
         assert!(s.contains("p99=3.00us"));
+        assert!(s.contains("sessions=4000"));
+        assert!(s.contains("jain=0.987"));
     }
 
     #[test]
@@ -538,6 +607,7 @@ mod tests {
             per_method_rt_us: per_method,
             phases,
             converged: false,
+            fairness: None,
         };
         let j = r.to_json();
         assert_eq!(
@@ -549,5 +619,38 @@ mod tests {
              \"phases\":{\"conf\":{\"count\":3,\"mean_us\":1,\"p50_us\":1,\"p90_us\":2,\
              \"p99_us\":2,\"max_us\":2.25}}}"
         );
+    }
+
+    #[test]
+    fn fairness_block_serializes_after_phases() {
+        let r = RunReport {
+            system: "hamband".into(),
+            nodes: 2,
+            total_calls: 10,
+            total_updates: 5,
+            completed_at: SimTime(1_000),
+            throughput_ops_per_us: 1.0,
+            mean_rt_us: 1.0,
+            writes_posted: 5,
+            bytes_written: 500,
+            writes_per_op: 1.0,
+            per_method_rt_us: BTreeMap::new(),
+            phases: BTreeMap::new(),
+            converged: true,
+            fairness: Some(FairnessSummary {
+                sessions: 16,
+                ops_per_user_per_sec: 625.0,
+                min_session_ops_per_sec: 500.0,
+                max_session_ops_per_sec: 750.0,
+                p99_session_rt_us: 2.5,
+                jain_index: 0.99,
+            }),
+        };
+        let j = r.to_json();
+        assert!(j.ends_with(
+            ",\"fairness\":{\"sessions\":16,\"ops_per_user_per_sec\":625,\
+             \"min_session_ops_per_sec\":500,\"max_session_ops_per_sec\":750,\
+             \"p99_session_rt_us\":2.5,\"jain_index\":0.99}}"
+        ));
     }
 }

@@ -24,7 +24,7 @@ use rdma_sim::{NodeId, TraceEvent};
 
 use crate::calls::Route;
 use crate::codec::{parse_backup_slot, BACKUP_FREE};
-use crate::driver::Driver;
+use crate::driver::QuotaSplit;
 use crate::replica::HambandNode;
 use crate::transport::Transport;
 
@@ -51,7 +51,7 @@ where
         let adopter = members.next_alive_after(suspect);
         if adopter == self.me && !self.adopted[suspect.index()] {
             self.adopted[suspect.index()] = true;
-            let their = Driver::new(&self.workload, &self.coord, suspect.index(), self.n);
+            let their = QuotaSplit::for_node(&self.workload, &self.coord, suspect.index(), self.n);
             let remaining: Vec<u64> = (0..self.coord.method_count())
                 .map(|m| {
                     if matches!(
@@ -60,25 +60,24 @@ where
                     ) {
                         return 0;
                     }
-                    let planned = their.initial_free_quota(m);
+                    let planned = their.free[m];
                     let seen = self.applied.get(Pid(suspect.index()), MethodId(m));
                     planned.saturating_sub(seen)
                 })
                 .collect();
             // Query progress at the suspect is unobservable directly;
             // estimate it from its observable update progress (the
-            // driver interleaves both uniformly) and adopt the rest.
+            // ingress interleaves both uniformly) and adopt the rest.
             let planned_updates: u64 =
-                (0..self.coord.method_count()).map(|m| their.initial_free_quota(m)).sum();
+                (0..self.coord.method_count()).map(|m| their.free[m]).sum();
             let seen_updates: u64 = (0..self.coord.method_count())
                 .map(|m| self.applied.get(Pid(suspect.index()), MethodId(m)))
                 .sum::<u64>()
                 .min(planned_updates);
-            let remaining_queries = (their.initial_queries()
-                * (planned_updates - seen_updates))
+            let remaining_queries = (their.queries * (planned_updates - seen_updates))
                 .checked_div(planned_updates)
-                .unwrap_or_else(|| their.initial_queries());
-            self.driver.adopt_free_quota(&remaining, remaining_queries);
+                .unwrap_or(their.queries);
+            self.ingress.adopt_free_quota(&remaining, remaining_queries);
         }
         // 3. Leader change for groups whose current leader is down —
         //    the new suspect, or an earlier suspect whose designated

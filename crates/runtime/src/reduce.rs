@@ -41,9 +41,10 @@ where
         update: O::Update,
         method: MethodId,
         g: usize,
+        session: u32,
     ) {
         if !self.permissible_now(&update) {
-            self.reject(method);
+            self.reject(method, session);
             return;
         }
         ctx.consume(ctx.latency().apply_cost);
@@ -107,6 +108,7 @@ where
             Outstanding {
                 issued_at: ctx.now(),
                 method,
+                session,
                 phase: Phase::Reduce,
                 conf: None,
                 ack_remaining: remotes,

@@ -42,8 +42,9 @@ use rdma_sim::{
 use crate::calls::{Outstanding, Route};
 use crate::conf::GroupEngine;
 use crate::config::RuntimeConfig;
-use crate::driver::{Driver, Workload};
+use crate::driver::WorkloadSpec;
 use crate::heartbeat::{FailureDetector, FdEvent, Heartbeat};
+use crate::ingress::Ingress;
 use crate::layout::Layout;
 use crate::messages::ControlMsg;
 use crate::metrics::NodeMetrics;
@@ -104,8 +105,10 @@ pub struct HambandNode<O: ObjectSpec> {
     /// Peers whose conflict-free quota we already adopted.
     pub(crate) adopted: Vec<bool>,
 
-    pub(crate) driver: Driver,
-    pub(crate) workload: Workload,
+    /// Flat-combining client ingress: the node's session slots and
+    /// quota state; the pump is the combiner.
+    pub(crate) ingress: Ingress,
+    pub(crate) workload: WorkloadSpec,
     /// Exposed measurements.
     pub metrics: NodeMetrics,
 
@@ -147,12 +150,15 @@ where
         me: NodeId,
         n: usize,
         leaders: &[Pid],
-        workload: Workload,
+        workload: WorkloadSpec,
     ) -> Self {
         assert_eq!(leaders.len(), coord.sync_groups().len());
         assert!(cfg.window <= cfg.backup_slots, "backup ring must cover the window");
         let sigma = spec.initial();
-        let driver = Driver::new(&workload, &coord, me.index(), n);
+        // Backup slots are addressed `call_id % backup_slots`, so the
+        // ingress caps node-wide in-flight calls at the slot count no
+        // matter how many sessions the spec asks for.
+        let ingress = Ingress::new(&workload, &coord, me.index(), n, cfg.backup_slots);
         let sum_cache = coord
             .sum_groups()
             .iter()
@@ -198,7 +204,7 @@ where
             fd: FailureDetector::new(me, n, layout.heartbeat, cfg.fd_suspect_after)
                 .with_min_sample_gap(cfg.heartbeat_interval),
             adopted: vec![false; n],
-            driver,
+            ingress,
             workload,
             metrics: NodeMetrics::default(),
             speculative_store: Vec::new(),
@@ -353,7 +359,7 @@ where
             Event::Fault { kind: AppFault::SuspendHeartbeat } => {
                 self.hb.suspended = true;
                 self.halted = true;
-                self.driver.halt();
+                self.ingress.halt();
             }
             Event::Fault { kind: AppFault::ResumeHeartbeat } => {
                 self.hb.suspended = false;

@@ -99,7 +99,7 @@ pub struct NodeStatus {
     pub node: usize,
     /// Whether the local workload is fully issued and acknowledged.
     pub done: bool,
-    /// Whether the driver has planned out its whole quota.
+    /// Whether the client ingress has planned out its whole quota.
     pub driver_done: bool,
     /// Client calls still awaiting acknowledgement.
     pub outstanding: usize,
@@ -165,14 +165,14 @@ where
                 return false; // leaderless: quota will move
             }
             if lv.index() == me && e.is_leader() {
-                self.driver.conf_remaining(g, e.known_tail()) == 0
+                self.ingress.conf_remaining(g, e.known_tail()) == 0
             } else {
                 // Followers watch the global quota through their own
                 // ring: committed entries they have applied.
-                self.driver.conf_remaining(g, e.reader.applied()) == 0
+                self.ingress.conf_remaining(g, e.reader.applied()) == 0
             }
         });
-        self.driver.local_done() && self.outstanding.is_empty() && conf_done
+        self.ingress.local_done() && self.outstanding.is_empty() && conf_done
     }
 
     /// The leader this node currently recognizes for group `g`.
@@ -190,13 +190,19 @@ where
         self.applied.total()
     }
 
+    /// Per-session completion stats from the client ingress (for
+    /// harness fairness accounting).
+    pub fn session_stats(&self) -> Vec<crate::ingress::SessionStats> {
+        self.ingress.session_stats()
+    }
+
     /// A structured diagnostic snapshot (replaces `debug_status()`;
     /// render with `Display` for the one-line form).
     pub fn status(&self) -> NodeStatus {
         NodeStatus {
             node: self.me.index(),
             done: self.workload_done(),
-            driver_done: self.driver.local_done(),
+            driver_done: self.ingress.local_done(),
             outstanding: self.outstanding.len(),
             halted: self.halted,
             applied: self.applied.total(),

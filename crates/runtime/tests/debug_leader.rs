@@ -5,7 +5,7 @@
 //! (Run with `--nocapture` to see the per-node status trail.)
 
 use hamband_core::ids::Pid;
-use hamband_runtime::{HambandNode, Layout, RuntimeConfig, Workload};
+use hamband_runtime::{HambandNode, Layout, RuntimeConfig, WorkloadSpec};
 use hamband_types::Courseware;
 use rdma_sim::{Fault, FaultPlan, LatencyModel, NodeId, SimDuration, SimTime, Simulator};
 
@@ -14,7 +14,7 @@ fn leader_failure_trace() {
     let cw = Courseware::default();
     let coord = cw.coord_spec();
     let n = 4;
-    let workload = Workload::new(600, 0.5);
+    let workload = WorkloadSpec::ops(600).with_update_ratio(0.5);
     let cfg = RuntimeConfig::default();
     let mut sim: Simulator<HambandNode<Courseware>> =
         Simulator::new(n, LatencyModel::default(), 0x5eed);

@@ -2,14 +2,14 @@
 //! driven to convergence over the simulated fabric.
 
 use hamband_core::demo::Account;
-use hamband_runtime::{RunConfig, Runner, System, Workload};
+use hamband_runtime::{RunConfig, Runner, System, WorkloadSpec};
 use hamband_types::{Counter, Courseware, GSet, Movie, OrSet, Project};
 use rdma_sim::{Fault, FaultPlan, NodeId, SimTime};
 
 #[test]
 fn counter_reducible_converges() {
     let c = Counter::default();
-    let config = RunConfig::new(3, Workload::new(600, 0.5));
+    let config = RunConfig::new(3, WorkloadSpec::ops(600).with_update_ratio(0.5));
     let report = Runner::new(System::Hamband, config).run(&c, &c.coord_spec()).report;
     assert!(report.converged, "{report}");
     assert!(report.total_updates >= 295, "most updates acked: {report}");
@@ -19,7 +19,7 @@ fn counter_reducible_converges() {
 #[test]
 fn gset_buffered_converges() {
     let g = GSet::default();
-    let config = RunConfig::new(3, Workload::new(400, 0.5));
+    let config = RunConfig::new(3, WorkloadSpec::ops(400).with_update_ratio(0.5));
     let report = Runner::new(System::Hamband, config).run(&g, &g.coord_spec_buffered()).report;
     assert!(report.converged, "{report}");
 }
@@ -27,7 +27,7 @@ fn gset_buffered_converges() {
 #[test]
 fn orset_with_dependencies_converges() {
     let o = OrSet::default();
-    let config = RunConfig::new(4, Workload::new(600, 0.5));
+    let config = RunConfig::new(4, WorkloadSpec::ops(600).with_update_ratio(0.5));
     let report = Runner::new(System::Hamband, config).run(&o, &o.coord_spec()).report;
     assert!(report.converged, "{report}");
 }
@@ -35,7 +35,7 @@ fn orset_with_dependencies_converges() {
 #[test]
 fn account_all_categories_converges() {
     let a = Account::new(50);
-    let config = RunConfig::new(3, Workload::new(600, 0.5));
+    let config = RunConfig::new(3, WorkloadSpec::ops(600).with_update_ratio(0.5));
     let report = Runner::new(System::Hamband, config).run(&a, &a.coord_spec()).report;
     assert!(report.converged, "{report}");
     // Some withdrawals must actually have committed.
@@ -48,7 +48,7 @@ fn account_all_categories_converges() {
 #[test]
 fn project_schema_converges() {
     let p = Project::default();
-    let config = RunConfig::new(4, Workload::new(600, 0.5));
+    let config = RunConfig::new(4, WorkloadSpec::ops(600).with_update_ratio(0.5));
     let report = Runner::new(System::Hamband, config).run(&p, &p.coord_spec()).report;
     assert!(report.converged, "{report}");
 }
@@ -56,7 +56,7 @@ fn project_schema_converges() {
 #[test]
 fn movie_two_leaders_converges() {
     let m = Movie::default();
-    let config = RunConfig::new(4, Workload::new(600, 1.0));
+    let config = RunConfig::new(4, WorkloadSpec::ops(600).with_update_ratio(1.0));
     let report = Runner::new(System::Hamband, config).run(&m, &m.coord_spec()).report;
     assert!(report.converged, "{report}");
 }
@@ -64,7 +64,7 @@ fn movie_two_leaders_converges() {
 #[test]
 fn smr_baseline_converges_and_is_slower() {
     let c = Counter::default();
-    let config = RunConfig::new(3, Workload::new(600, 0.5));
+    let config = RunConfig::new(3, WorkloadSpec::ops(600).with_update_ratio(0.5));
     let hb = Runner::new(System::Hamband, config.clone()).run(&c, &c.coord_spec()).report;
     let smr = Runner::new(System::MuSmr, config).run(&c, &c.coord_spec()).report;
     assert!(smr.converged, "{smr}");
@@ -77,7 +77,7 @@ fn smr_baseline_converges_and_is_slower() {
 #[test]
 fn msg_baseline_converges_and_is_much_slower() {
     let c = Counter::default();
-    let config = RunConfig::new(3, Workload::new(600, 0.5));
+    let config = RunConfig::new(3, WorkloadSpec::ops(600).with_update_ratio(0.5));
     let hb = Runner::new(System::Hamband, config.clone()).run(&c, &c.coord_spec()).report;
     let msg = Runner::new(System::Msg, config).run(&c, &c.coord_spec()).report;
     assert!(msg.converged, "{msg}");
@@ -91,7 +91,7 @@ fn msg_baseline_converges_and_is_much_slower() {
 #[test]
 fn follower_failure_is_tolerated() {
     let c = Counter::default();
-    let config = RunConfig::new(4, Workload::new(800, 0.5))
+    let config = RunConfig::new(4, WorkloadSpec::ops(800).with_update_ratio(0.5))
         .with_faults(FaultPlan::new().at(SimTime(40_000), Fault::SuspendHeartbeat(NodeId(3))));
     let report = Runner::new(System::Hamband, config).run(&c, &c.coord_spec()).report;
     assert!(report.converged, "{report}");
@@ -101,7 +101,7 @@ fn follower_failure_is_tolerated() {
 fn leader_failure_elects_new_leader() {
     let cw = Courseware::default();
     // Group leader is node 0 by default; suspend its heartbeat mid-run.
-    let config = RunConfig::new(4, Workload::new(600, 0.5))
+    let config = RunConfig::new(4, WorkloadSpec::ops(600).with_update_ratio(0.5))
         .with_faults(FaultPlan::new().at(SimTime(60_000), Fault::SuspendHeartbeat(NodeId(0))));
     let report = Runner::new(System::Hamband, config).run(&cw, &cw.coord_spec()).report;
     assert!(report.converged, "{report}");

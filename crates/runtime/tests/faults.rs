@@ -4,7 +4,7 @@
 use hamband_core::counts::DepMap;
 use hamband_core::ids::{Pid, Rid};
 use hamband_runtime::codec::{compose_backup_slot, Entry, BACKUP_FREE};
-use hamband_runtime::{HambandNode, Layout, RuntimeConfig, Workload};
+use hamband_runtime::{HambandNode, Layout, RuntimeConfig, WorkloadSpec};
 use hamband_types::{Counter, GSet};
 use rdma_sim::{Fault, FaultPlan, LatencyModel, NodeId, SimDuration, SimTime, Simulator};
 
@@ -16,7 +16,7 @@ fn counter_cluster(
     let c = Counter::default();
     let coord = c.coord_spec();
     let cfg = RuntimeConfig::default();
-    let workload = Workload::new(ops, 0.5).with_seed(0xfa01);
+    let workload = WorkloadSpec::ops(ops).with_update_ratio(0.5).with_seed(0xfa01);
     let mut sim = Simulator::new(n, LatencyModel::default(), 0xfa02);
     let layout = Layout::install(&mut sim, &coord, &cfg);
     let leaders = coord.default_leaders(n);
@@ -53,7 +53,7 @@ fn crash_recovery_delivers_pending_broadcast() {
     let cfg = RuntimeConfig::default();
     let n = 3;
     // No client workload: we inject the pending broadcast by hand.
-    let workload = Workload::new(0, 0.5).with_seed(1);
+    let workload = WorkloadSpec::ops(0).with_update_ratio(0.5).with_seed(1);
     let mut sim: Simulator<HambandNode<GSet>> = Simulator::new(n, LatencyModel::default(), 7);
     let layout = Layout::install(&mut sim, &coord, &cfg);
     let leaders = coord.default_leaders(n);
@@ -167,7 +167,7 @@ fn leader_crash_during_election_reelects() {
     let coord = b.coord_spec();
     let cfg = RuntimeConfig::default();
     let n = 5;
-    let workload = Workload::new(400, 0.5).with_seed(0xfa03);
+    let workload = WorkloadSpec::ops(400).with_update_ratio(0.5).with_seed(0xfa03);
     let mut sim: Simulator<HambandNode<hamband_types::Bank>> =
         Simulator::new(n, LatencyModel::default(), 0xfa04);
     let layout = Layout::install(&mut sim, &coord, &cfg);

@@ -1,0 +1,184 @@
+//! Flat-combining ingress: behavior parity and many-session runs.
+//!
+//! Two families of guarantees:
+//!
+//! 1. **Parity** — a 1-session ingress must be stream-identical to the
+//!    pre-ingress closed-loop driver. The golden fingerprints below
+//!    were captured from `examples/trace_fingerprint.rs` *before* the
+//!    ingress refactor landed; equality means every protocol event
+//!    (ring appends, summary writes, elections, acks) happens at the
+//!    same virtual time with the same payloads.
+//! 2. **Many sessions** — session fan-in must not break convergence,
+//!    determinism, or the per-session accounting that fairness
+//!    reporting is built on.
+
+use hamband_runtime::{
+    RunConfig, Runner, System, TraceMode, TraceRecord, WorkloadSpec,
+};
+use hamband_types::{Bank, Counter, GSet};
+use proptest::prelude::*;
+use rdma_sim::{Fault, FaultPlan, NodeId, SimTime};
+
+/// FNV-1a over the debug rendering of the full event stream — the same
+/// digest `examples/trace_fingerprint.rs` prints.
+fn digest(events: &[TraceRecord]) -> (usize, u64) {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for e in events {
+        let s = format!("{:?}@{:?}", e.event, e.at);
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    (events.len(), h)
+}
+
+/// Golden (events, hash) fingerprints captured from the pre-ingress
+/// driver, per workload and seed. A mismatch means the 1-session
+/// ingress diverged from the old closed-loop client.
+const GOLDEN_COUNTER: [(u64, usize, u64); 3] = [
+    (1, 918, 0x23338fad217430ff),
+    (7, 918, 0x83eee43120e936b5),
+    (13, 918, 0x638a01a974a65af0),
+];
+const GOLDEN_BANK: [(u64, usize, u64); 3] = [
+    (1, 3363, 0x3ef85d4c38ba9ec2),
+    (7, 3345, 0x118c74220bbf936f),
+    (13, 3351, 0xc31423d4cbe94d4a),
+];
+const GOLDEN_GSET_FAULTS: [(u64, usize, u64); 3] = [
+    (1, 2675, 0x290f388650b5f544),
+    (7, 2675, 0x647f778736d966ca),
+    (13, 2675, 0xc82247fddbbeb6a4),
+];
+const GOLDEN_BANK_LEADERFAULT: [(u64, usize, u64); 3] = [
+    (1, 4728, 0x256d0cfac55c74c9),
+    (7, 4692, 0xf0b77df7859e46c3),
+    (13, 4728, 0x22f3e2f5ca126dca),
+];
+
+#[test]
+fn one_session_ingress_matches_pre_ingress_driver_goldens() {
+    for &(seed, events, hash) in &GOLDEN_COUNTER {
+        let c = Counter::default();
+        let cfg = RunConfig::new(3, WorkloadSpec::ops(300).with_update_ratio(0.5).with_seed(seed))
+            .with_seed(seed)
+            .with_trace(TraceMode::Collect);
+        let out = Runner::new(System::Hamband, cfg).run(&c, &c.coord_spec());
+        assert!(out.report.converged);
+        assert_eq!(digest(&out.events), (events, hash), "counter seed={seed}");
+    }
+    for &(seed, events, hash) in &GOLDEN_BANK {
+        let b = Bank::default();
+        let cfg = RunConfig::new(4, WorkloadSpec::ops(400).with_update_ratio(0.5).with_seed(seed))
+            .with_seed(seed)
+            .with_trace(TraceMode::Collect);
+        let out = Runner::new(System::Hamband, cfg).run(&b, &b.coord_spec());
+        assert!(out.report.converged);
+        assert_eq!(digest(&out.events), (events, hash), "bank seed={seed}");
+    }
+}
+
+#[test]
+fn one_session_parity_survives_faults_and_quota_adoption() {
+    // Faulty runs exercise the adoption path (`adopt_free_quota`) and
+    // deposed-leader aborts — both were rewired by the ingress.
+    for &(seed, events, hash) in &GOLDEN_GSET_FAULTS {
+        let g = GSet::default();
+        let plan = FaultPlan::new()
+            .at(SimTime(40_000), Fault::SuspendHeartbeat(NodeId(0)))
+            .at(SimTime(60_000), Fault::Crash(NodeId(2)));
+        let cfg = RunConfig::new(4, WorkloadSpec::ops(300).with_update_ratio(0.5).with_seed(seed))
+            .with_seed(seed)
+            .with_faults(plan)
+            .with_trace(TraceMode::Collect);
+        let out = Runner::new(System::Hamband, cfg).run(&g, &g.coord_spec_buffered());
+        assert!(out.report.converged);
+        assert_eq!(digest(&out.events), (events, hash), "gset+faults seed={seed}");
+    }
+    for &(seed, events, hash) in &GOLDEN_BANK_LEADERFAULT {
+        let b = Bank::default();
+        let plan = FaultPlan::new().at(SimTime(50_000), Fault::SuspendHeartbeat(NodeId(1)));
+        let cfg = RunConfig::new(5, WorkloadSpec::ops(400).with_update_ratio(0.5).with_seed(seed))
+            .with_seed(seed)
+            .with_faults(plan)
+            .with_trace(TraceMode::Collect);
+        let out = Runner::new(System::Hamband, cfg).run(&b, &b.coord_spec());
+        assert!(out.report.converged);
+        assert_eq!(digest(&out.events), (events, hash), "bank+leaderfault seed={seed}");
+    }
+}
+
+#[test]
+fn many_session_counter_run_converges_with_fairness() {
+    let c = Counter::default();
+    let spec = WorkloadSpec::ops(2_000).with_sessions(256).with_window(2).with_seed(3);
+    let out = Runner::new(System::Hamband, RunConfig::new(3, spec)).run(&c, &c.coord_spec());
+    assert!(out.report.converged, "256 sessions/node must still converge");
+    let fair = out.report.fairness.expect("harness reports fairness");
+    assert_eq!(fair.sessions, 768);
+    assert!(fair.ops_per_user_per_sec > 0.0);
+    assert!(fair.min_session_ops_per_sec <= fair.max_session_ops_per_sec);
+    assert!(
+        fair.jain_index > 0.5,
+        "round-robin combining should serve sessions roughly evenly, jain={}",
+        fair.jain_index
+    );
+}
+
+#[test]
+fn many_session_bank_run_converges_across_protocol_paths() {
+    // Bank exercises REDUCE (deposit) and CONF (withdraw) with
+    // session fan-in; convergence plus a clean fairness block means
+    // per-session ack fan-back survived leader commits and rejections.
+    let b = Bank::default();
+    let spec = WorkloadSpec::ops(1_200).with_sessions(64).with_window(2).with_seed(11);
+    let out = Runner::new(System::Hamband, RunConfig::new(4, spec)).run(&b, &b.coord_spec());
+    assert!(out.report.converged);
+    let fair = out.report.fairness.expect("fairness present");
+    assert_eq!(fair.sessions, 256);
+    assert!(fair.jain_index > 0.0 && fair.jain_index <= 1.0 + 1e-9);
+}
+
+#[test]
+fn many_session_runs_are_deterministic() {
+    let run = || {
+        let c = Counter::default();
+        let spec = WorkloadSpec::ops(1_000).with_sessions(32).with_window(2).with_seed(9);
+        let cfg = RunConfig::new(3, spec).with_seed(9).with_trace(TraceMode::Collect);
+        let out = Runner::new(System::Hamband, cfg).run(&c, &c.coord_spec());
+        (digest(&out.events), out.report.to_json())
+    };
+    let (d1, j1) = run();
+    let (d2, j2) = run();
+    assert_eq!(d1, d2, "same seed, same combined event stream");
+    assert_eq!(j1, j2, "same seed, same report (fairness included)");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any seed: a 1-session run and a rerun with the same seed are
+    /// trace-identical, and fan-out to several sessions keeps the run
+    /// convergent with exactly the expected session count.
+    #[test]
+    fn ingress_runs_deterministic_and_convergent_across_seeds(seed in 1u64..1_000) {
+        let c = Counter::default();
+        let one = |sessions: usize| {
+            let spec = WorkloadSpec::ops(400)
+                .with_update_ratio(0.5)
+                .with_sessions(sessions)
+                .with_seed(seed);
+            let cfg = RunConfig::new(3, spec).with_seed(seed).with_trace(TraceMode::Collect);
+            let out = Runner::new(System::Hamband, cfg).run(&c, &c.coord_spec());
+            (digest(&out.events), out.report.converged, out.report.fairness)
+        };
+        let (d_a, conv_a, _) = one(1);
+        let (d_b, conv_b, _) = one(1);
+        prop_assert!(conv_a && conv_b);
+        prop_assert_eq!(d_a, d_b);
+        let (_, conv_multi, fair) = one(8);
+        prop_assert!(conv_multi);
+        prop_assert_eq!(fair.expect("fairness").sessions, 24);
+    }
+}

@@ -3,7 +3,7 @@
 //! histograms account for exactly the acknowledged calls.
 
 use hamband_core::demo::Account;
-use hamband_runtime::{Phase, RunConfig, Runner, System, TraceEvent, TraceMode, Workload};
+use hamband_runtime::{Phase, RunConfig, Runner, System, TraceEvent, TraceMode, WorkloadSpec};
 use hamband_types::Counter;
 
 /// Every acknowledged conflicting update is covered by a
@@ -13,7 +13,7 @@ use hamband_types::Counter;
 fn conf_acks_follow_commit_advance() {
     let a = Account::new(100);
     let config = RunConfig::for_nodes(3)
-        .with_workload(Workload::new(600, 0.5))
+        .with_workload(WorkloadSpec::ops(600).with_update_ratio(0.5))
         .with_trace(TraceMode::Collect);
     let outcome = Runner::new(System::Hamband, config).run(&a, &a.coord_spec());
     assert!(outcome.report.converged, "{}", outcome.report);
@@ -50,7 +50,7 @@ fn conf_acks_follow_commit_advance() {
 fn histograms_account_for_every_ack() {
     for system in [System::Hamband, System::Msg] {
         let c = Counter::default();
-        let config = RunConfig::for_nodes(3).with_workload(Workload::new(400, 0.5));
+        let config = RunConfig::for_nodes(3).with_workload(WorkloadSpec::ops(400).with_update_ratio(0.5));
         let outcome = Runner::new(system, config).run(&c, &c.coord_spec());
         assert!(outcome.report.converged, "{}", outcome.report);
         for (i, m) in outcome.node_metrics.iter().enumerate() {
@@ -72,7 +72,7 @@ fn histograms_account_for_every_ack() {
 #[test]
 fn tracing_does_not_perturb_the_run() {
     let a = Account::new(100);
-    let base = RunConfig::for_nodes(3).with_workload(Workload::new(300, 0.5)).with_seed(11);
+    let base = RunConfig::for_nodes(3).with_workload(WorkloadSpec::ops(300).with_update_ratio(0.5)).with_seed(11);
     let quiet = Runner::new(System::Hamband, base.clone()).run(&a, &a.coord_spec());
     let traced = Runner::new(System::Hamband, base.with_trace(TraceMode::Collect))
         .run(&a, &a.coord_spec());

@@ -25,7 +25,7 @@ use rand::Rng;
 
 use hamband_core::coord::CoordSpec;
 use hamband_core::ids::MethodId;
-use hamband_core::object::{ObjectSpec, SpecSampler, WorkloadSupport};
+use hamband_core::object::{KeySkew, ObjectSpec, SpecSampler, WorkloadSupport};
 use hamband_core::wire::{DecodeError, Reader, Wire, Writer};
 
 /// Method index of `open_accounts`.
@@ -260,6 +260,45 @@ impl WorkloadSupport for Bank {
                     return None;
                 }
                 let (acct, bal) = funded[rng.gen_range(0..funded.len())];
+                let cap = (bal / 2).min(i128::from(self.max_amount)) as u64;
+                Some(BankUpdate::Withdraw(acct, rng.gen_range(1..=cap.max(1))))
+            }
+            other => panic!("bank has no method {other}"),
+        }
+    }
+
+    fn gen_update_skewed(
+        &self,
+        state: &BankState,
+        node: usize,
+        seq: u64,
+        method: MethodId,
+        rng: &mut StdRng,
+        skew: KeySkew,
+    ) -> Option<BankUpdate> {
+        match method {
+            OPEN => self.gen_update(state, node, seq, method, rng),
+            DEPOSIT => {
+                let open: Vec<u64> = state.open.iter().copied().collect();
+                if open.is_empty() {
+                    return None;
+                }
+                Some(BankUpdate::Deposit(
+                    open[skew.sample_index(rng, open.len())],
+                    rng.gen_range(1..=self.max_amount),
+                ))
+            }
+            WITHDRAW => {
+                let funded: Vec<(u64, i128)> = state
+                    .balances
+                    .iter()
+                    .filter(|&(_, &b)| b >= 2)
+                    .map(|(&a, &b)| (a, b))
+                    .collect();
+                if funded.is_empty() {
+                    return None;
+                }
+                let (acct, bal) = funded[skew.sample_index(rng, funded.len())];
                 let cap = (bal / 2).min(i128::from(self.max_amount)) as u64;
                 Some(BankUpdate::Withdraw(acct, rng.gen_range(1..=cap.max(1))))
             }

@@ -24,7 +24,7 @@ use rand::Rng;
 
 use hamband_core::coord::CoordSpec;
 use hamband_core::ids::MethodId;
-use hamband_core::object::{ObjectSpec, SpecSampler, WorkloadSupport};
+use hamband_core::object::{KeySkew, ObjectSpec, SpecSampler, WorkloadSupport};
 use hamband_core::wire::{DecodeError, Reader, Wire, Writer};
 
 /// Method index of `add`.
@@ -245,6 +245,35 @@ impl WorkloadSupport for OrSet {
                     return None;
                 }
                 let idx = rng.gen_range(0..state.len());
+                let (element, tags) = state.iter().nth(idx).expect("index in range");
+                Some(OrSetUpdate::Remove {
+                    element: *element,
+                    tags: tags.iter().copied().collect(),
+                })
+            }
+            other => panic!("orset has no method {other}"),
+        }
+    }
+
+    fn gen_update_skewed(
+        &self,
+        state: &OrSetState,
+        node: usize,
+        seq: u64,
+        method: MethodId,
+        rng: &mut StdRng,
+        skew: KeySkew,
+    ) -> Option<OrSetUpdate> {
+        match method {
+            ADD => Some(OrSetUpdate::Add {
+                element: skew.sample(rng, self.element_space),
+                tag: (node as u64, seq),
+            }),
+            REMOVE => {
+                if state.is_empty() {
+                    return None;
+                }
+                let idx = skew.sample_index(rng, state.len());
                 let (element, tags) = state.iter().nth(idx).expect("index in range");
                 Some(OrSetUpdate::Remove {
                     element: *element,

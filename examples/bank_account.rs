@@ -10,7 +10,7 @@ use hamband::core::demo::Account;
 use hamband::core::object::ObjectSpec;
 use hamband::core::relations::BoundedRelations;
 use hamband::runtime::{RunConfig, Runner, System};
-use hamband::runtime::Workload;
+use hamband::runtime::WorkloadSpec;
 
 fn main() {
     let account = Account::new(50);
@@ -61,7 +61,7 @@ fn main() {
 
     // Run the account on the cluster under all three systems.
     println!("\n== 4-node cluster, 4000 calls, 50% updates ==");
-    let run = RunConfig::new(4, Workload::new(4_000, 0.5));
+    let run = RunConfig::new(4, WorkloadSpec::ops(4_000).with_update_ratio(0.5));
     let hb = Runner::new(System::Hamband, run.clone()).run(&account, &coord).report;
     let mu = Runner::new(System::MuSmr, run).run(&account, &coord).report;
     println!("  {hb}");
@@ -77,7 +77,7 @@ fn main() {
     let default_hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(|_| {})); // silence the expected panic
     let msg_attempt = std::panic::catch_unwind(|| {
-        let run = RunConfig::new(4, Workload::new(400, 0.5));
+        let run = RunConfig::new(4, WorkloadSpec::ops(400).with_update_ratio(0.5));
         Runner::new(System::Msg, run).run(&account, &coord).report
     });
     std::panic::set_hook(default_hook);

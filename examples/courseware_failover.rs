@@ -10,7 +10,7 @@
 //! ```
 
 use hamband::core::ids::Pid;
-use hamband::runtime::{HambandNode, Layout, RuntimeConfig, Workload};
+use hamband::runtime::{HambandNode, Layout, RuntimeConfig, WorkloadSpec};
 use hamband::sim::{Fault, FaultPlan, LatencyModel, NodeId, SimDuration, SimTime, Simulator};
 use hamband::types::Courseware;
 
@@ -18,7 +18,7 @@ fn main() {
     let courseware = Courseware::default();
     let coord = courseware.coord_spec();
     let n = 4;
-    let workload = Workload::new(3_000, 0.5).with_seed(7);
+    let workload = WorkloadSpec::ops(3_000).with_update_ratio(0.5).with_seed(7);
     let cfg = RuntimeConfig::default();
 
     let mut sim: Simulator<HambandNode<Courseware>> =

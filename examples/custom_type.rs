@@ -17,7 +17,7 @@ use hamband::core::ids::MethodId;
 use hamband::core::object::{ObjectSpec, SpecSampler, WorkloadSupport};
 use hamband::core::wire::{DecodeError, Reader, Wire, Writer};
 use hamband::runtime::{RunConfig, Runner, System};
-use hamband::runtime::Workload;
+use hamband::runtime::WorkloadSpec;
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -232,7 +232,7 @@ fn main() {
     println!("  {report}");
 
     // Run it on a 5-node cluster.
-    let run = RunConfig::new(5, Workload::new(3_000, 0.4));
+    let run = RunConfig::new(5, WorkloadSpec::ops(3_000).with_update_ratio(0.4));
     let rep = Runner::new(System::Hamband, run).run(&inv, &coord).report;
     println!("  {rep}");
     assert!(rep.converged, "inventory cluster must converge");

@@ -12,7 +12,7 @@ use hamband::core::object::ObjectSpec;
 use hamband::core::rdma_sem::RdmaWrdt;
 use hamband::core::refinement::replay;
 use hamband::runtime::{RunConfig, Runner, System};
-use hamband::runtime::Workload;
+use hamband::runtime::WorkloadSpec;
 
 fn main() {
     // 1. An object class: state, invariant, and executable methods.
@@ -54,7 +54,7 @@ fn main() {
 
     // 5. The full runtime on a simulated 4-node RDMA cluster: summary
     //    slots, ring buffers, reliable broadcast, Mu-style consensus.
-    let run = RunConfig::new(4, Workload::new(2_000, 0.5));
+    let run = RunConfig::new(4, WorkloadSpec::ops(2_000).with_update_ratio(0.5));
     let report = Runner::new(System::Hamband, run).run(&account, &coord).report;
     println!("  cluster:  {report}");
     assert!(report.converged);

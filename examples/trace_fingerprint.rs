@@ -2,7 +2,7 @@
 //! faulty one) with trace collection on and print a digest of the full
 //! event stream. Used to verify refactors preserve identical traces.
 
-use hamband_runtime::{RunConfig, Runner, System, TraceMode, Workload};
+use hamband_runtime::{RunConfig, Runner, System, TraceMode, WorkloadSpec};
 use hamband_types::{Bank, Counter, GSet};
 use rdma_sim::{Fault, FaultPlan, NodeId, SimTime};
 
@@ -21,7 +21,7 @@ fn digest(events: &[hamband_runtime::TraceRecord]) -> (usize, u64) {
 fn main() {
     for seed in [1u64, 7, 13] {
         let c = Counter::default();
-        let cfg = RunConfig::new(3, Workload::new(300, 0.5).with_seed(seed))
+        let cfg = RunConfig::new(3, WorkloadSpec::ops(300).with_update_ratio(0.5).with_seed(seed))
             .with_seed(seed)
             .with_trace(TraceMode::Collect);
         let out = Runner::new(System::Hamband, cfg).run(&c, &c.coord_spec());
@@ -29,7 +29,7 @@ fn main() {
         println!("counter seed={seed} conv={} events={n} hash={h:016x}", out.report.converged);
 
         let b = Bank::default();
-        let cfg = RunConfig::new(4, Workload::new(400, 0.5).with_seed(seed))
+        let cfg = RunConfig::new(4, WorkloadSpec::ops(400).with_update_ratio(0.5).with_seed(seed))
             .with_seed(seed)
             .with_trace(TraceMode::Collect);
         let out = Runner::new(System::Hamband, cfg).run(&b, &b.coord_spec());
@@ -40,7 +40,7 @@ fn main() {
         let plan = FaultPlan::new()
             .at(SimTime(40_000), Fault::SuspendHeartbeat(NodeId(0)))
             .at(SimTime(60_000), Fault::Crash(NodeId(2)));
-        let cfg = RunConfig::new(4, Workload::new(300, 0.5).with_seed(seed))
+        let cfg = RunConfig::new(4, WorkloadSpec::ops(300).with_update_ratio(0.5).with_seed(seed))
             .with_seed(seed)
             .with_faults(plan)
             .with_trace(TraceMode::Collect);
@@ -50,7 +50,7 @@ fn main() {
 
         let b = Bank::default();
         let plan = FaultPlan::new().at(SimTime(50_000), Fault::SuspendHeartbeat(NodeId(1)));
-        let cfg = RunConfig::new(5, Workload::new(400, 0.5).with_seed(seed))
+        let cfg = RunConfig::new(5, WorkloadSpec::ops(400).with_update_ratio(0.5).with_seed(seed))
             .with_seed(seed)
             .with_faults(plan)
             .with_trace(TraceMode::Collect);

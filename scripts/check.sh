@@ -41,6 +41,13 @@ scratch="$(mktemp -d)"
 tail -n 3 "$scratch/headline.log"
 rm -rf "$scratch"
 
+echo "== ingress session-sweep gate (vs committed BENCH_ingress.json) =="
+scratch="$(mktemp -d)"
+(cd "$scratch" && "$OLDPWD/target/release/ingress" --baseline "$OLDPWD/BENCH_ingress.json" > ingress.log) \
+  || { cat "$scratch/ingress.log"; exit 1; }
+tail -n 4 "$scratch/ingress.log"
+rm -rf "$scratch"
+
 echo "== chaos smoke (16 seeds) =="
 ./target/release/chaos --seeds 16
 

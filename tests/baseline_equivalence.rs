@@ -10,7 +10,7 @@
 use hamband::core::coord::CoordSpec;
 use hamband::core::ids::Pid;
 use hamband::runtime::{
-    HambandNode, Layout, MsgCrdtNode, RunConfig, Runner, RuntimeConfig, System, Workload,
+    HambandNode, Layout, MsgCrdtNode, RunConfig, Runner, RuntimeConfig, System, WorkloadSpec,
 };
 use hamband::sim::{LatencyModel, NodeId, SimDuration, Simulator};
 use hamband::types::Counter;
@@ -19,8 +19,8 @@ const N: usize = 4;
 const OPS: u64 = 800;
 const SEED: u64 = 0x3131;
 
-fn workload() -> Workload {
-    Workload::new(OPS, 0.5).with_seed(SEED)
+fn workload() -> WorkloadSpec {
+    WorkloadSpec::ops(OPS).with_update_ratio(0.5).with_seed(SEED)
 }
 
 /// The complete conflict relation over one method (the SMR special

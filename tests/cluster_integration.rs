@@ -6,7 +6,7 @@
 use hamband::core::coord::CoordSpec;
 use hamband::core::object::{ObjectSpec, WorkloadSupport};
 use hamband::core::wire::Wire;
-use hamband::runtime::{RunConfig, Runner, System, Workload};
+use hamband::runtime::{RunConfig, Runner, System, WorkloadSpec};
 use hamband::types::{
     Account, Cart, Counter, Courseware, GSet, LwwRegister, Movie, OrSet, Project,
 };
@@ -16,7 +16,7 @@ where
     O: WorkloadSupport + Clone,
     O::Update: Wire,
 {
-    let run = RunConfig::new(nodes, Workload::new(600, 0.4).with_seed(0xc0de));
+    let run = RunConfig::new(nodes, WorkloadSpec::ops(600).with_update_ratio(0.4).with_seed(0xc0de));
     let rep = Runner::new(System::Hamband, run).run(spec, coord).report;
     assert!(rep.converged, "{} did not converge: {rep}", spec.name());
     assert!(rep.total_updates > 0, "{} acked no updates", spec.name());
@@ -27,7 +27,7 @@ where
     O: WorkloadSupport + Clone,
     O::Update: Wire,
 {
-    let run = RunConfig::new(nodes, Workload::new(600, 0.4).with_seed(0xc0de));
+    let run = RunConfig::new(nodes, WorkloadSpec::ops(600).with_update_ratio(0.4).with_seed(0xc0de));
     let rep = Runner::new(System::MuSmr, run)
         .run(spec, &CoordSpec::builder(spec.method_count()).build())
         .report;
@@ -39,7 +39,7 @@ where
     O: WorkloadSupport + Clone,
     O::Update: Wire,
 {
-    let run = RunConfig::new(nodes, Workload::new(600, 0.4).with_seed(0xc0de));
+    let run = RunConfig::new(nodes, WorkloadSpec::ops(600).with_update_ratio(0.4).with_seed(0xc0de));
     let rep = Runner::new(System::Msg, run).run(spec, coord).report;
     assert!(rep.converged, "{} MSG did not converge: {rep}", spec.name());
 }
@@ -113,7 +113,7 @@ fn final_states_satisfy_invariants() {
     let p = Project::default();
     let coord = p.coord_spec();
     let n = 4;
-    let workload = Workload::new(800, 0.5).with_seed(3);
+    let workload = WorkloadSpec::ops(800).with_update_ratio(0.5).with_seed(3);
     let cfg = RuntimeConfig::default();
     let mut sim: Simulator<HambandNode<Project>> =
         Simulator::new(n, LatencyModel::default(), 9);
