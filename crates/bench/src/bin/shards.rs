@@ -1,0 +1,169 @@
+//! Key-sharded sync-group sweep: the headline bank mix on six nodes
+//! with the conflicting (withdraw) group split across 1 → 32 per-key
+//! shards, under uniform and zipfian (θ = 0.9) account popularity.
+//! Scale the op budget with HAMBAND_OPS.
+//!
+//! Prints a per-point table and writes `BENCH_shards.json` keyed by
+//! skew and shard count (`u1` … `u32`, `z1` … `z32`), each value a
+//! full `RunReport`.
+//!
+//! Built-in gates, exit nonzero on failure:
+//!
+//! * every sweep point converges;
+//! * uniform-key throughput is non-decreasing from 1 to 8 shards (the
+//!   multi-log split must turn extra shard leaders into extra
+//!   conflicting throughput; 16/32 are reported but not gated — with
+//!   more shards than the cluster has spare parallelism the extra
+//!   logs are bookkeeping);
+//! * with `--baseline <path>`, the 1-shard and 8-shard uniform
+//!   throughputs must stay within 20% of the committed
+//!   `BENCH_shards.json` — the CI regression gate;
+//! * with `--headline <path>`, the 1-shard (single-leader) uniform
+//!   throughput must stay within 20% of the committed headline bank
+//!   throughput — sharding must cost nothing when configured off.
+
+/// Pull the first `"key": <number>` after `anchor` out of `json`
+/// (enough structure awareness for our own stable-key-order reports —
+/// no JSON parser in the tree).
+fn extract_f64(json: &str, anchor: &str, key: &str) -> Option<f64> {
+    let start = json.find(anchor)?;
+    let tail = &json[start..];
+    let at = tail.find(key)? + key.len();
+    let rest = tail[at..].trim_start_matches([':', ' ']);
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let baseline =
+        args.iter().position(|a| a == "--baseline").and_then(|i| args.get(i + 1)).cloned();
+    let headline =
+        args.iter().position(|a| a == "--headline").and_then(|i| args.get(i + 1)).cloned();
+
+    let opts = hamband_bench::ExpOptions::from_env();
+    let sweep = hamband_bench::shards_sweep(&opts);
+
+    println!(
+        "  {:>6}  {:>14}  {:>14}  {:>10}",
+        "shards", "uniform op/us", "zipfian op/us", "conv"
+    );
+    let mut ok = true;
+    for (shards, uni, zipf) in &sweep {
+        println!(
+            "  {:>6}  {:>14.3}  {:>14.3}  {:>10}",
+            shards,
+            uni.throughput_ops_per_us,
+            zipf.throughput_ops_per_us,
+            uni.converged && zipf.converged,
+        );
+        if !uni.converged || !zipf.converged {
+            eprintln!("sweep point {shards} shards did not converge");
+            ok = false;
+        }
+    }
+
+    // Sharding must scale the conflicting path: uniform keys spread
+    // evenly over shards, so throughput may never drop while growing
+    // the shard count up to 8 (two shard leaders per node on the
+    // four-node cluster).
+    for pair in sweep.iter().take_while(|(s, _, _)| *s <= 8).collect::<Vec<_>>().windows(2) {
+        let (s_lo, lo, _) = pair[0];
+        let (s_hi, hi, _) = pair[1];
+        if hi.throughput_ops_per_us < lo.throughput_ops_per_us {
+            eprintln!(
+                "uniform throughput decreased growing {s_lo} -> {s_hi} shards: \
+                 {:.3} -> {:.3} ops/us",
+                lo.throughput_ops_per_us, hi.throughput_ops_per_us
+            );
+            ok = false;
+        }
+    }
+
+    let json = {
+        let mut s = String::from("{");
+        for (i, (shards, uni, zipf)) in sweep.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"u{shards}\": {}, \"z{shards}\": {}", uni.to_json(), zipf.to_json()));
+        }
+        s.push('}');
+        s
+    };
+
+    if let Some(path) = baseline {
+        match std::fs::read_to_string(&path) {
+            Ok(s) => {
+                for point in ["u1", "u8"] {
+                    let anchor = format!("\"{point}\":");
+                    match extract_f64(&s, &anchor, "\"throughput_ops_per_us\"") {
+                        Some(base) => {
+                            let cur = extract_f64(&json, &anchor, "\"throughput_ops_per_us\"")
+                                .unwrap_or(0.0);
+                            println!(
+                                "baseline check: {point} throughput {cur:.3} vs committed \
+                                 {base:.3} ops/us"
+                            );
+                            if cur < 0.8 * base {
+                                eprintln!(
+                                    "throughput regression >20% at {point}: {cur:.3} < 0.8 * \
+                                     {base:.3} (from {path})"
+                                );
+                                ok = false;
+                            }
+                        }
+                        None => {
+                            eprintln!("no {point} throughput in baseline {path}");
+                            ok = false;
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("could not read baseline {path}: {e}");
+                ok = false;
+            }
+        }
+    }
+
+    if let Some(path) = headline {
+        match std::fs::read_to_string(&path) {
+            Ok(s) => match extract_f64(&s, "\"bank\":", "\"throughput_ops_per_us\"") {
+                Some(base) => {
+                    let cur =
+                        extract_f64(&json, "\"u1\":", "\"throughput_ops_per_us\"").unwrap_or(0.0);
+                    println!(
+                        "headline cross-check: 1-shard throughput {cur:.3} vs headline bank \
+                         {base:.3} ops/us"
+                    );
+                    if cur < 0.8 * base {
+                        eprintln!(
+                            "single-leader throughput fell >20% below the headline: {cur:.3} < \
+                             0.8 * {base:.3} (from {path})"
+                        );
+                        ok = false;
+                    }
+                }
+                None => {
+                    eprintln!("no bank throughput in headline baseline {path}");
+                    ok = false;
+                }
+            },
+            Err(e) => {
+                eprintln!("could not read headline baseline {path}: {e}");
+                ok = false;
+            }
+        }
+    }
+
+    let path = "BENCH_shards.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+
+    if !ok {
+        std::process::exit(1);
+    }
+}

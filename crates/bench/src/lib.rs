@@ -16,5 +16,6 @@ pub mod experiments;
 
 pub use experiments::{
     fig10, fig11, fig12, fig13, fig8, fig9, headline, headline_report, headline_report_unbatched,
-    ingress_sweep, reduce_report, ExpOptions, FigOutcome, INGRESS_SWEEP_SESSIONS,
+    ingress_sweep, reduce_report, shards_sweep, ExpOptions, FigOutcome, INGRESS_SWEEP_SESSIONS,
+    SHARDS_SWEEP_POINTS,
 };

@@ -71,6 +71,20 @@ pub enum Violation {
         /// Debug rendering of the witnessing calls.
         witness: String,
     },
+    /// Two sampled calls of the same synchronization group with
+    /// *distinct* declared shard keys conflict. The shard-key
+    /// declaration ([`crate::object::ObjectSpec::shard_key`]) asserts
+    /// cross-key calls commute — key-sharded groups rely on it to
+    /// serialize only same-key calls through one shard, so a cross-key
+    /// conflict witness makes sharding unsound for this object.
+    CrossKeyConflict {
+        /// Method of the first call.
+        a: MethodId,
+        /// Method of the second call.
+        b: MethodId,
+        /// Debug rendering of the witnessing calls (keys included).
+        witness: String,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -87,6 +101,9 @@ impl fmt::Display for Violation {
             }
             Violation::SummaryMismatch { a, b, witness } => {
                 write!(f, "summary of {a}, {b} disagrees with composition: {witness}")
+            }
+            Violation::CrossKeyConflict { a, b, witness } => {
+                write!(f, "cross-key conflict between {a} and {b}: {witness}")
             }
         }
     }
@@ -211,6 +228,36 @@ pub fn validate<O: SpecSampler>(
                             });
                             break 'dep;
                         }
+                    }
+                }
+            }
+        }
+    }
+
+    // Shard-key soundness: within a synchronization group, sampled
+    // call pairs whose declared shard keys are both present and
+    // *different* must not conflict — that is exactly the commutation
+    // the key-sharded GroupMapper relies on. Keyless calls are exempt
+    // (they are pinned to one shard and may conflict with anything).
+    for a in 0..n {
+        for b in a..n {
+            let (ma, mb) = (MethodId(a), MethodId(b));
+            if !same_group(ma, mb) {
+                continue;
+            }
+            let ca = sampled_calls(spec, ma, cfg, a as u64 + 31);
+            let cb = sampled_calls(spec, mb, cfg, b as u64 + 1031);
+            'shard: for x in &ca {
+                for y in &cb {
+                    let (kx, ky) = (spec.shard_key(x), spec.shard_key(y));
+                    let (Some(kx), Some(ky)) = (kx, ky) else { continue };
+                    if kx != ky && rel.conflict(x, y) {
+                        report.violations.push(Violation::CrossKeyConflict {
+                            a: ma,
+                            b: mb,
+                            witness: format!("{x:?} (key {kx}) vs {y:?} (key {ky})"),
+                        });
+                        break 'shard;
                     }
                 }
             }
@@ -405,5 +452,90 @@ mod tests {
             witness: "w".into(),
         };
         assert_eq!(v.to_string(), "undeclared conflict between u0 and u1: w");
+        let v = Violation::CrossKeyConflict {
+            a: MethodId(1),
+            b: MethodId(1),
+            witness: "w".into(),
+        };
+        assert_eq!(v.to_string(), "cross-key conflict between u1 and u1: w");
+    }
+
+    /// The single-balance account with a bogus shard-key declaration:
+    /// `withdraw(v)` keyed by its *amount*. Withdrawals with different
+    /// amounts still race on the one shared balance, so the cross-key
+    /// commutation the declaration asserts is false.
+    #[derive(Debug, Clone)]
+    struct MiskeyedAccount(Account);
+
+    impl crate::object::ObjectSpec for MiskeyedAccount {
+        type State = i128;
+        type Update = crate::demo::AccountUpdate;
+        type Query = crate::demo::AccountQuery;
+        type Reply = i128;
+
+        fn name(&self) -> &str {
+            "miskeyed-account"
+        }
+        fn initial(&self) -> i128 {
+            self.0.initial()
+        }
+        fn invariant(&self, state: &i128) -> bool {
+            self.0.invariant(state)
+        }
+        fn apply(&self, state: &i128, call: &Self::Update) -> i128 {
+            self.0.apply(state, call)
+        }
+        fn query(&self, state: &i128, query: &Self::Query) -> i128 {
+            self.0.query(state, query)
+        }
+        fn method_names(&self) -> Vec<&'static str> {
+            self.0.method_names()
+        }
+        fn method_of(&self, call: &Self::Update) -> MethodId {
+            self.0.method_of(call)
+        }
+        fn summarize(&self, a: &Self::Update, b: &Self::Update) -> Option<Self::Update> {
+            self.0.summarize(a, b)
+        }
+        fn shard_key(&self, call: &Self::Update) -> Option<u64> {
+            match *call {
+                crate::demo::AccountUpdate::Withdraw(v) => Some(v),
+                crate::demo::AccountUpdate::Deposit(_) => None,
+            }
+        }
+    }
+
+    impl crate::object::SpecSampler for MiskeyedAccount {
+        fn sample_state(&self, rng: &mut rand::rngs::StdRng) -> i128 {
+            self.0.sample_state(rng)
+        }
+        fn sample_update_of(
+            &self,
+            method: MethodId,
+            rng: &mut rand::rngs::StdRng,
+        ) -> Self::Update {
+            self.0.sample_update_of(method, rng)
+        }
+    }
+
+    #[test]
+    fn cross_key_conflict_is_detected() {
+        let bad = MiskeyedAccount(Account::new(20));
+        let report = validate(&bad, &bad.0.coord_spec(), &AnalysisConfig::default());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::CrossKeyConflict { a, b, .. }
+                if a.index() == 1 && b.index() == 1)));
+        assert!(report.to_string().contains("cross-key conflict"));
+    }
+
+    #[test]
+    fn keyless_objects_pass_the_shard_key_check_vacuously() {
+        // The plain Account declares no shard keys: the cross-key pass
+        // has nothing to check and must stay silent.
+        let acc = Account::new(20);
+        let report = validate(&acc, &acc.coord_spec(), &AnalysisConfig::default());
+        assert!(report.is_valid(), "{report}");
     }
 }

@@ -20,12 +20,31 @@
 //!   FREE).
 //! * **Conflicting** — member of a synchronization group; ordered by the
 //!   group's leader into the `L` buffers (rule CONF).
+//!
+//! A synchronization group can additionally be *key-sharded*: when the
+//! object declares a shard key per conflicting call
+//! ([`crate::object::ObjectSpec::shard_key`]), a [`GroupMapper`] splits
+//! each synchronization group into N per-key shards, each served by its
+//! own consensus log. Same-key calls always land in the same shard
+//! (Lemma 1 applies per shard); cross-key calls commute by the shard-key
+//! declaration, so they may safely serialize in different shards.
 
 use std::collections::BTreeSet;
 use std::fmt;
 
 use crate::graph::UndirectedGraph;
 use crate::ids::{GroupId, MethodId, Pid};
+
+/// splitmix64 finalizer: a full-avalanche 64-bit mix. Used to hash
+/// shard keys onto shards and to derive per-session RNG seeds — places
+/// where the XOR-of-affine-terms shortcuts this replaced allowed
+/// distinct inputs to collide.
+pub fn mix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
 
 /// The category of a method (§3.3), derived from a [`CoordSpec`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -188,6 +207,95 @@ impl CoordSpec {
             }
         }
         (red, free, conf)
+    }
+}
+
+/// Maps `(synchronization group, shard key)` onto a *mapped group* —
+/// the index of the consensus engine / `L` ring that serializes the
+/// call. With `shards == 1` this is the identity on synchronization
+/// groups (the paper's layout); with `shards == N` every
+/// synchronization group becomes `N` independent consensus logs, CNR
+/// `LogMapper`-style, and a call's shard is chosen by hashing its
+/// declared key ([`crate::object::ObjectSpec::shard_key`]).
+///
+/// Safety argument (DESIGN.md §4a): the mapper is a pure function of
+/// `(group, key)`, so two conflicting calls on the same key always map
+/// to the same shard, where the shard's leader totally orders them —
+/// Lemma 1 holds per shard. Calls with *different* keys commute by the
+/// shard-key declaration (validated by the bounded analysis), so
+/// serializing them in different shards is sound. Keyless calls
+/// (`shard_key == None`) conflict with every call of their group and
+/// are pinned to shard 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupMapper {
+    base_groups: usize,
+    shards: usize,
+}
+
+impl GroupMapper {
+    /// A mapper splitting each of `coord`'s synchronization groups into
+    /// `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn new(coord: &CoordSpec, shards: usize) -> Self {
+        assert!(shards >= 1, "at least one shard per synchronization group");
+        GroupMapper { base_groups: coord.sync_groups().len(), shards }
+    }
+
+    /// The unsharded identity mapper (one shard per group).
+    pub fn identity(coord: &CoordSpec) -> Self {
+        GroupMapper::new(coord, 1)
+    }
+
+    /// Shards per synchronization group.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Total mapped groups: one consensus engine / `L` ring each.
+    pub fn group_count(&self) -> usize {
+        self.base_groups * self.shards
+    }
+
+    /// The shard a key hashes to. `None` (a keyless call, conflicting
+    /// with *all* calls of its group) pins to shard 0.
+    pub fn shard_of(&self, key: Option<u64>) -> usize {
+        match key {
+            Some(k) => (mix64(k) % self.shards as u64) as usize,
+            None => 0,
+        }
+    }
+
+    /// The mapped group of a call in synchronization group `sync_group`
+    /// with shard key `key`.
+    pub fn group_of(&self, sync_group: GroupId, key: Option<u64>) -> usize {
+        debug_assert!(sync_group.index() < self.base_groups);
+        sync_group.index() * self.shards + self.shard_of(key)
+    }
+
+    /// The mapped groups (shards) of synchronization group `sync_group`,
+    /// as a contiguous range.
+    pub fn shard_range(&self, sync_group: GroupId) -> std::ops::Range<usize> {
+        let base = sync_group.index() * self.shards;
+        base..base + self.shards
+    }
+
+    /// The synchronization group a mapped group belongs to.
+    pub fn sync_group_of(&self, mapped: usize) -> GroupId {
+        debug_assert!(mapped < self.group_count());
+        GroupId(mapped / self.shards)
+    }
+
+    /// Default leader assignment over *mapped* groups: shard `g` led by
+    /// process `g mod n`. At `shards == 1` this coincides with
+    /// [`CoordSpec::default_leaders`]; with more shards it spreads the
+    /// shards of every group across the cluster so sharding actually
+    /// buys parallel leaders.
+    pub fn default_leaders(&self, processes: usize) -> Vec<Pid> {
+        assert!(processes > 0, "cluster must be non-empty");
+        (0..self.group_count()).map(|g| Pid(g % processes)).collect()
     }
 }
 
@@ -415,5 +523,92 @@ mod tests {
             .conflict(2, 2)
             .build();
         assert_eq!(c.default_leaders(2), vec![Pid(0), Pid(1), Pid(0)]);
+    }
+
+    #[test]
+    fn mix64_avalanches_low_entropy_inputs() {
+        // Nearby inputs (the session/node counters fed to the seeder)
+        // must land far apart; the old affine XOR mix failed this.
+        let outs: BTreeSet<u64> = (0..10_000).map(mix64).collect();
+        assert_eq!(outs.len(), 10_000);
+        assert_ne!(mix64(0), 0);
+    }
+
+    #[test]
+    fn identity_mapper_matches_unsharded_layout() {
+        let c = account_coord();
+        let m = GroupMapper::identity(&c);
+        assert_eq!(m.shards(), 1);
+        assert_eq!(m.group_count(), 1);
+        for key in [None, Some(0), Some(17), Some(u64::MAX)] {
+            assert_eq!(m.group_of(GroupId(0), key), 0);
+        }
+        assert_eq!(m.default_leaders(4), c.default_leaders(4));
+    }
+
+    #[test]
+    fn mapper_is_deterministic_and_in_range() {
+        let c = account_coord();
+        for shards in [1usize, 2, 3, 4, 8, 32] {
+            let m = GroupMapper::new(&c, shards);
+            assert_eq!(m.group_count(), shards);
+            for k in 0..1_000u64 {
+                let g = m.group_of(GroupId(0), Some(k));
+                assert!(m.shard_range(GroupId(0)).contains(&g));
+                // Same key, same shard — every time.
+                assert_eq!(g, m.group_of(GroupId(0), Some(k)));
+                assert_eq!(m.sync_group_of(g), GroupId(0));
+            }
+            assert_eq!(m.group_of(GroupId(0), None), 0, "keyless pins to shard 0");
+        }
+    }
+
+    #[test]
+    fn mapper_keeps_sync_groups_disjoint() {
+        // Movie-style spec: two sync groups; their shard ranges must
+        // never overlap, so per-group elections/quotas stay independent.
+        let c = CoordSpec::builder(4)
+            .conflict(0, 1)
+            .conflict(1, 1)
+            .conflict(2, 3)
+            .conflict(3, 3)
+            .build();
+        for shards in [1usize, 4, 7] {
+            let m = GroupMapper::new(&c, shards);
+            assert_eq!(m.group_count(), 2 * shards);
+            let r0 = m.shard_range(GroupId(0));
+            let r1 = m.shard_range(GroupId(1));
+            assert_eq!(r0.end, r1.start);
+            for k in 0..500u64 {
+                assert!(r0.contains(&m.group_of(GroupId(0), Some(k))));
+                assert!(r1.contains(&m.group_of(GroupId(1), Some(k))));
+            }
+        }
+    }
+
+    #[test]
+    fn mapper_spreads_keys_across_shards() {
+        let c = account_coord();
+        let m = GroupMapper::new(&c, 8);
+        let mut hits = vec![0u32; 8];
+        for k in 0..4_096u64 {
+            hits[m.group_of(GroupId(0), Some(k))] += 1;
+        }
+        // A full-avalanche hash over 4096 keys should touch every shard
+        // with a reasonably even load (expected 512 per shard).
+        assert!(hits.iter().all(|&h| h > 256), "uneven shard load: {hits:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_is_rejected() {
+        let _ = GroupMapper::new(&account_coord(), 0);
+    }
+
+    #[test]
+    fn sharded_default_leaders_round_robin_over_mapped_groups() {
+        let c = account_coord();
+        let m = GroupMapper::new(&c, 4);
+        assert_eq!(m.default_leaders(3), vec![Pid(0), Pid(1), Pid(2), Pid(0)]);
     }
 }

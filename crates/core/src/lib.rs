@@ -69,7 +69,7 @@ pub mod trace;
 pub mod wire;
 
 pub use abstract_sem::AbstractWrdt;
-pub use coord::{CoordSpec, MethodCategory};
+pub use coord::{mix64, CoordSpec, GroupMapper, MethodCategory};
 pub use counts::{CountMap, DepMap};
 pub use error::SemError;
 pub use ids::{GroupId, MethodId, Pid, Rid};

@@ -165,6 +165,24 @@ pub trait ObjectSpec {
         self.method_names().len()
     }
 
+    /// The *shard key* of an update call, if it has one: the entity
+    /// (bank account, set element, cart line-item) the call operates on.
+    ///
+    /// Declaring a shard key asserts that two calls of the same
+    /// synchronization group with **different** keys commute — the
+    /// [`crate::coord::GroupMapper`] then serializes only same-key
+    /// calls through the same consensus shard (Lemma 1 per shard),
+    /// letting conflicting throughput scale with the shard count. The
+    /// bounded analysis validates the assertion by sampling
+    /// ([`crate::analysis::Violation::CrossKeyConflict`]).
+    ///
+    /// Return `None` (the default) for calls that conflict regardless
+    /// of key — such calls are pinned to shard 0 of their group.
+    fn shard_key(&self, call: &Self::Update) -> Option<u64> {
+        let _ = call;
+        None
+    }
+
     /// Permissibility `𝒫(σ, c)` (§3.2): the invariant holds in the
     /// post-state of the call.
     fn permissible(&self, state: &Self::State, call: &Self::Update) -> bool {

@@ -14,7 +14,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use hamband_core::coord::CoordSpec;
+use hamband_core::coord::{CoordSpec, GroupMapper};
 use hamband_core::counts::CountMap;
 use hamband_core::ids::{MethodId, Pid, Rid};
 use hamband_core::object::{ObjectSpec, WorkloadSupport};
@@ -108,7 +108,8 @@ where
         let state = spec.initial();
         // No backup ring in the MSG baseline: sessions are bounded by
         // their windows alone.
-        let ingress = Ingress::new(&workload, &coord, me.index(), n, usize::MAX);
+        let ingress =
+            Ingress::new(&workload, &coord, GroupMapper::identity(&coord), me.index(), n, usize::MAX);
         MsgCrdtNode {
             state,
             applied: CountMap::new(n, coord.method_count()),

@@ -83,7 +83,16 @@ where
         loop {
             let is_leader: Vec<bool> =
                 self.engines.iter().map(|e| e.accepting_issues()).collect();
-            let appended: Vec<u64> = self.engines.iter().map(|e| e.known_tail()).collect();
+            // Group-wide quota accounting: our own tail for shards we
+            // lead, the replicated applied count for shards led
+            // elsewhere (a follower's `tail_hint` is only refreshed by
+            // elections, so it would hide sibling shards' progress and
+            // let every shard leader consume the whole group quota).
+            let appended: Vec<u64> = self
+                .engines
+                .iter()
+                .map(|e| if e.is_leader() { e.known_tail() } else { e.reader.applied() })
+                .collect();
             let planned = {
                 let view = self.spec_mat.as_ref().unwrap_or(&self.mat);
                 self.ingress.next(&self.spec, view, &self.coord, &is_leader, &appended)
@@ -147,7 +156,13 @@ where
             }
             MethodCategory::IrreducibleFree => self.issue_free(ctx, update, method, session),
             MethodCategory::Conflicting { sync_group } => {
-                self.issue_conf(ctx, update, method, sync_group.index(), session)
+                // Key-sharded routing: hash the call's shard key onto
+                // one of the group's engines. The ingress only emits
+                // calls whose mapped group this node leads, so the
+                // engine index is always a locally-accepting one.
+                let mapped =
+                    self.ingress.mapper().group_of(sync_group, self.spec.shard_key(&update));
+                self.issue_conf(ctx, update, method, mapped, session)
             }
         }
     }

@@ -54,6 +54,12 @@ pub struct ChaosOptions {
     pub max_time: SimTime,
     /// Which system to run the cases against.
     pub system: System,
+    /// Per-sync-group key shards (see
+    /// [`RuntimeConfig::sync_shards`](crate::config::RuntimeConfig::sync_shards)).
+    /// Defaults to the env-derived runtime default, so a campaign run
+    /// with `HAMBAND_SYNC_SHARDS=4` exercises the sharded issue paths
+    /// without any code change.
+    pub sync_shards: usize,
     /// Plant the deliberate checker bug (shrinker self-test): any
     /// schedule containing a `Crash` or `SuspendHeartbeat` is flagged
     /// as a violation, which a correct campaign must catch and shrink
@@ -71,6 +77,7 @@ impl Default for ChaosOptions {
             horizon: SimTime(120_000),
             max_time: SimTime(20_000_000),
             system: System::Hamband,
+            sync_shards: crate::config::RuntimeConfig::default().sync_shards,
             canary: false,
         }
     }
@@ -124,11 +131,12 @@ where
     O::Update: Wire,
 {
     let workload = WorkloadSpec::ops(opts.ops).with_update_ratio(opts.update_ratio).with_seed(seed);
-    let config = RunConfig::new(opts.nodes, workload)
+    let mut config = RunConfig::new(opts.nodes, workload)
         .with_seed(seed)
         .with_faults(plan.clone())
         .with_trace(TraceMode::Collect)
         .with_max_time(opts.max_time);
+    config.runtime.sync_shards = opts.sync_shards;
     let (outcome, states) = Runner::new(opts.system, config).run_with_states(spec, coord);
 
     let mut violations = Vec::new();
@@ -219,8 +227,11 @@ where
     O: WorkloadSupport + Clone,
     O::Update: Wire,
 {
-    let leaders: Vec<NodeId> =
-        coord.default_leaders(opts.nodes).into_iter().map(|p| NodeId(p.index())).collect();
+    let leaders: Vec<NodeId> = hamband_core::coord::GroupMapper::new(coord, opts.sync_shards)
+        .default_leaders(opts.nodes)
+        .into_iter()
+        .map(|p| NodeId(p.index()))
+        .collect();
     let gen = FaultGenConfig::for_cluster(opts.nodes, opts.horizon)
         .with_leaders(leaders)
         .with_max_faults(opts.max_faults);

@@ -39,6 +39,14 @@ pub struct RuntimeConfig {
     /// pending entries into one WRITE, splitting only at ring
     /// wraparound and flow-control limits.
     pub max_batch: usize,
+    /// Key shards per synchronization group. Each sync group of the
+    /// coordination spec is split into this many independent
+    /// [`GroupEngine`](crate::conf::GroupEngine) instances; a
+    /// [`GroupMapper`](hamband_core::GroupMapper) hashes each call's
+    /// shard key onto one of them, so same-key conflicting calls still
+    /// serialize (Lemma 1 per shard) while cross-key calls proceed in
+    /// parallel. `1` reproduces the paper's one-log-per-group layout.
+    pub sync_shards: usize,
 }
 
 /// Default `max_batch`, overridable via the `HAMBAND_MAX_BATCH`
@@ -48,6 +56,16 @@ fn default_max_batch() -> usize {
     match std::env::var("HAMBAND_MAX_BATCH") {
         Ok(v) => v.parse::<usize>().ok().filter(|&b| b >= 1).unwrap_or(16),
         Err(_) => 16,
+    }
+}
+
+/// Default `sync_shards`, overridable via the `HAMBAND_SYNC_SHARDS`
+/// environment variable (used by `scripts/check.sh` and CI to run the
+/// chaos campaigns in the sharded configuration).
+fn default_sync_shards() -> usize {
+    match std::env::var("HAMBAND_SYNC_SHARDS") {
+        Ok(v) => v.parse::<usize>().ok().filter(|&s| s >= 1).unwrap_or(1),
+        Err(_) => 1,
     }
 }
 
@@ -66,6 +84,7 @@ impl Default for RuntimeConfig {
             fd_suspect_after: 3,
             window: 8,
             max_batch: default_max_batch(),
+            sync_shards: default_sync_shards(),
         }
     }
 }
@@ -103,6 +122,14 @@ impl RuntimeConfig {
     pub fn with_max_batch(mut self, max_batch: usize) -> Self {
         assert!(max_batch >= 1, "max_batch must be at least 1");
         self.max_batch = max_batch;
+        self
+    }
+
+    /// Split each synchronization group into this many key shards
+    /// (`1` = the paper's one-log-per-group layout).
+    pub fn with_sync_shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "sync_shards must be at least 1");
+        self.sync_shards = shards;
         self
     }
 
@@ -160,6 +187,20 @@ mod tests {
     #[should_panic(expected = "max_batch")]
     fn zero_max_batch_is_rejected() {
         let _ = RuntimeConfig::default().with_max_batch(0);
+    }
+
+    #[test]
+    fn sync_shards_builder_and_default() {
+        // Tests may run with HAMBAND_SYNC_SHARDS set (check.sh chaos
+        // pass), so only assert the builder and the ≥1 floor here.
+        assert!(RuntimeConfig::default().sync_shards >= 1);
+        assert_eq!(RuntimeConfig::default().with_sync_shards(8).sync_shards, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "sync_shards")]
+    fn zero_sync_shards_is_rejected() {
+        let _ = RuntimeConfig::default().with_sync_shards(0);
     }
 
     #[test]

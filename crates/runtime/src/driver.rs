@@ -67,12 +67,6 @@ impl WorkloadSpec {
         }
     }
 
-    /// Back-compat constructor from before the builder redesign.
-    #[deprecated(note = "use `WorkloadSpec::ops(n).with_update_ratio(r)` instead")]
-    pub fn new(total_ops: u64, update_ratio: f64) -> Self {
-        WorkloadSpec::ops(total_ops).with_update_ratio(update_ratio)
-    }
-
     /// Builder-style update-ratio override (`0.0 ..= 1.0`).
     pub fn with_update_ratio(mut self, update_ratio: f64) -> Self {
         assert!((0.0..=1.0).contains(&update_ratio));
@@ -106,10 +100,6 @@ impl WorkloadSpec {
         self
     }
 }
-
-/// Pre-redesign name of [`WorkloadSpec`].
-#[deprecated(note = "renamed to `WorkloadSpec`")]
-pub type Workload = WorkloadSpec;
 
 /// What a client session wants to do next.
 #[derive(Debug, Clone, PartialEq)]
@@ -208,18 +198,6 @@ mod tests {
         assert_eq!(w.window, 2);
         assert_eq!(w.seed, 9);
         assert_eq!(w.skew, KeySkew::Zipfian { theta: 0.5 });
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructor_matches_builder() {
-        let old = Workload::new(300, 0.25).with_seed(7);
-        let new = WorkloadSpec::ops(300).with_update_ratio(0.25).with_seed(7);
-        assert_eq!(old.total_ops, new.total_ops);
-        assert_eq!(old.update_ratio, new.update_ratio);
-        assert_eq!(old.sessions, new.sessions);
-        assert_eq!(old.window, new.window);
-        assert_eq!(old.seed, new.seed);
     }
 
     #[test]

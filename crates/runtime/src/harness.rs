@@ -16,7 +16,7 @@
 //! average over all calls (now also reported as per-phase
 //! p50/p90/p99/max distributions).
 
-use hamband_core::coord::CoordSpec;
+use hamband_core::coord::{CoordSpec, GroupMapper};
 use hamband_core::counts::CountMap;
 use hamband_core::ids::Pid;
 use hamband_core::object::WorkloadSupport;
@@ -186,6 +186,14 @@ impl RunConfig {
         self.runtime = runtime;
         self
     }
+
+    /// Key shards per synchronization group (see
+    /// [`RuntimeConfig::sync_shards`]); keeps the rest of the runtime
+    /// tuning (including the workload-derived summary cap) intact.
+    pub fn with_sync_shards(mut self, shards: usize) -> Self {
+        self.runtime = self.runtime.with_sync_shards(shards);
+        self
+    }
 }
 
 /// Everything one [`Runner::run`] produces.
@@ -293,7 +301,14 @@ impl Runner {
         match self.system {
             System::Hamband => run_replicas(spec, coord, &self.config, label),
             System::MuSmr => {
-                run_replicas(spec, &complete_coord(spec.method_count()), &self.config, label)
+                // SMR orders *every* update through the one log: under
+                // the complete conflict relation cross-key calls
+                // conflict too, so key sharding would be unsound here
+                // and is forced off regardless of the configured (or
+                // env-injected) shard count.
+                let mut config = self.config.clone();
+                config.runtime.sync_shards = 1;
+                run_replicas(spec, &complete_coord(spec.method_count()), &config, label)
             }
             System::Msg => run_msg_cluster(spec, coord, &self.config, label),
         }
@@ -570,7 +585,10 @@ where
     let mut sim: Simulator<HambandNode<O>> = Simulator::new(n, run.latency.clone(), run.seed);
     let buffer = install_trace(&mut sim, run.trace);
     let layout = Layout::install(&mut sim, coord, &run.runtime);
-    let leaders: Vec<Pid> = run.leaders.clone().unwrap_or_else(|| coord.default_leaders(n));
+    // One leader per mapped group (sync group × shard), round-robin
+    // over the cluster so shard leadership spreads across nodes.
+    let mapper = GroupMapper::new(coord, run.runtime.sync_shards);
+    let leaders: Vec<Pid> = run.leaders.clone().unwrap_or_else(|| mapper.default_leaders(n));
     sim.install_fault_plan(&run.faults);
     {
         let spec = spec.clone();

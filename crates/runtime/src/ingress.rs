@@ -14,11 +14,11 @@
 //! observable even though the fabric only ever sees combined batches.
 //!
 //! Determinism: on the simulator every session is a seeded RNG stream
-//! (derived from the workload seed, the node, and the session index)
-//! and the combiner visits sessions in deterministic round-robin order,
-//! so whole-run traces are reproducible byte-for-byte. A 1-session
-//! ingress is stream-identical to the pre-ingress closed-loop driver —
-//! the parity tests pin this against golden trace fingerprints.
+//! (a splitmix64 chain over the workload seed, the node, and the
+//! session index — see [`session_seed`]) and the combiner visits
+//! sessions in deterministic round-robin order, so whole-run traces
+//! are reproducible byte-for-byte. The parity tests pin whole runs
+//! against golden trace fingerprints.
 //!
 //! Quotas stay *node-level* (the §5 split of
 //! [`QuotaSplit`]): sessions share the
@@ -28,8 +28,8 @@
 //! indexed `call_id % backup_slots`, and the cap keeps two live calls
 //! from ever sharing a slot no matter how many sessions pile in.
 
-use hamband_core::coord::{CoordSpec, MethodCategory};
-use hamband_core::ids::MethodId;
+use hamband_core::coord::{mix64, CoordSpec, GroupMapper, MethodCategory};
+use hamband_core::ids::{GroupId, MethodId};
 use hamband_core::object::{KeySkew, ObjectSpec, WorkloadSupport};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -45,6 +45,32 @@ pub type SessionPlan<O> = (u32, Planned<<O as ObjectSpec>::Update, <O as ObjectS
 /// remove-only tail on an empty set). At one attempt per poll this is
 /// on the order of a millisecond of virtual time.
 const FORFEIT_AFTER: u64 = 2_000;
+
+/// How many times a conflicting-call generation is redrawn when its
+/// shard key routes to a mapped group this node does not lead (clients
+/// route to their shard's leader). With a random key the acceptance
+/// chance per draw is ≥ 1/n, so 32 tries fail with probability < 1e-4
+/// even on large clusters; exhaustion is treated as a dry generator.
+/// At `sync_shards = 1` a candidate method's only shard is locally led,
+/// so the first draw always routes and no extra RNG is consumed.
+const ROUTE_TRIES: usize = 32;
+
+/// RNG seed of session `s` on `node`: a splitmix64 chain over
+/// `(seed, node, session)`.
+///
+/// The previous scheme —
+/// `seed ^ node·0x9e3779b97f4a7c15 ^ s·0xff51afd7ed558ccd` — was a xor
+/// of per-coordinate *linear* terms, so distinct `(node, session)`
+/// pairs whose terms xor to the same value fed identical RNG streams
+/// (e.g. any pair of nodes whose constant-multiples differ by the same
+/// xor as a pair of session-multiples). Chaining through the
+/// [`mix64`] finalizer avalanches each coordinate before the next is
+/// folded in, which removes the structural collisions.
+fn session_seed(seed: u64, node: usize, session: u64) -> u64 {
+    let mut h = mix64(seed);
+    h = mix64(h ^ node as u64);
+    mix64(h ^ session)
+}
 
 /// Per-session completion accounting, maintained by the combiner's
 /// fan-back. Cheap by design (counters, no histograms): it must scale
@@ -113,6 +139,8 @@ impl ClientSession {
 #[derive(Debug)]
 pub struct Ingress {
     node: usize,
+    /// Key-shard routing: sync group × shard key → mapped engine group.
+    mapper: GroupMapper,
     sessions: Vec<ClientSession>,
     /// Round-robin combining order (session indices; front is next).
     rotation: std::collections::VecDeque<u32>,
@@ -151,18 +179,16 @@ impl Ingress {
     pub fn new(
         spec: &WorkloadSpec,
         coord: &CoordSpec,
+        mapper: GroupMapper,
         node: usize,
         n: usize,
         max_inflight: usize,
     ) -> Self {
         assert!(max_inflight >= 1, "need room for at least one in-flight call");
         let split = QuotaSplit::for_node(spec, coord, node, n);
-        let base = spec.seed ^ (node as u64).wrapping_mul(0x9e3779b97f4a7c15);
         let sessions: Vec<ClientSession> = (0..spec.sessions)
             .map(|s| ClientSession {
-                // Session 0 uses the node stream unchanged: a 1-session
-                // ingress is bit-identical to the pre-ingress driver.
-                rng: StdRng::seed_from_u64(base ^ (s as u64).wrapping_mul(0xff51afd7ed558ccd)),
+                rng: StdRng::seed_from_u64(session_seed(spec.seed, node, s as u64)),
                 outstanding: 0,
                 window: spec.window,
                 stats: SessionStats::default(),
@@ -171,6 +197,7 @@ impl Ingress {
         let total_window: usize = sessions.iter().map(|s| s.window).sum();
         Ingress {
             node,
+            mapper,
             rotation: (0..sessions.len() as u32).collect(),
             sessions,
             queries_left: split.queries,
@@ -203,10 +230,16 @@ impl Ingress {
         self.sessions.iter().map(|s| s.stats).collect()
     }
 
-    /// Remaining global conflicting quota of group `g`, given how many
-    /// entries its ring already carries.
+    /// Remaining global conflicting quota of *sync group* `g`, given
+    /// how many entries its rings already carry (summed over the
+    /// group's shards when `sync_shards > 1`).
     pub fn conf_remaining(&self, g: usize, ring_appended: u64) -> u64 {
         self.conf_target[g].saturating_sub(ring_appended)
+    }
+
+    /// The shard mapper this ingress routes conflicting calls through.
+    pub fn mapper(&self) -> GroupMapper {
+        self.mapper
     }
 
     /// The conflict-free quota method `m` started with at this node.
@@ -289,8 +322,9 @@ impl Ingress {
     /// full, quotas spent, or the generators have nothing valid in this
     /// state).
     ///
-    /// `is_leader_of[g]` and `ring_appended[g]` gate the conflicting
-    /// quota; `state` lets generators produce context-sensitive calls.
+    /// `is_leader_of[g]` and `ring_appended[g]` are indexed by *mapped*
+    /// group (sync group × shard) and gate the conflicting quota;
+    /// `state` lets generators produce context-sensitive calls.
     pub fn next<O: WorkloadSupport>(
         &mut self,
         spec: &O,
@@ -308,9 +342,13 @@ impl Ingress {
         for m in 0..coord.method_count() {
             let left = match coord.category(MethodId(m)) {
                 MethodCategory::Conflicting { sync_group } => {
-                    let g = sync_group.index();
-                    if is_leader_of[g] {
-                        self.conf_remaining(g, ring_appended[g])
+                    // A node that leads any shard of the group may
+                    // issue; quota is measured against the sum of the
+                    // group's shard rings.
+                    let shards = self.mapper.shard_range(sync_group);
+                    if shards.clone().any(|g| is_leader_of[g]) {
+                        let appended: u64 = shards.map(|g| ring_appended[g]).sum();
+                        self.conf_remaining(sync_group.index(), appended)
                     } else {
                         0
                     }
@@ -380,10 +418,32 @@ impl Ingress {
                 let seq = self.next_seq;
                 let node = self.node;
                 let skew = self.skew;
-                let generated = {
-                    let sess = &mut self.sessions[s];
-                    spec.gen_update_skewed(state, node, seq, method, &mut sess.rng, skew)
+                // A conflicting call must land on a shard this node
+                // leads: redraw the generation (a fresh key) until it
+                // routes. Non-conflicting methods accept the first
+                // draw, as does sync_shards = 1 (the method was only a
+                // candidate because its sole shard is locally led).
+                let route_group = match coord.category(method) {
+                    MethodCategory::Conflicting { sync_group } => Some(sync_group),
+                    _ => None,
                 };
+                let mut generated = None;
+                for _ in 0..ROUTE_TRIES {
+                    let sess = &mut self.sessions[s];
+                    let Some(u) =
+                        spec.gen_update_skewed(state, node, seq, method, &mut sess.rng, skew)
+                    else {
+                        break;
+                    };
+                    let routes = match route_group {
+                        Some(sg) => is_leader_of[self.mapper.group_of(sg, spec.shard_key(&u))],
+                        None => true,
+                    };
+                    if routes {
+                        generated = Some(u);
+                        break;
+                    }
+                }
                 if let Some(u) = generated {
                     self.next_seq += 1;
                     self.charge(coord, method);
@@ -405,9 +465,15 @@ impl Ingress {
                 self.dry_streak += 1;
                 if self.dry_streak >= FORFEIT_AFTER {
                     self.free_left.fill(0);
-                    for (g, target) in self.conf_target.iter_mut().enumerate() {
-                        if is_leader_of.get(g).copied().unwrap_or(false) {
-                            *target = (*target).min(ring_appended[g]);
+                    let mapper = self.mapper;
+                    for (sg, target) in self.conf_target.iter_mut().enumerate() {
+                        let shards = mapper.shard_range(GroupId(sg));
+                        let leads =
+                            shards.clone().any(|g| is_leader_of.get(g).copied().unwrap_or(false));
+                        if leads {
+                            let appended: u64 =
+                                shards.filter_map(|g| ring_appended.get(g).copied()).sum();
+                            *target = (*target).min(appended);
                         }
                     }
                 }
@@ -445,7 +511,7 @@ mod tests {
         let acc = Account::new(10);
         let coord = account_coord();
         let w = WorkloadSpec::ops(10_000).with_update_ratio(1.0).with_window(4);
-        let mut ing = Ingress::new(&w, &coord, 0, 1, 64);
+        let mut ing = Ingress::new(&w, &coord, GroupMapper::identity(&coord), 0, 1, 64);
         let state = 1_000i128;
         let mut issued = 0;
         while let Some((_, p)) = ing.next(&acc, &state, &coord, &[true], &[issued]) {
@@ -470,7 +536,7 @@ mod tests {
         let state = 1_000i128;
         // 8 sessions × window 4 = 32 in flight; cap at 64 is slack.
         let w = WorkloadSpec::ops(10_000).with_update_ratio(1.0).with_sessions(8).with_window(4);
-        let mut ing = Ingress::new(&w, &coord, 0, 1, 64);
+        let mut ing = Ingress::new(&w, &coord, GroupMapper::identity(&coord), 0, 1, 64);
         let mut issued = 0;
         while let Some((_, p)) = ing.next(&acc, &state, &coord, &[true], &[issued]) {
             if let Planned::Update(_) = p {
@@ -484,7 +550,7 @@ mod tests {
             .with_update_ratio(1.0)
             .with_sessions(1_000)
             .with_window(4);
-        let mut ing = Ingress::new(&w, &coord, 0, 1, 64);
+        let mut ing = Ingress::new(&w, &coord, GroupMapper::identity(&coord), 0, 1, 64);
         let mut issued = 0;
         while let Some((_, p)) = ing.next(&acc, &state, &coord, &[true], &[issued]) {
             if let Planned::Update(_) = p {
@@ -500,7 +566,7 @@ mod tests {
         let coord = account_coord();
         let w = WorkloadSpec::ops(10_000).with_update_ratio(1.0).with_sessions(3).with_window(2);
         let order = |seed: u64| {
-            let mut ing = Ingress::new(&w.clone().with_seed(seed), &coord, 0, 1, 64);
+            let mut ing = Ingress::new(&w.clone().with_seed(seed), &coord, GroupMapper::identity(&coord), 0, 1, 64);
             let mut order = Vec::new();
             let state = 1_000i128;
             while let Some((sid, _)) = ing.next(&acc, &state, &coord, &[true], &[0]) {
@@ -521,7 +587,7 @@ mod tests {
         let acc = Account::new(10);
         let coord = account_coord();
         let w = WorkloadSpec::ops(10_000).with_update_ratio(1.0).with_sessions(2).with_window(1);
-        let mut ing = Ingress::new(&w, &coord, 0, 1, 64);
+        let mut ing = Ingress::new(&w, &coord, GroupMapper::identity(&coord), 0, 1, 64);
         let state = 1_000i128;
         let (s1, _) = ing.next(&acc, &state, &coord, &[true], &[0]).expect("first");
         let (s2, _) = ing.next(&acc, &state, &coord, &[true], &[0]).expect("second");
@@ -537,7 +603,7 @@ mod tests {
         let acc = Account::new(10);
         let coord = account_coord();
         let w = WorkloadSpec::ops(100).with_update_ratio(1.0).with_window(64);
-        let mut ing = Ingress::new(&w, &coord, 0, 1, 64);
+        let mut ing = Ingress::new(&w, &coord, GroupMapper::identity(&coord), 0, 1, 64);
         let state = 1_000i128;
         let mut saw_withdraw = false;
         while let Some((s, p)) = ing.next(&acc, &state, &coord, &[false], &[0]) {
@@ -555,7 +621,7 @@ mod tests {
         let acc = Account::new(10);
         let coord = account_coord();
         let w = WorkloadSpec::ops(100);
-        let mut ing = Ingress::new(&w, &coord, 0, 1, 64);
+        let mut ing = Ingress::new(&w, &coord, GroupMapper::identity(&coord), 0, 1, 64);
         ing.halt();
         assert!(ing.local_done());
         assert!(ing.next(&acc, &0i128, &coord, &[true], &[0]).is_none());
@@ -565,7 +631,7 @@ mod tests {
     fn adoption_extends_quota_and_windows() {
         let coord = account_coord();
         let w = WorkloadSpec::ops(400).with_update_ratio(1.0).with_sessions(2);
-        let mut ing = Ingress::new(&w, &coord, 0, 2, 64);
+        let mut ing = Ingress::new(&w, &coord, GroupMapper::identity(&coord), 0, 2, 64);
         let before = ing.free_left[0];
         ing.adopt_free_quota(&[10, 0], 5);
         assert_eq!(ing.free_left[0], before + 10);
@@ -579,7 +645,7 @@ mod tests {
         let coord = account_coord();
         // Pure withdraw workload at zero balance: generator yields None.
         let w = WorkloadSpec::ops(10).with_update_ratio(1.0);
-        let mut ing = Ingress::new(&w, &coord, 0, 1, 64);
+        let mut ing = Ingress::new(&w, &coord, GroupMapper::identity(&coord), 0, 1, 64);
         ing.free_left[0] = 0; // no deposits
         let state = 0i128;
         assert_eq!(ing.next(&acc, &state, &coord, &[true], &[0]), None);
@@ -587,11 +653,88 @@ mod tests {
     }
 
     #[test]
+    fn session_seeds_never_collide_across_nodes_and_sessions() {
+        // Regression for the xor-of-linear-terms seeding: distinct
+        // (node, session) pairs could feed identical RNG streams. The
+        // splitmix64 chain must give every pair its own seed across a
+        // realistically large grid, for several base seeds.
+        let mut seen = std::collections::HashSet::new();
+        for base in [0u64, 1, 0x5eed, u64::MAX] {
+            for node in 0..16usize {
+                for session in 0..256u64 {
+                    assert!(
+                        seen.insert(session_seed(base, node, session)),
+                        "seed collision at base={base:#x} node={node} session={session}"
+                    );
+                }
+            }
+            seen.clear();
+        }
+    }
+
+    #[test]
+    fn sharded_routing_only_issues_locally_led_keys() {
+        use hamband_types::bank::{Bank, BankUpdate, WITHDRAW};
+        let bank = Bank::new(64, 50);
+        let coord = bank.coord_spec();
+        let mapper = GroupMapper::new(&coord, 4);
+        // Withdraw-only workload; this node leads only shard 2.
+        let w = WorkloadSpec::ops(2_000).with_update_ratio(1.0).with_window(64);
+        let mut ing = Ingress::new(&w, &coord, mapper, 0, 1, 64);
+        ing.free_left.fill(0);
+        let mut state = bank.initial();
+        for a in 0..64 {
+            bank.apply_mut(&mut state, &BankUpdate::OpenAccounts(vec![a]));
+            bank.apply_mut(&mut state, &BankUpdate::Deposit(a, 40));
+        }
+        let mut leads = vec![false; mapper.group_count()];
+        leads[2] = true;
+        let appended = vec![0u64; mapper.group_count()];
+        let mut issued = 0;
+        while let Some((s, p)) = ing.next(&bank, &state, &coord, &leads, &appended) {
+            if let Planned::Update(u) = p {
+                let key = bank.shard_key(&u).expect("withdraw has a key");
+                assert_eq!(
+                    mapper.group_of(coord.sync_group(WITHDRAW).unwrap(), Some(key)),
+                    2,
+                    "issued {u:?} routed off the led shard"
+                );
+                issued += 1;
+                ing.on_ack(s, 100);
+            }
+            if issued >= 50 {
+                break;
+            }
+        }
+        assert!(issued >= 50, "leader of one shard keeps issuing routable keys");
+    }
+
+    #[test]
+    fn keyless_conflicting_calls_pin_to_shard_zero() {
+        let acc = Account::new(10);
+        let coord = account_coord();
+        let mapper = GroupMapper::new(&coord, 4);
+        let w = WorkloadSpec::ops(200).with_update_ratio(1.0).with_window(8);
+        let mut ing = Ingress::new(&w, &coord, mapper, 0, 1, 64);
+        ing.free_left.fill(0); // withdraw-only
+        let state = 1_000i128;
+        // Leading only a non-zero shard: keyless withdraws (shard 0)
+        // can never route here, so nothing is issued.
+        let mut leads = vec![false; 4];
+        leads[3] = true;
+        assert!(ing.next(&acc, &state, &coord, &leads, &[0, 0, 0, 0]).is_none());
+        // Leading shard 0 issues them.
+        let mut leads0 = vec![false; 4];
+        leads0[0] = true;
+        assert!(ing.next(&acc, &state, &coord, &leads0, &[0, 0, 0, 0]).is_some());
+    }
+
+    #[test]
     fn per_session_stats_track_acks_and_latency() {
         let acc = Account::new(10);
         let coord = account_coord();
         let w = WorkloadSpec::ops(1_000).with_update_ratio(1.0).with_sessions(2).with_window(1);
-        let mut ing = Ingress::new(&w, &coord, 0, 1, 64);
+        let mut ing = Ingress::new(&w, &coord, GroupMapper::identity(&coord), 0, 1, 64);
         let state = 1_000i128;
         let (a, _) = ing.next(&acc, &state, &coord, &[true], &[0]).expect("a");
         let (b, _) = ing.next(&acc, &state, &coord, &[true], &[0]).expect("b");

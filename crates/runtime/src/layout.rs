@@ -33,7 +33,8 @@ pub struct Layout {
     pub heads: RegionId,
     /// Reliable-broadcast backup region.
     pub backup: RegionId,
-    /// Conflicting ring region per synchronization group.
+    /// Conflicting ring region per *mapped* group (each synchronization
+    /// group contributes [`RuntimeConfig::sync_shards`] entries).
     pub conf: Vec<RegionId>,
     /// Byte offset of each summarization group's slot block within
     /// `summaries` (the block holds one slot per source node).
@@ -89,12 +90,13 @@ impl Layout {
 
         let entry_size = cfg.entry_size();
         let free_rings = alloc(n * cfg.free_ring_cap * entry_size);
-        let heads = alloc((n + coord.sync_groups().len()).max(1) * 8);
+        // One conf ring (and head slot) per *mapped* group: each sync
+        // group contributes `sync_shards` independent logs.
+        let mapped = coord.sync_groups().len() * cfg.sync_shards.max(1);
+        let heads = alloc((n + mapped).max(1) * 8);
         let backup_slot_size = Self::backup_slot_size_for(cfg);
         let backup = alloc(cfg.backup_slots * backup_slot_size);
-        let conf = (0..coord.sync_groups().len())
-            .map(|_| alloc(8 + cfg.conf_ring_cap * entry_size))
-            .collect();
+        let conf = (0..mapped).map(|_| alloc(8 + cfg.conf_ring_cap * entry_size)).collect();
 
         Layout {
             nodes: n,
@@ -201,7 +203,7 @@ mod tests {
             .depends(1, 0)
             .summarization_group([0])
             .build();
-        let cfg = RuntimeConfig::default();
+        let cfg = RuntimeConfig::default().with_sync_shards(1);
         let mut sim: Simulator<Noop> = Simulator::new(n, LatencyModel::deterministic(), 0);
         let l = Layout::install(&mut sim, &coord, &cfg);
         sim.set_apps(|_| Noop);
@@ -232,6 +234,19 @@ mod tests {
         // Heads: free heads then conf heads.
         assert_eq!(l.free_head_offset(NodeId(3)), 24);
         assert_eq!(l.conf_head_offset(0), 32);
+    }
+
+    #[test]
+    fn sharded_layout_gets_one_conf_region_per_mapped_group() {
+        let coord = CoordSpec::builder(2).conflict(1, 1).depends(1, 0).build();
+        let cfg = RuntimeConfig::default().with_sync_shards(4);
+        let mut sim: Simulator<Noop> = Simulator::new(3, LatencyModel::deterministic(), 0);
+        let l = Layout::install(&mut sim, &coord, &cfg);
+        sim.set_apps(|_| Noop);
+        assert_eq!(l.conf.len(), 4);
+        // Head slots: 3 free heads, then 4 conf heads, all disjoint.
+        assert_eq!(l.conf_head_offset(0), 24);
+        assert_eq!(l.conf_head_offset(3), 48);
     }
 
     #[test]

@@ -135,8 +135,6 @@ pub use baseline_msg::MsgCrdtNode;
 pub use chaos::{run_case, run_seed, shrink, shrink_case, CaseReport, ChaosOptions, Violation};
 pub use conf::{GroupEngine, LeaderState, Role};
 pub use config::RuntimeConfig;
-#[allow(deprecated)]
-pub use driver::Workload;
 pub use driver::{Planned, QuotaSplit, WorkloadSpec};
 pub use harness::{NodeEndState, RunConfig, RunOutcome, Runner, System, TraceMode};
 pub use ingress::{ClientSession, Ingress, SessionStats};

@@ -21,7 +21,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 use bytes::Bytes;
-use hamband_core::coord::CoordSpec;
+use hamband_core::coord::{CoordSpec, GroupMapper};
 use hamband_core::ids::Pid;
 use hamband_core::object::WorkloadSupport;
 use hamband_core::wire::Wire;
@@ -301,7 +301,8 @@ where
     ) -> LoopbackCluster<O> {
         let mut net = LoopbackNet::new(n);
         let layout = Layout::plan(n, coord, &cfg, |size| net.add_region_all(size));
-        let leaders: Vec<Pid> = coord.default_leaders(n);
+        let leaders: Vec<Pid> =
+            GroupMapper::new(coord, cfg.sync_shards).default_leaders(n);
         let nodes = (0..n)
             .map(|i| {
                 HambandNode::new(

@@ -76,21 +76,27 @@ impl Wire for ControlMsg {
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        // Narrow u64 varints with a checked conversion: a wire value
+        // that does not fit the field is a malformed message, not a
+        // silent truncation to some other group/leader index.
+        fn narrow(v: u64) -> Result<u32, DecodeError> {
+            u32::try_from(v).map_err(|_| DecodeError)
+        }
         match r.u8()? {
             0 => Ok(ControlMsg::LeaderRequest {
-                group: r.varint()? as u32,
+                group: narrow(r.varint()?)?,
                 epoch: r.varint()?,
             }),
             1 => Ok(ControlMsg::LeaderAck {
-                group: r.varint()? as u32,
+                group: narrow(r.varint()?)?,
                 epoch: r.varint()?,
                 tail: r.varint()?,
                 commit: r.varint()?,
             }),
             2 => Ok(ControlMsg::LeaderAnnounce {
-                group: r.varint()? as u32,
+                group: narrow(r.varint()?)?,
                 epoch: r.varint()?,
-                leader: r.varint()? as u32,
+                leader: narrow(r.varint()?)?,
             }),
             3 => Ok(ControlMsg::Retired),
             _ => Err(DecodeError),
@@ -119,5 +125,33 @@ mod tests {
     fn garbage_is_rejected() {
         assert!(ControlMsg::from_bytes(&[9, 9, 9]).is_err());
         assert!(ControlMsg::from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn oversize_narrow_fields_are_rejected_not_truncated() {
+        // A `group`/`leader` varint above u32::MAX used to truncate via
+        // `as u32` (e.g. 2^32 decoded as group 0). It must now fail.
+        let mut w = Writer::new();
+        w.u8(0); // LeaderRequest
+        w.varint(1u64 << 32);
+        w.varint(7);
+        assert_eq!(ControlMsg::from_bytes(&w.into_vec()), Err(DecodeError));
+
+        let mut w = Writer::new();
+        w.u8(2); // LeaderAnnounce with oversize leader
+        w.varint(1);
+        w.varint(8);
+        w.varint(u64::from(u32::MAX) + 1);
+        assert_eq!(ControlMsg::from_bytes(&w.into_vec()), Err(DecodeError));
+
+        // Boundary: exactly u32::MAX still decodes.
+        let mut w = Writer::new();
+        w.u8(0);
+        w.varint(u64::from(u32::MAX));
+        w.varint(7);
+        assert_eq!(
+            ControlMsg::from_bytes(&w.into_vec()),
+            Ok(ControlMsg::LeaderRequest { group: u32::MAX, epoch: 7 })
+        );
     }
 }

@@ -42,9 +42,28 @@ where
         // 1. Reliable-broadcast recovery: the lowest alive node reads
         //    the suspect's backup slots and re-executes pending writes.
         if members.lowest_alive(Some(suspect)) == self.me {
-            let size = self.layout.backup_slots() * self.layout.backup_slot(0).1;
-            let wr = ctx.post_read(suspect, self.layout.backup, 0, size);
-            self.wr_routes.insert(wr, Route::RecoveryRead { suspect });
+            self.post_recovery_read(ctx, suspect);
+        }
+        // 1b. Cascaded recovery: if the new suspect was itself the
+        //     designated recoverer of an earlier suspect, that earlier
+        //     recovery may have died with it — a committed conflicting
+        //     call can then wait forever on a free call nobody
+        //     re-broadcasts. Whoever inherits the duty re-reads the
+        //     earlier suspect's backups; re-execution is idempotent
+        //     (the same ring slots get the same bytes).
+        for s in self.fd.suspected() {
+            if s == suspect {
+                continue;
+            }
+            // The recoverer of `s` before this suspicion: the lowest
+            // node then alive, i.e. currently alive or `suspect`.
+            let prev = (0..self.n)
+                .map(NodeId)
+                .find(|&q| q != s && (q == suspect || !self.fd.is_suspected(q)))
+                .unwrap_or(self.me);
+            if prev == suspect && members.lowest_alive(Some(s)) == self.me {
+                self.post_recovery_read(ctx, s);
+            }
         }
         // 2. Workload adoption: the next alive node picks up the
         //    suspect's remaining conflict-free quota.
@@ -96,6 +115,15 @@ where
             }
         }
         self.pump(ctx);
+    }
+
+    /// Post the RDMA read of `suspect`'s whole backup region (its
+    /// memory stays readable after a CPU crash); the completion lands
+    /// in [`Self::recover_backups`].
+    fn post_recovery_read<T: Transport>(&mut self, ctx: &mut T, suspect: NodeId) {
+        let size = self.layout.backup_slots() * self.layout.backup_slot(0).1;
+        let wr = ctx.post_read(suspect, self.layout.backup, 0, size);
+        self.wr_routes.insert(wr, Route::RecoveryRead { suspect });
     }
 
     /// Re-execute a suspected source's pending broadcasts from its

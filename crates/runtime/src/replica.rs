@@ -30,7 +30,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use hamband_core::coord::CoordSpec;
+use hamband_core::coord::{CoordSpec, GroupMapper};
 use hamband_core::counts::CountMap;
 use hamband_core::ids::Pid;
 use hamband_core::object::{ObjectSpec, WorkloadSupport};
@@ -97,7 +97,9 @@ pub struct HambandNode<O: ObjectSpec> {
 
     pub(crate) free_writers: Vec<Option<RingWriter>>,
     pub(crate) free_readers: Vec<Option<RingReader>>,
-    /// One consensus engine per synchronization group.
+    /// One consensus engine per *mapped* group: each synchronization
+    /// group contributes [`RuntimeConfig::sync_shards`] independent
+    /// engines, with quotas, elections, and commit per shard.
     pub(crate) engines: Vec<GroupEngine>,
 
     pub(crate) hb: Heartbeat,
@@ -139,8 +141,9 @@ where
     /// Build the replica for node `me` of an `n`-node cluster.
     ///
     /// `layout` must come from [`Layout::install`] on the same
-    /// simulator, and `leaders` assigns the initial leader per
-    /// synchronization group.
+    /// simulator (with the same `cfg.sync_shards`), and `leaders`
+    /// assigns the initial leader per *mapped* group (sync group ×
+    /// shard, [`GroupMapper::group_count`] entries).
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         spec: O,
@@ -152,13 +155,15 @@ where
         leaders: &[Pid],
         workload: WorkloadSpec,
     ) -> Self {
-        assert_eq!(leaders.len(), coord.sync_groups().len());
+        let mapper = GroupMapper::new(&coord, cfg.sync_shards);
+        assert_eq!(leaders.len(), mapper.group_count(), "one leader per mapped group");
+        assert_eq!(layout.conf.len(), mapper.group_count(), "layout planned for these shards");
         assert!(cfg.window <= cfg.backup_slots, "backup ring must cover the window");
         let sigma = spec.initial();
         // Backup slots are addressed `call_id % backup_slots`, so the
         // ingress caps node-wide in-flight calls at the slot count no
         // matter how many sessions the spec asks for.
-        let ingress = Ingress::new(&workload, &coord, me.index(), n, cfg.backup_slots);
+        let ingress = Ingress::new(&workload, &coord, mapper, me.index(), n, cfg.backup_slots);
         let sum_cache = coord
             .sum_groups()
             .iter()

@@ -10,7 +10,7 @@
 
 use std::fmt;
 
-use hamband_core::ids::Pid;
+use hamband_core::ids::{GroupId, Pid};
 use hamband_core::object::WorkloadSupport;
 use hamband_core::wire::Wire;
 
@@ -156,21 +156,29 @@ where
             return self.outstanding.is_empty();
         }
         let me = self.me.index();
-        let conf_done = self.engines.iter().enumerate().all(|(g, e)| {
-            if matches!(e.role, Role::Candidate { .. } | Role::TakingOver { .. }) {
-                return false;
+        let mapper = self.ingress.mapper();
+        let conf_done = (0..self.coord.sync_groups().len()).all(|sg| {
+            // Quota is per sync group; progress is the sum over the
+            // group's shard engines.
+            let mut appended = 0u64;
+            for g in mapper.shard_range(GroupId(sg)) {
+                let e = &self.engines[g];
+                if matches!(e.role, Role::Candidate { .. } | Role::TakingOver { .. }) {
+                    return false;
+                }
+                let lv = e.leader_view;
+                if self.fd.is_suspected(rdma_sim::NodeId(lv.index())) {
+                    return false; // leaderless: quota will move
+                }
+                appended += if lv.index() == me && e.is_leader() {
+                    e.known_tail()
+                } else {
+                    // Followers watch the global quota through their
+                    // own ring: committed entries they have applied.
+                    e.reader.applied()
+                };
             }
-            let lv = e.leader_view;
-            if self.fd.is_suspected(rdma_sim::NodeId(lv.index())) {
-                return false; // leaderless: quota will move
-            }
-            if lv.index() == me && e.is_leader() {
-                self.ingress.conf_remaining(g, e.known_tail()) == 0
-            } else {
-                // Followers watch the global quota through their own
-                // ring: committed entries they have applied.
-                self.ingress.conf_remaining(g, e.reader.applied()) == 0
-            }
+            self.ingress.conf_remaining(sg, appended) == 0
         });
         self.ingress.local_done() && self.outstanding.is_empty() && conf_done
     }

@@ -3,8 +3,9 @@
 //! planted canary bug, which must be both caught and shrunk to a
 //! paste-able repro of at most three schedule entries.
 
-use hamband_runtime::chaos::{run_seed, shrink_case, ChaosOptions};
-use hamband_types::{Bank, Counter, GSet};
+use hamband_runtime::chaos::{run_case, run_seed, shrink_case, ChaosOptions};
+use hamband_types::{Bank, Counter, GSet, OrSet};
+use rdma_sim::{Fault, FaultPlan, NodeId, SimTime};
 
 #[test]
 fn small_campaign_is_clean() {
@@ -36,6 +37,45 @@ fn five_node_campaign_is_clean() {
         let case = run_seed(&b, &b.coord_spec(), seed, &opts);
         assert!(case.passed(), "seed {seed} violated: {:?}", case.violations);
     }
+}
+
+#[test]
+fn sharded_campaign_is_clean() {
+    // The key-sharded issue paths under fault schedules: Bank and
+    // OrSet carry per-call shard keys, so `sync_shards = 4` splits
+    // each conflicting group across four logs with four leaders —
+    // convergence, integrity, and commit-before-ack must survive
+    // elections and quota adoption on every shard independently.
+    let opts = ChaosOptions { ops: 150, sync_shards: 4, ..ChaosOptions::default() };
+    for seed in 0..6 {
+        let case = if seed % 2 == 0 {
+            let b = Bank::new(64, 50);
+            run_seed(&b, &b.coord_spec(), seed, &opts)
+        } else {
+            let o = OrSet::new(64);
+            run_seed(&o, &o.coord_spec(), seed, &opts)
+        };
+        assert!(case.passed(), "sharded seed {seed} violated: {:?}", case.violations);
+    }
+}
+
+#[test]
+fn recoverer_crash_cascades_backup_recovery() {
+    // Shrunk repro from the 5-node campaign (seed 569): the group
+    // leader n0 crashes with a free broadcast still pending in its
+    // backup slots, then its designated recoverer n1 crashes before
+    // re-executing it. Without cascaded recovery (recovery.rs step
+    // 1b) the lost free call leaves a majority-committed conflicting
+    // entry with an unsatisfiable dependency map on every survivor:
+    // the apply frontier freezes one short of the commit index, the
+    // new leader never clears its issue floor, and the run wedges.
+    let opts = ChaosOptions { nodes: 5, ops: 400, sync_shards: 1, ..ChaosOptions::default() };
+    let plan = FaultPlan::new()
+        .at(SimTime(39_956), Fault::Crash(NodeId(0)))
+        .at(SimTime(41_825), Fault::Crash(NodeId(1)));
+    let b = Bank::default();
+    let violations = run_case(&b, &b.coord_spec(), 569, &plan, &opts);
+    assert!(violations.is_empty(), "cascaded recovery regressed: {violations:?}");
 }
 
 #[test]

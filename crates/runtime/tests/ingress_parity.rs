@@ -2,15 +2,27 @@
 //!
 //! Two families of guarantees:
 //!
-//! 1. **Parity** — a 1-session ingress must be stream-identical to the
-//!    pre-ingress closed-loop driver. The golden fingerprints below
-//!    were captured from `examples/trace_fingerprint.rs` *before* the
-//!    ingress refactor landed; equality means every protocol event
-//!    (ring appends, summary writes, elections, acks) happens at the
-//!    same virtual time with the same payloads.
+//! 1. **Parity** — a fixed-seed run must reproduce its golden trace
+//!    fingerprint exactly; equality means every protocol event (ring
+//!    appends, summary writes, elections, acks) happens at the same
+//!    virtual time with the same payloads, so refactors that claim to
+//!    preserve behavior are held to it bit-for-bit.
 //! 2. **Many sessions** — session fan-in must not break convergence,
 //!    determinism, or the per-session accounting that fairness
 //!    reporting is built on.
+//!
+//! Golden provenance: the fingerprints were originally captured from
+//! `examples/trace_fingerprint.rs` against the pre-ingress closed-loop
+//! driver. They were re-blessed ONCE, in the key-sharding PR, when the
+//! per-session RNG seeding was fixed — the old
+//! `seed ^ node·C1 ^ session·C2` derivation let distinct
+//! `(node, session)` pairs collide onto one stream, and the
+//! splitmix64-chain replacement (`ingress::session_seed`) reseeds every
+//! session, which legitimately shifts all RNG-dependent traces. The
+//! GSet fingerprints are unchanged by that fix because its workload
+//! mints update payloads from `(node, seq)` without consulting the
+//! session RNG. Any future mismatch is a regression, not an excuse for
+//! another bless.
 
 use hamband_runtime::{
     RunConfig, Runner, System, TraceMode, TraceRecord, WorkloadSpec,
@@ -33,18 +45,18 @@ fn digest(events: &[TraceRecord]) -> (usize, u64) {
     (events.len(), h)
 }
 
-/// Golden (events, hash) fingerprints captured from the pre-ingress
-/// driver, per workload and seed. A mismatch means the 1-session
-/// ingress diverged from the old closed-loop client.
+/// Golden (seed, events, hash) fingerprints per workload (see module
+/// header for provenance and the one re-bless). A mismatch means a
+/// fixed-seed run no longer reproduces its blessed event stream.
 const GOLDEN_COUNTER: [(u64, usize, u64); 3] = [
-    (1, 918, 0x23338fad217430ff),
-    (7, 918, 0x83eee43120e936b5),
-    (13, 918, 0x638a01a974a65af0),
+    (1, 918, 0x772c6b53c61ff199),
+    (7, 918, 0x769ee5965b53e51d),
+    (13, 918, 0xd21778286864edb0),
 ];
 const GOLDEN_BANK: [(u64, usize, u64); 3] = [
-    (1, 3363, 0x3ef85d4c38ba9ec2),
-    (7, 3345, 0x118c74220bbf936f),
-    (13, 3351, 0xc31423d4cbe94d4a),
+    (1, 3345, 0x595cd878b7b5b8a4),
+    (7, 3348, 0x7d42c24d38c227c9),
+    (13, 3372, 0x1efe4e8ee72c3623),
 ];
 const GOLDEN_GSET_FAULTS: [(u64, usize, u64); 3] = [
     (1, 2675, 0x290f388650b5f544),
@@ -52,9 +64,9 @@ const GOLDEN_GSET_FAULTS: [(u64, usize, u64); 3] = [
     (13, 2675, 0xc82247fddbbeb6a4),
 ];
 const GOLDEN_BANK_LEADERFAULT: [(u64, usize, u64); 3] = [
-    (1, 4728, 0x256d0cfac55c74c9),
-    (7, 4692, 0xf0b77df7859e46c3),
-    (13, 4728, 0x22f3e2f5ca126dca),
+    (1, 4736, 0xf25d3265776de400),
+    (7, 4708, 0xb5e67811ac2bd64f),
+    (13, 4711, 0xf85f034da90d2f6c),
 ];
 
 #[test]

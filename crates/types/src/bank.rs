@@ -185,6 +185,17 @@ impl ObjectSpec for Bank {
     fn summaries_monotone(&self) -> bool {
         true
     }
+
+    /// Deposits and withdrawals operate on one account: two withdrawals
+    /// on *different* accounts commute (separate balances), so the
+    /// account number is the shard key. `open_accounts` opens a batch
+    /// and stays keyless.
+    fn shard_key(&self, call: &BankUpdate) -> Option<u64> {
+        match call {
+            BankUpdate::Deposit(acct, _) | BankUpdate::Withdraw(acct, _) => Some(*acct),
+            BankUpdate::OpenAccounts(_) => None,
+        }
+    }
 }
 
 impl SpecSampler for Bank {
@@ -386,6 +397,20 @@ mod tests {
         let w2 = BankUpdate::Withdraw(3, 20);
         assert!(rel.conflict(&w1, &w2));
         assert!(!rel.conflict(&BankUpdate::Deposit(3, 10), &w1));
+    }
+
+    #[test]
+    fn cross_account_withdraws_commute() {
+        // The property the shard-key declaration asserts: withdrawals
+        // on distinct accounts never conflict, so key-sharded sync
+        // groups may serialize them in different shards.
+        let bank = Bank::default();
+        let rel = BoundedRelations::new(&bank, 0xba2e, 300);
+        let w1 = BankUpdate::Withdraw(3, 10);
+        let w2 = BankUpdate::Withdraw(4, 20);
+        assert_ne!(bank.shard_key(&w1), bank.shard_key(&w2));
+        assert!(!rel.conflict(&w1, &w2));
+        assert_eq!(bank.shard_key(&BankUpdate::OpenAccounts(vec![1, 2])), None);
     }
 
     #[test]

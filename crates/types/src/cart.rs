@@ -153,6 +153,15 @@ impl ObjectSpec for Cart {
             state.remove(&item);
         }
     }
+
+    /// The line-item is the shard key: every call adjusts exactly one
+    /// item's net count. The cart is conflict-free, so this only
+    /// documents the partitioning (there is no sync group to shard).
+    fn shard_key(&self, call: &CartUpdate) -> Option<u64> {
+        match *call {
+            CartUpdate::Add { item, .. } | CartUpdate::Remove { item, .. } => Some(item),
+        }
+    }
 }
 
 impl SpecSampler for Cart {

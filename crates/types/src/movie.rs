@@ -162,6 +162,18 @@ impl ObjectSpec for Movie {
             }
         }
     }
+
+    /// The row identifier is the shard key: add/delete of *different*
+    /// customers (or different movies) commute, so each relation's
+    /// synchronization group can be partitioned per row.
+    fn shard_key(&self, call: &MovieUpdate) -> Option<u64> {
+        match *call {
+            MovieUpdate::AddCustomer(id)
+            | MovieUpdate::DeleteCustomer(id)
+            | MovieUpdate::AddMovie(id)
+            | MovieUpdate::DeleteMovie(id) => Some(id),
+        }
+    }
 }
 
 impl SpecSampler for Movie {

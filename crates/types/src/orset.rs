@@ -183,6 +183,19 @@ impl ObjectSpec for OrSet {
             }
         }
     }
+
+    /// Every OR-set call touches exactly one element's tag set, so the
+    /// element is the shard key. The type is conflict-free (no sync
+    /// groups), so sharding is structurally a no-op here — the
+    /// declaration documents the partitioning and keeps the analysis
+    /// honest for variants that do declare conflicts.
+    fn shard_key(&self, call: &OrSetUpdate) -> Option<u64> {
+        match call {
+            OrSetUpdate::Add { element, .. } | OrSetUpdate::Remove { element, .. } => {
+                Some(*element)
+            }
+        }
+    }
 }
 
 impl SpecSampler for OrSet {

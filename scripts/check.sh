@@ -15,6 +15,14 @@ while IFS= read -r f; do
 done < <(find crates/*/src src -name '*.rs' 2>/dev/null)
 [ "$oversized" -eq 0 ] || exit 1
 
+echo "== deprecation guard (no deprecated items or shims) =="
+# The PR-7 deprecation cycle is closed: new deprecated items (or
+# allow(deprecated) shims papering over their use) must not reappear.
+if grep -rn --include='*.rs' -e '#\[deprecated' -e 'allow(deprecated)' crates src 2>/dev/null; then
+  echo "FAIL: deprecated items/shims found — remove the old API instead"
+  exit 1
+fi
+
 echo "== build (release) =="
 cargo build --release
 
@@ -48,8 +56,20 @@ scratch="$(mktemp -d)"
 tail -n 4 "$scratch/ingress.log"
 rm -rf "$scratch"
 
+echo "== sync-shard sweep gate (vs committed BENCH_shards.json + headline) =="
+scratch="$(mktemp -d)"
+(cd "$scratch" && "$OLDPWD/target/release/shards" \
+    --baseline "$OLDPWD/BENCH_shards.json" \
+    --headline "$OLDPWD/BENCH_headline.json" > shards.log) \
+  || { cat "$scratch/shards.log"; exit 1; }
+tail -n 4 "$scratch/shards.log"
+rm -rf "$scratch"
+
 echo "== chaos smoke (16 seeds) =="
 ./target/release/chaos --seeds 16
+
+echo "== chaos smoke, key-sharded (16 seeds, HAMBAND_SYNC_SHARDS=4) =="
+HAMBAND_SYNC_SHARDS=4 ./target/release/chaos --seeds 16
 
 echo "== chaos canary self-test =="
 ./target/release/chaos --seeds 16 --canary
