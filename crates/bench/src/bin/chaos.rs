@@ -23,6 +23,7 @@
 //! Exit code: 0 iff the campaign is clean (or, with the canary armed,
 //! iff the canary was caught and every repro shrank to <= 3 entries).
 
+use hamband_bench::cli::{argv, bool_flag, num_flag};
 use hamband_core::coord::CoordSpec;
 use hamband_core::object::WorkloadSupport;
 use hamband_core::wire::Wire;
@@ -38,8 +39,9 @@ struct CaseResult {
 
 fn run_one<O>(name: &str, spec: &O, coord: &CoordSpec, seed: u64, opts: &ChaosOptions) -> CaseResult
 where
-    O: WorkloadSupport + Clone,
-    O::Update: Wire,
+    O: WorkloadSupport + Clone + Send,
+    O::Update: Wire + Send,
+    O::State: Send,
 {
     let case = run_seed(spec, coord, seed, opts);
     if case.passed() {
@@ -82,31 +84,24 @@ fn dispatch(seed: u64, opts: &ChaosOptions) -> CaseResult {
     }
 }
 
-fn parse_flag(args: &[String], flag: &str) -> Option<u64> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .map(|v| v.parse().unwrap_or_else(|_| panic!("{flag} wants a number, got {v:?}")))
-}
-
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args = argv();
     let mut opts = ChaosOptions::default();
-    if let Some(n) = parse_flag(&args, "--nodes") {
+    if let Some(n) = num_flag(&args, "--nodes") {
         opts.nodes = n as usize;
     }
-    if let Some(n) = parse_flag(&args, "--ops") {
+    if let Some(n) = num_flag(&args, "--ops") {
         opts.ops = n;
     }
-    if let Some(n) = parse_flag(&args, "--max-faults") {
+    if let Some(n) = num_flag(&args, "--max-faults") {
         opts.max_faults = n as usize;
     }
-    opts.canary = args.iter().any(|a| a == "--canary")
+    opts.canary = bool_flag(&args, "--canary")
         || std::env::var("HAMBAND_CHAOS_CANARY").map(|v| v == "1").unwrap_or(false);
 
-    let (start, count) = match parse_flag(&args, "--seed") {
+    let (start, count) = match num_flag(&args, "--seed") {
         Some(s) => (s, 1),
-        None => (parse_flag(&args, "--start").unwrap_or(0), parse_flag(&args, "--seeds").unwrap_or(100)),
+        None => (num_flag(&args, "--start").unwrap_or(0), num_flag(&args, "--seeds").unwrap_or(100)),
     };
 
     println!(

@@ -1,0 +1,119 @@
+//! Open-loop latency-under-load sweep (wall clock, threaded backend).
+//!
+//! Calibrates the cluster's closed-loop capacity, then runs one
+//! open-loop point per fraction in `LOAD_SWEEP_FRACTIONS` — Poisson
+//! arrivals at the offered rate, response time measured from arrival —
+//! and writes `BENCH_load.json` (capacity + per-point offered/achieved
+//! rates + full wall-clock `RunReport`s). Scale the per-point op
+//! budget with `HAMBAND_LOAD_OPS` (default one million).
+//!
+//! Wall-clock numbers are machine-specific, so the built-in gates are
+//! *shape* gates only (exit nonzero on failure):
+//!
+//! * calibration and every sweep point converge;
+//! * below the knee (offered ≤ 60% of capacity) achieved throughput
+//!   is at least 90% of offered — an open-loop generator that can't
+//!   sustain a sub-capacity rate is broken, whatever the hardware;
+//! * every point's latency distribution is populated and finite
+//!   (counts match the op budget, p99 > 0, max bounded by the run).
+
+use hamband_bench::cli::{argv, num_flag, write_report};
+use hamband_bench::load::{load_sweep, LoadOptions};
+
+fn main() {
+    let args = argv();
+    let mut opts = LoadOptions::from_env();
+    if let Some(n) = num_flag(&args, "--ops") {
+        opts.ops = n;
+    }
+    if let Some(n) = num_flag(&args, "--nodes") {
+        opts.nodes = n as usize;
+    }
+    if let Some(n) = num_flag(&args, "--sessions") {
+        opts.sessions = n as usize;
+    }
+    if let Some(n) = num_flag(&args, "--seed") {
+        opts.seed = n;
+    }
+
+    println!(
+        "open-loop load sweep: {} nodes, {} sessions/node, {} ops/point, seed {:#x}",
+        opts.nodes, opts.sessions, opts.ops, opts.seed
+    );
+    let (capacity, points) = load_sweep(&opts);
+    println!("calibrated capacity: {capacity:.0} ops/s (closed loop)");
+
+    println!(
+        "  {:>12}  {:>12}  {:>8}  {:>10}  {:>10}  {:>10}  {:>6}",
+        "offered/s", "achieved/s", "ach/off", "p50 us", "p99 us", "max us", "jain"
+    );
+    let mut ok = true;
+    for p in &points {
+        let rt = overall(&p.report);
+        let jain = p.report.fairness.map(|f| f.jain_index).unwrap_or(0.0);
+        println!(
+            "  {:>12.0}  {:>12.0}  {:>8.3}  {:>10.1}  {:>10.1}  {:>10.1}  {:>6.3}  conv={}",
+            p.offered_ops_per_sec,
+            p.achieved_ops_per_sec,
+            p.achieved_frac,
+            rt.0,
+            rt.1,
+            rt.2,
+            jain,
+            p.report.converged
+        );
+        if !p.report.converged {
+            eprintln!("point at {:.0} ops/s did not converge", p.offered_ops_per_sec);
+            ok = false;
+        }
+        // Latency must be populated and sane: every budgeted call got a
+        // measured response time, and the quantiles are finite numbers.
+        if p.report.total_calls != opts.ops {
+            eprintln!(
+                "point at {:.0} ops/s completed {} of {} calls",
+                p.offered_ops_per_sec, p.report.total_calls, opts.ops
+            );
+            ok = false;
+        }
+        if !(rt.1 > 0.0 && rt.1.is_finite() && rt.2.is_finite() && rt.1 <= rt.2) {
+            eprintln!(
+                "point at {:.0} ops/s has a degenerate latency distribution \
+                 (p99 = {}, max = {})",
+                p.offered_ops_per_sec, rt.1, rt.2
+            );
+            ok = false;
+        }
+        // Shape: below the knee the generator must sustain the rate.
+        if p.offered_ops_per_sec <= 0.6 * capacity && p.achieved_frac < 0.9 {
+            eprintln!(
+                "achieved only {:.1}% of a sub-capacity offered load ({:.0} of {:.0} ops/s)",
+                p.achieved_frac * 100.0,
+                p.achieved_ops_per_sec,
+                p.offered_ops_per_sec
+            );
+            ok = false;
+        }
+    }
+
+    write_report("BENCH_load.json", &hamband_bench::load::sweep_to_json(capacity, &points));
+
+    if !ok {
+        std::process::exit(1);
+    }
+}
+
+/// (p50, p99, max) in microseconds over the run's whole call
+/// population: merge the per-phase summaries by taking the worst-case
+/// quantiles (phases are disjoint populations; for a gate on
+/// finiteness and ordering the max over phases is what matters).
+fn overall(report: &hamband_runtime::metrics::RunReport) -> (f64, f64, f64) {
+    let mut p50: f64 = 0.0;
+    let mut p99: f64 = 0.0;
+    let mut max: f64 = 0.0;
+    for s in report.phases.values() {
+        p50 = p50.max(s.p50_us);
+        p99 = p99.max(s.p99_us);
+        max = max.max(s.max_us);
+    }
+    (p50, p99, max)
+}

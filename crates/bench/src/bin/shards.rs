@@ -22,24 +22,12 @@
 //!   throughput must stay within 20% of the committed headline bank
 //!   throughput — sharding must cost nothing when configured off.
 
-/// Pull the first `"key": <number>` after `anchor` out of `json`
-/// (enough structure awareness for our own stable-key-order reports —
-/// no JSON parser in the tree).
-fn extract_f64(json: &str, anchor: &str, key: &str) -> Option<f64> {
-    let start = json.find(anchor)?;
-    let tail = &json[start..];
-    let at = tail.find(key)? + key.len();
-    let rest = tail[at..].trim_start_matches([':', ' ']);
-    let end = rest.find([',', '}']).unwrap_or(rest.len());
-    rest[..end].trim().parse().ok()
-}
+use hamband_bench::cli::{argv, extract_f64, str_flag, write_report};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let baseline =
-        args.iter().position(|a| a == "--baseline").and_then(|i| args.get(i + 1)).cloned();
-    let headline =
-        args.iter().position(|a| a == "--headline").and_then(|i| args.get(i + 1)).cloned();
+    let args = argv();
+    let baseline = str_flag(&args, "--baseline");
+    let headline = str_flag(&args, "--headline");
 
     let opts = hamband_bench::ExpOptions::from_env();
     let sweep = hamband_bench::shards_sweep(&opts);
@@ -158,10 +146,7 @@ fn main() {
     }
 
     let path = "BENCH_shards.json";
-    match std::fs::write(path, &json) {
-        Ok(()) => println!("wrote {path}"),
-        Err(e) => eprintln!("could not write {path}: {e}"),
-    }
+    write_report(path, &json);
 
     if !ok {
         std::process::exit(1);

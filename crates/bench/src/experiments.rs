@@ -100,24 +100,27 @@ fn cfg(nodes: usize, ops: u64, ratio: f64, seed: u64) -> RunConfig {
 
 fn run_hb<O>(spec: &O, coord: &CoordSpec, rc: &RunConfig) -> RunReport
 where
-    O: WorkloadSupport + Clone,
-    O::Update: Wire,
+    O: WorkloadSupport + Clone + Send,
+    O::Update: Wire + Send,
+    O::State: Send,
 {
     Runner::new(System::Hamband, rc.clone()).run(spec, coord).report
 }
 
 fn run_msg<O>(spec: &O, coord: &CoordSpec, rc: &RunConfig) -> RunReport
 where
-    O: WorkloadSupport + Clone,
-    O::Update: Wire,
+    O: WorkloadSupport + Clone + Send,
+    O::Update: Wire + Send,
+    O::State: Send,
 {
     Runner::new(System::Msg, rc.clone()).run(spec, coord).report
 }
 
 fn run_mu<O>(spec: &O, rc: &RunConfig) -> RunReport
 where
-    O: WorkloadSupport + Clone,
-    O::Update: Wire,
+    O: WorkloadSupport + Clone + Send,
+    O::Update: Wire + Send,
+    O::State: Send,
 {
     // The Mu-SMR runner derives the complete conflict relation itself;
     // the coordination spec only contributes its method count.

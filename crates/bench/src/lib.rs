@@ -12,7 +12,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod experiments;
+pub mod load;
 
 pub use experiments::{
     fig10, fig11, fig12, fig13, fig8, fig9, headline, headline_report, headline_report_unbatched,

@@ -1,0 +1,222 @@
+//! Execution backends for a harness run: which
+//! [`Transport`](crate::transport::Transport) carries the replicas,
+//! and the dispatch that routes a [`RunConfig`] to it.
+//!
+//! The replica state machine is identical everywhere; a backend only
+//! decides who supplies memory, messaging, timers and time. The
+//! simulator path stays in [`crate::harness`] (it owns the
+//! `Simulator` plumbing, traces and fault plans); this module holds
+//! the two cluster backends — loopback and threaded — plus the shared
+//! config checks and outcome assembly they both need.
+
+use hamband_core::coord::CoordSpec;
+use hamband_core::object::WorkloadSupport;
+use hamband_core::wire::Wire;
+use rdma_sim::{SimDuration, SimTime, Stats};
+
+use crate::harness::{run_replicas, summarize, NodeEndState, RunConfig, RunOutcome, TraceMode};
+use crate::ingress::SessionStats;
+use crate::loopback::LoopbackCluster;
+use crate::metrics::NodeMetrics;
+use crate::replica::HambandNode;
+use crate::threaded::ThreadedCluster;
+
+/// Which [`Transport`](crate::transport::Transport) backend executes
+/// the run.
+///
+/// The replica state machine is identical across backends; what
+/// changes is who supplies memory, messaging, timers and time:
+///
+/// * [`Backend::Sim`] — the [`rdma_sim`] discrete-event simulator:
+///   virtual time, latency models, fault injection, trace collection.
+///   The default, and the only backend for
+///   [`System::Msg`](crate::System::Msg) and for runs with faults or
+///   tracing.
+/// * [`Backend::Loopback`] — single-threaded in-process loopback:
+///   plain memory, FIFO queues, virtual time without a latency model.
+/// * [`Backend::Threaded`] — one OS thread per replica over
+///   process-shared atomic memory, wall-clock timers. Here
+///   [`RunConfig::max_time`] is a *wall-clock* cap (nanoseconds), and
+///   reported times/latencies are wall-clock nanoseconds too.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Discrete-event simulation over [`rdma_sim`] (the default).
+    #[default]
+    Sim,
+    /// In-process loopback: one thread, plain memory, virtual time.
+    Loopback,
+    /// One OS thread per replica, shared atomic memory, wall clock.
+    Threaded,
+}
+
+impl Backend {
+    /// Harness label used in panics and diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Sim => "sim",
+            Backend::Loopback => "loopback",
+            Backend::Threaded => "threaded",
+        }
+    }
+
+    /// The backend selected by the `HAMBAND_BACKEND` environment
+    /// variable (`sim` / `loopback` / `threaded`, case-insensitive;
+    /// unset or empty means [`Backend::Sim`]). Panics on an
+    /// unrecognized value — a misspelled backend silently simming
+    /// would invalidate a wall-clock experiment.
+    pub fn from_env() -> Backend {
+        match std::env::var("HAMBAND_BACKEND") {
+            Err(_) => Backend::Sim,
+            Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+                "" | "sim" => Backend::Sim,
+                "loopback" => Backend::Loopback,
+                "threaded" => Backend::Threaded,
+                other => panic!(
+                    "HAMBAND_BACKEND={other:?} is not a backend (expected sim, loopback, or threaded)"
+                ),
+            },
+        }
+    }
+}
+
+/// Route a Hamband-replica run (Hamband or Mu-SMR) to the configured
+/// backend.
+pub(crate) fn dispatch_replicas<O>(
+    spec: &O,
+    coord: &CoordSpec,
+    run: &RunConfig,
+    label: &str,
+) -> (RunOutcome, Vec<NodeEndState<O::State>>)
+where
+    O: WorkloadSupport + Clone + Send,
+    O::Update: Wire + Send,
+    O::State: Send,
+{
+    match run.backend {
+        Backend::Sim => run_replicas(spec, coord, run, label),
+        Backend::Loopback => run_loopback(spec, coord, run, label),
+        Backend::Threaded => run_threaded(spec, coord, run, label),
+    }
+}
+
+/// Reject config knobs only the simulator honours — silently ignoring
+/// an injected fault plan or a requested trace would invalidate the
+/// experiment.
+fn check_cluster_config(run: &RunConfig) {
+    let b = run.backend.label();
+    assert!(
+        run.faults.entries().is_empty(),
+        "the {b} backend cannot inject faults; use Backend::Sim"
+    );
+    assert!(
+        run.trace == TraceMode::Off,
+        "the {b} backend has no trace sink; use Backend::Sim"
+    );
+    assert!(
+        run.leaders.is_none(),
+        "the {b} backend uses the coordination spec's default leaders; use Backend::Sim"
+    );
+}
+
+/// Assemble a [`RunOutcome`] from per-node metrics gathered off a
+/// cluster backend (loopback or threaded). Completion time is the
+/// latest apply any node recorded — the same measure the simulator
+/// path uses.
+fn cluster_outcome<O: WorkloadSupport>(
+    label: &str,
+    run: &RunConfig,
+    spec: &O,
+    node_metrics: Vec<NodeMetrics>,
+    sessions: Vec<SessionStats>,
+    stats: Stats,
+    converged: bool,
+) -> RunOutcome {
+    let completed_at =
+        node_metrics.iter().map(|m| m.last_apply).max().unwrap_or(SimTime::ZERO);
+    let report = summarize(
+        label,
+        run.nodes,
+        &node_metrics,
+        &sessions,
+        spec,
+        completed_at,
+        converged,
+        &stats,
+    );
+    RunOutcome { report, events: Vec::new(), node_metrics, stats }
+}
+
+fn run_loopback<O>(
+    spec: &O,
+    coord: &CoordSpec,
+    run: &RunConfig,
+    label: &str,
+) -> (RunOutcome, Vec<NodeEndState<O::State>>)
+where
+    O: WorkloadSupport + Clone,
+    O::Update: Wire,
+{
+    check_cluster_config(run);
+    let mut cluster = LoopbackCluster::new(
+        run.nodes,
+        spec,
+        coord,
+        run.runtime.clone(),
+        run.workload.clone(),
+    );
+    let converged = cluster.run_to_convergence(SimDuration(run.max_time.0));
+    let nodes: Vec<&HambandNode<O>> = (0..run.nodes).map(|i| cluster.node(i)).collect();
+    let metrics = nodes.iter().map(|n| n.metrics.clone()).collect();
+    let sessions = nodes.iter().flat_map(|n| n.session_stats()).collect();
+    let states = nodes
+        .iter()
+        .map(|n| NodeEndState {
+            alive: !n.is_halted(),
+            state: n.state_snapshot(),
+            status: n.status().to_string(),
+        })
+        .collect();
+    // The loopback net counts no fabric traffic (its verbs are plain
+    // memcpys), so the traffic columns of the report read zero.
+    let outcome =
+        cluster_outcome(label, run, spec, metrics, sessions, Stats::new(run.nodes), converged);
+    (outcome, states)
+}
+
+fn run_threaded<O>(
+    spec: &O,
+    coord: &CoordSpec,
+    run: &RunConfig,
+    label: &str,
+) -> (RunOutcome, Vec<NodeEndState<O::State>>)
+where
+    O: WorkloadSupport + Clone + Send,
+    O::Update: Wire + Send,
+    O::State: Send,
+{
+    check_cluster_config(run);
+    let mut cluster = ThreadedCluster::new(
+        run.nodes,
+        spec,
+        coord,
+        run.runtime.clone(),
+        run.workload.clone(),
+    );
+    // Threaded runs on the wall clock: max_time caps wall nanoseconds.
+    let limit = std::time::Duration::from_nanos(run.max_time.0);
+    let converged = cluster.run_to_convergence(limit);
+    let stats = cluster.stats();
+    let nodes: Vec<&HambandNode<O>> = (0..run.nodes).map(|i| cluster.node(i)).collect();
+    let metrics = nodes.iter().map(|n| n.metrics.clone()).collect();
+    let sessions = nodes.iter().flat_map(|n| n.session_stats()).collect();
+    let states = nodes
+        .iter()
+        .map(|n| NodeEndState {
+            alive: !n.is_halted(),
+            state: n.state_snapshot(),
+            status: n.status().to_string(),
+        })
+        .collect();
+    let outcome = cluster_outcome(label, run, spec, metrics, sessions, stats, converged);
+    (outcome, states)
+}

@@ -15,7 +15,7 @@ use hamband_core::coord::MethodCategory;
 use hamband_core::ids::{MethodId, Pid, Rid};
 use hamband_core::object::WorkloadSupport;
 use hamband_core::wire::Wire;
-use rdma_sim::{NodeId, Phase, SimTime, TraceEvent};
+use rdma_sim::{NodeId, Phase, SimDuration, SimTime, TraceEvent};
 
 use crate::codec::compose_backup_slot;
 use crate::driver::Planned;
@@ -79,6 +79,9 @@ where
             return;
         }
         self.refresh_mat();
+        // Open loop: move every arrival whose Poisson timestamp has
+        // passed into the ingress's releasable pool. Closed loop: no-op.
+        self.ingress.release_arrivals(ctx.now());
         let mut reject_streak = 0u32;
         loop {
             let is_leader: Vec<bool> =
@@ -100,13 +103,25 @@ where
             match planned {
                 None => break,
                 Some((_, Planned::Query(q))) => {
+                    // Under open-loop load a query's response time is
+                    // measured from its arrival, not from when the pump
+                    // got around to executing it.
+                    let waited = self
+                        .ingress
+                        .take_arrival()
+                        .map(|a| ctx.now().since(a))
+                        .unwrap_or(SimDuration(0));
                     let reply = self.spec.query(self.check_view(), &q);
                     let _ = reply;
                     ctx.consume(ctx.latency().apply_cost);
                     let cost = ctx.latency().apply_cost;
-                    self.metrics.ack_query(cost);
+                    self.metrics.ack_query(cost + waited);
                 }
                 Some((session, Planned::Update(u))) => {
+                    // Stamp the call with its open-loop arrival time (if
+                    // any): the issue paths use it as `issued_at`, so
+                    // queueing delay counts toward response time.
+                    self.pending_arrival = self.ingress.take_arrival();
                     let rejected_before = self.metrics.rejected;
                     self.issue(ctx, u, session);
                     if self.metrics.rejected > rejected_before {
@@ -181,6 +196,9 @@ where
     /// window slot, and let the ingress plan a replacement.
     pub(crate) fn reject(&mut self, method: MethodId, session: u32) {
         let _ = method;
+        // A rejected call never became outstanding; drop its arrival
+        // stamp so the replacement call doesn't inherit it twice.
+        self.pending_arrival = None;
         self.metrics.rejected += 1;
         self.ingress.on_abort(session);
     }

@@ -127,8 +127,9 @@ pub fn run_case<O>(
     opts: &ChaosOptions,
 ) -> Vec<Violation>
 where
-    O: WorkloadSupport + Clone,
-    O::Update: Wire,
+    O: WorkloadSupport + Clone + Send,
+    O::Update: Wire + Send,
+    O::State: Send,
 {
     let workload = WorkloadSpec::ops(opts.ops).with_update_ratio(opts.update_ratio).with_seed(seed);
     let mut config = RunConfig::new(opts.nodes, workload)
@@ -224,8 +225,9 @@ where
 /// leaders) and run the case.
 pub fn run_seed<O>(spec: &O, coord: &CoordSpec, seed: u64, opts: &ChaosOptions) -> CaseReport
 where
-    O: WorkloadSupport + Clone,
-    O::Update: Wire,
+    O: WorkloadSupport + Clone + Send,
+    O::Update: Wire + Send,
+    O::State: Send,
 {
     let leaders: Vec<NodeId> = hamband_core::coord::GroupMapper::new(coord, opts.sync_shards)
         .default_leaders(opts.nodes)
@@ -311,8 +313,9 @@ pub fn shrink_case<O>(
     opts: &ChaosOptions,
 ) -> FaultPlan
 where
-    O: WorkloadSupport + Clone,
-    O::Update: Wire,
+    O: WorkloadSupport + Clone + Send,
+    O::Update: Wire + Send,
+    O::State: Send,
 {
     shrink(plan, |candidate| !run_case(spec, coord, seed, candidate, opts).is_empty())
 }

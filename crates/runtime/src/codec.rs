@@ -7,11 +7,24 @@
 //! Ring entry slot (fixed size, [`RuntimeConfig::entry_size`]):
 //!
 //! ```text
-//! [0..8)   entry sequence number (1-based; 0 = never written)
-//! [8..10)  payload length (u16 LE)
-//! [10..)   payload: issuer, rid seq, dependency array, encoded call
-//! [size-1] canary byte (0xAB), written last on torn fabrics
+//! [0..8)       entry sequence number (1-based; 0 = never written)
+//! [8..10)      payload length (u16 LE)
+//! [10..)       payload: issuer, rid seq, dependency array, encoded call
+//! [size-8..)   canary trailer: the sequence number again (u64 LE),
+//!              written last on torn fabrics
 //! ```
+//!
+//! The canary trailer is the paper's canary *bit* grown into a
+//! sequence echo. A constant marker only proves "some complete entry
+//! once landed here"; on a ring that property survives slot reuse, so
+//! a reader observing the slot word-by-word (the threaded backend's
+//! shared-memory reality) could pair the *new* entry's sequence word
+//! with the *old* entry's still-valid marker around a half-rewritten
+//! payload. Echoing the sequence makes the trailer epoch-distinguishing:
+//! the trailer only matches once the rewrite for exactly that sequence
+//! has finished, and slot writers store words in ascending address
+//! order, so a reader that checks the trailer first (descending reads)
+//! accepts no torn slot.
 //!
 //! Summary slot (per summarization group × source process,
 //! [`RuntimeConfig::summary_slot_size`]):
@@ -33,17 +46,20 @@ use hamband_core::counts::DepMap;
 use hamband_core::ids::{MethodId, Pid, Rid};
 use hamband_core::wire::{DecodeError, Reader, Wire, Writer};
 
-/// The canary value marking a completely landed entry.
-pub const CANARY: u8 = 0xAB;
+/// Size of the canary trailer: the entry's sequence number echoed as
+/// the slot's final 8 bytes.
+pub const CANARY_TRAILER: usize = 8;
 
 /// Whether a ring-entry slot completely holds entry `expect_seq`: the
-/// sequence number matches and the canary byte has landed. This is the
-/// poll fast path — a prefix-plus-last-byte check with no payload
-/// decode, so an empty or in-flight slot costs almost nothing.
+/// leading sequence number matches and the trailing sequence echo has
+/// landed. This is the poll fast path — a prefix-plus-trailer check
+/// with no payload decode, so an empty or in-flight slot costs almost
+/// nothing.
 pub fn slot_ready(slot: &[u8], expect_seq: u64) -> bool {
-    slot.len() >= 11
-        && slot[slot.len() - 1] == CANARY
-        && slot[0..8] == expect_seq.to_le_bytes()
+    let seq = expect_seq.to_le_bytes();
+    slot.len() >= 10 + CANARY_TRAILER
+        && slot[slot.len() - CANARY_TRAILER..] == seq
+        && slot[0..8] == seq
 }
 
 /// The leading version word of a summary slot (0 when never written or
@@ -133,7 +149,7 @@ impl<U: Wire> Entry<U> {
     /// Render a full ring-entry slot into `out`, reusing its
     /// allocation: the header is laid down, the payload is encoded in
     /// place behind it (no intermediate payload `Vec`), and the slot is
-    /// padded to `slot_size` with the canary last.
+    /// padded to `slot_size` with the canary trailer last.
     ///
     /// # Panics
     ///
@@ -152,28 +168,27 @@ impl<U: Wire> Entry<U> {
             payload_len <= u16::MAX as usize,
             "entry payload of {payload_len} bytes overflows the u16 length field"
         );
+        let cap = slot_size.saturating_sub(10 + CANARY_TRAILER);
         assert!(
-            payload_len <= slot_size - 11,
-            "payload of {} bytes exceeds slot capacity {}",
-            payload_len,
-            slot_size - 11
+            payload_len <= cap,
+            "payload of {payload_len} bytes exceeds slot capacity {cap}"
         );
         slot[0..8].copy_from_slice(&seq.to_le_bytes());
         slot[8..10].copy_from_slice(&(payload_len as u16).to_le_bytes());
         slot.resize(slot_size, 0);
-        slot[slot_size - 1] = CANARY;
+        slot[slot_size - CANARY_TRAILER..].copy_from_slice(&seq.to_le_bytes());
         *out = slot;
     }
 
     /// Parse a ring-entry slot if it completely holds entry `expect_seq`
-    /// (sequence matches and the canary has landed; the cheap
+    /// (sequence matches and the canary trailer has landed; the cheap
     /// [`slot_ready`] prefix check runs before any payload decode).
     pub fn from_slot(slot: &[u8], expect_seq: u64) -> Option<Self> {
         if !slot_ready(slot, expect_seq) {
             return None;
         }
         let len = u16::from_le_bytes(slot[8..10].try_into().ok()?) as usize;
-        if 10 + len > slot.len() - 1 {
+        if 10 + len > slot.len() - CANARY_TRAILER {
             return None;
         }
         Self::decode_payload(&slot[10..10 + len]).ok()
@@ -401,9 +416,14 @@ mod tests {
         assert!(slot_ready(&slot, 9));
         assert!(!slot_ready(&slot, 10), "wrong seq");
         let mut torn = slot.clone();
-        let last = torn.len() - 1;
-        torn[last] = 0;
-        assert!(!slot_ready(&torn, 9), "missing canary");
+        let tail = torn.len() - CANARY_TRAILER;
+        torn[tail..].fill(0);
+        assert!(!slot_ready(&torn, 9), "missing canary trailer");
+        // A trailer echoing a *different* sequence (stale epoch after
+        // ring wraparound) is just as invisible as a missing one.
+        let mut stale = slot.clone();
+        stale[tail..].copy_from_slice(&4u64.to_le_bytes());
+        assert!(!slot_ready(&stale, 9), "stale-epoch trailer");
         assert!(!slot_ready(&[0u8; 107], 1), "never written");
         assert!(!slot_ready(&[], 1), "too short");
     }
@@ -438,8 +458,8 @@ mod tests {
     fn slot_without_canary_is_invisible() {
         let e = entry();
         let mut slot = e.to_slot(9, 107);
-        let last = slot.len() - 1;
-        slot[last] = 0;
+        let tail = slot.len() - CANARY_TRAILER;
+        slot[tail..].fill(0);
         assert!(
             Entry::<AccountUpdate>::from_slot(&slot, 9).is_none(),
             "a torn write must not be readable"

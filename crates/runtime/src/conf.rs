@@ -411,7 +411,7 @@ where
         self.outstanding.insert(
             call_id,
             Outstanding {
-                issued_at: ctx.now(),
+                issued_at: self.pending_arrival.take().unwrap_or_else(|| ctx.now()),
                 method,
                 session,
                 phase: rdma_sim::Phase::Conf,

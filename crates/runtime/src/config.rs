@@ -142,18 +142,29 @@ impl RuntimeConfig {
         self
     }
 
-    /// Size in bytes of one ring entry slot.
+    /// Size in bytes of one ring entry slot, rounded up to a multiple
+    /// of 8 so slot strides stay word-aligned (the threaded backend
+    /// stores regions as atomic 64-bit words; word alignment keeps each
+    /// slot's words single-writer).
     pub fn entry_size(&self) -> usize {
-        // seq (8) + len (2) + payload + canary (1)
-        8 + 2 + self.payload_cap + 1
+        // seq (8) + len (2) + payload + canary trailer (8: the seq
+        // echoed, so a reused slot's stale trailer cannot validate the
+        // next epoch's half-landed entry)
+        round_up_8(8 + 2 + self.payload_cap + 8)
     }
 
     /// Size in bytes of one summary slot for a group of `group_len`
-    /// methods.
+    /// methods, rounded up to a multiple of 8 (same word-alignment
+    /// requirement as [`entry_size`](Self::entry_size)).
     pub fn summary_slot_size(&self, group_len: usize) -> usize {
         // ver (8) + per-method applied counts + len (2) + payload + ver2 (8)
-        8 + 8 * group_len + 2 + self.summary_payload_cap + 8
+        round_up_8(8 + 8 * group_len + 2 + self.summary_payload_cap + 8)
     }
+}
+
+/// Round `n` up to the next multiple of 8.
+pub(crate) fn round_up_8(n: usize) -> usize {
+    n.div_ceil(8) * 8
 }
 
 #[cfg(test)]
@@ -163,9 +174,24 @@ mod tests {
     #[test]
     fn sizes_are_consistent() {
         let c = RuntimeConfig::default();
-        assert_eq!(c.entry_size(), 8 + 2 + c.payload_cap + 1);
-        assert_eq!(c.summary_slot_size(2), 8 + 16 + 2 + c.summary_payload_cap + 8);
+        assert_eq!(c.entry_size(), round_up_8(8 + 2 + c.payload_cap + 8));
+        assert_eq!(
+            c.summary_slot_size(2),
+            round_up_8(8 + 16 + 2 + c.summary_payload_cap + 8)
+        );
+        // Word alignment: slot strides are multiples of 8.
+        assert_eq!(c.entry_size() % 8, 0);
+        assert_eq!(c.summary_slot_size(5) % 8, 0);
         assert!(c.free_ring_cap > c.window * 2, "ring must absorb the window");
+    }
+
+    #[test]
+    fn round_up_8_is_exact_on_multiples() {
+        assert_eq!(round_up_8(0), 0);
+        assert_eq!(round_up_8(1), 8);
+        assert_eq!(round_up_8(8), 8);
+        assert_eq!(round_up_8(9), 16);
+        assert_eq!(round_up_8(267), 272);
     }
 
     #[test]

@@ -50,6 +50,18 @@ pub struct WorkloadSpec {
     pub seed: u64,
     /// Key-popularity skew applied by state-aware generators.
     pub skew: KeySkew,
+    /// Open-loop offered load, cluster-wide operations per second.
+    ///
+    /// `None` (the default) keeps the classic closed loop: sessions
+    /// re-issue the moment a window slot frees, so the cluster runs at
+    /// its own capacity. `Some(rate)` switches the ingress to an
+    /// open-loop arrival process — clients arrive at Poisson times at
+    /// `rate` ops/s split evenly across nodes, *independent of
+    /// completions* — and response time is measured from the arrival,
+    /// so queueing delay under overload shows up in the latency
+    /// distribution instead of silently throttling the offered load
+    /// (the coordinated-omission error a closed loop makes).
+    pub offered_load: Option<f64>,
 }
 
 impl WorkloadSpec {
@@ -64,6 +76,7 @@ impl WorkloadSpec {
             window: 8,
             seed: 0xda7a,
             skew: KeySkew::Uniform,
+            offered_load: default_offered_load(),
         }
     }
 
@@ -98,6 +111,33 @@ impl WorkloadSpec {
     pub fn with_skew(mut self, skew: KeySkew) -> Self {
         self.skew = skew;
         self
+    }
+
+    /// Run open-loop at this offered load (cluster-wide ops/s, > 0).
+    pub fn with_offered_load(mut self, ops_per_sec: f64) -> Self {
+        assert!(
+            ops_per_sec.is_finite() && ops_per_sec > 0.0,
+            "offered load must be a positive rate, got {ops_per_sec}"
+        );
+        self.offered_load = Some(ops_per_sec);
+        self
+    }
+
+    /// Back to the closed loop (clears any offered load).
+    pub fn closed_loop(mut self) -> Self {
+        self.offered_load = None;
+        self
+    }
+}
+
+/// Default `offered_load`, overridable via the `HAMBAND_OFFERED_LOAD`
+/// environment variable (cluster-wide ops/s; unset, empty, or `0`
+/// means closed-loop). Lets `scripts/check.sh` and CI flip an entire
+/// bench invocation to open-loop without plumbing a flag everywhere.
+fn default_offered_load() -> Option<f64> {
+    match std::env::var("HAMBAND_OFFERED_LOAD") {
+        Ok(v) => v.trim().parse::<f64>().ok().filter(|r| r.is_finite() && *r > 0.0),
+        Err(_) => None,
     }
 }
 
@@ -204,5 +244,18 @@ mod tests {
     #[should_panic(expected = "at least one client session")]
     fn zero_sessions_rejected() {
         let _ = WorkloadSpec::ops(10).with_sessions(0);
+    }
+
+    #[test]
+    fn offered_load_builder_round_trips() {
+        let w = WorkloadSpec::ops(100).with_offered_load(250_000.0);
+        assert_eq!(w.offered_load, Some(250_000.0));
+        assert_eq!(w.closed_loop().offered_load, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive rate")]
+    fn zero_offered_load_rejected() {
+        let _ = WorkloadSpec::ops(10).with_offered_load(0.0);
     }
 }

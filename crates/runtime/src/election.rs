@@ -69,7 +69,7 @@ where
 
     /// Highest fully landed entry sequence in our copy of group `g`'s
     /// ring.
-    pub(crate) fn landed_tail<T: Transport>(&self, ctx: &T, g: usize) -> u64 {
+    pub(crate) fn landed_tail<T: Transport>(&self, ctx: &mut T, g: usize) -> u64 {
         let engine = &self.engines[g];
         let mut tail = engine.reader.applied();
         for _ in 0..self.layout.conf_cap() {
@@ -90,7 +90,7 @@ where
         tail.max(engine.tail_hint)
     }
 
-    pub(crate) fn known_commit<T: Transport>(&self, ctx: &T, g: usize) -> u64 {
+    pub(crate) fn known_commit<T: Transport>(&self, ctx: &mut T, g: usize) -> u64 {
         let cell = ctx.local(self.layout.conf[g], self.layout.conf_commit_offset(), 8);
         u64::from_le_bytes(cell.try_into().expect("8 bytes")).max(self.engines[g].commit)
     }

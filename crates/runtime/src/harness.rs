@@ -26,6 +26,8 @@ use rdma_sim::{
     Stats, StderrSink, TraceBuffer, TraceRecord,
 };
 
+use crate::backends::dispatch_replicas;
+pub use crate::backends::Backend;
 use crate::baseline_msg::MsgCrdtNode;
 use crate::config::RuntimeConfig;
 use crate::driver::WorkloadSpec;
@@ -61,6 +63,7 @@ impl System {
         }
     }
 }
+
 
 /// How a run delivers the structured protocol trace
 /// ([`rdma_sim::TraceEvent`]).
@@ -102,6 +105,10 @@ pub struct RunConfig {
     pub leaders: Option<Vec<Pid>>,
     /// How this run delivers trace events.
     pub trace: TraceMode,
+    /// Which transport backend executes the run (defaults to the
+    /// `HAMBAND_BACKEND` environment selection, normally
+    /// [`Backend::Sim`]).
+    pub backend: Backend,
 }
 
 impl RunConfig {
@@ -125,6 +132,7 @@ impl RunConfig {
             max_time: SimTime(200_000_000), // 200 virtual milliseconds
             leaders: None,
             trace: TraceMode::Off,
+            backend: Backend::from_env(),
         }
     }
 
@@ -184,6 +192,13 @@ impl RunConfig {
     /// Replace the runtime tuning wholesale.
     pub fn with_runtime(mut self, runtime: RuntimeConfig) -> Self {
         self.runtime = runtime;
+        self
+    }
+
+    /// Execute the run on this backend (overrides the
+    /// `HAMBAND_BACKEND` environment selection).
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -279,8 +294,9 @@ impl Runner {
     /// message-passing replica.
     pub fn run<O>(&self, spec: &O, coord: &CoordSpec) -> RunOutcome
     where
-        O: WorkloadSupport + Clone,
-        O::Update: Wire,
+        O: WorkloadSupport + Clone + Send,
+        O::Update: Wire + Send,
+        O::State: Send,
     {
         self.run_with_states(spec, coord).0
     }
@@ -294,12 +310,13 @@ impl Runner {
         coord: &CoordSpec,
     ) -> (RunOutcome, Vec<NodeEndState<O::State>>)
     where
-        O: WorkloadSupport + Clone,
-        O::Update: Wire,
+        O: WorkloadSupport + Clone + Send,
+        O::Update: Wire + Send,
+        O::State: Send,
     {
         let label = self.label.as_deref().unwrap_or(self.system.label());
         match self.system {
-            System::Hamband => run_replicas(spec, coord, &self.config, label),
+            System::Hamband => dispatch_replicas(spec, coord, &self.config, label),
             System::MuSmr => {
                 // SMR orders *every* update through the one log: under
                 // the complete conflict relation cross-key calls
@@ -308,9 +325,17 @@ impl Runner {
                 // env-injected) shard count.
                 let mut config = self.config.clone();
                 config.runtime.sync_shards = 1;
-                run_replicas(spec, &complete_coord(spec.method_count()), &config, label)
+                dispatch_replicas(spec, &complete_coord(spec.method_count()), &config, label)
             }
-            System::Msg => run_msg_cluster(spec, coord, &self.config, label),
+            System::Msg => {
+                assert!(
+                    self.config.backend == Backend::Sim,
+                    "System::Msg runs only on Backend::Sim (the {} backend has no \
+                     message-passing replica wiring)",
+                    self.config.backend.label()
+                );
+                run_msg_cluster(spec, coord, &self.config, label)
+            }
         }
     }
 }
@@ -571,7 +596,8 @@ fn collect_states<A: HarnessNode>(
         .collect()
 }
 
-fn run_replicas<O>(
+
+pub(crate) fn run_replicas<O>(
     spec: &O,
     coord: &CoordSpec,
     run: &RunConfig,
@@ -680,7 +706,7 @@ fn summarize_fairness(sessions: &[SessionStats], completed_at: SimTime) -> Optio
 }
 
 #[allow(clippy::too_many_arguments)]
-fn summarize<O: WorkloadSupport>(
+pub(crate) fn summarize<O: WorkloadSupport>(
     label: &str,
     nodes: usize,
     metrics: &[NodeMetrics],
@@ -785,5 +811,57 @@ mod tests {
         let r = Runner::new(System::MuSmr, RunConfig::for_nodes(3));
         assert_eq!(r.system(), System::MuSmr);
         assert_eq!(r.config().nodes, 3);
+    }
+
+    #[test]
+    fn backend_labels_and_default() {
+        assert_eq!(Backend::Sim.label(), "sim");
+        assert_eq!(Backend::Loopback.label(), "loopback");
+        assert_eq!(Backend::Threaded.label(), "threaded");
+        assert_eq!(Backend::default(), Backend::Sim);
+    }
+
+    #[test]
+    fn loopback_backend_runs_through_runner() {
+        let c = hamband_types::Counter::default();
+        let config = RunConfig::new(3, WorkloadSpec::ops(150).with_update_ratio(0.5))
+            .with_backend(Backend::Loopback);
+        let outcome = Runner::new(System::Hamband, config).run(&c, &c.coord_spec());
+        assert!(outcome.report.converged, "loopback run did not converge");
+        assert_eq!(outcome.report.total_calls, 150);
+        assert!(outcome.report.mean_rt_us > 0.0);
+        assert!(outcome.events.is_empty(), "loopback collects no trace");
+    }
+
+    #[test]
+    fn threaded_backend_runs_through_runner() {
+        let c = hamband_types::Counter::default();
+        let config = RunConfig::new(3, WorkloadSpec::ops(150).with_update_ratio(0.5))
+            .with_backend(Backend::Threaded)
+            // Wall-clock cap for the threaded backend.
+            .with_max_time(SimTime(30_000_000_000));
+        let outcome = Runner::new(System::Hamband, config).run(&c, &c.coord_spec());
+        assert!(outcome.report.converged, "threaded run did not converge");
+        assert_eq!(outcome.report.total_calls, 150);
+        assert!(outcome.stats.writes > 0, "threaded stats not collected");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot inject faults")]
+    fn cluster_backends_reject_fault_plans() {
+        let c = hamband_types::Counter::default();
+        let faults = FaultPlan::new().at(SimTime(1_000), rdma_sim::Fault::Crash(NodeId(0)));
+        let config = RunConfig::for_nodes(3)
+            .with_backend(Backend::Loopback)
+            .with_faults(faults);
+        let _ = Runner::new(System::Hamband, config).run(&c, &c.coord_spec());
+    }
+
+    #[test]
+    #[should_panic(expected = "only on Backend::Sim")]
+    fn msg_system_rejects_cluster_backends() {
+        let c = hamband_types::Counter::default();
+        let config = RunConfig::for_nodes(3).with_backend(Backend::Threaded);
+        let _ = Runner::new(System::Msg, config).run(&c, &c.coord_spec());
     }
 }

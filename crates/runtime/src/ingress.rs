@@ -33,6 +33,7 @@ use hamband_core::ids::{GroupId, MethodId};
 use hamband_core::object::{KeySkew, ObjectSpec, WorkloadSupport};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rdma_sim::{SimDuration, SimTime};
 
 use crate::driver::{Planned, QuotaSplit, WorkloadSpec};
 
@@ -70,6 +71,40 @@ fn session_seed(seed: u64, node: usize, session: u64) -> u64 {
     let mut h = mix64(seed);
     h = mix64(h ^ node as u64);
     mix64(h ^ session)
+}
+
+/// Open-loop client arrivals: a Poisson process at the node's share of
+/// the configured offered load, generated lazily and *independent of
+/// completions*.
+///
+/// The combiner releases due arrivals each pump
+/// ([`Ingress::release_arrivals`]); [`Ingress::next`] only plans a
+/// call while a released arrival is waiting, and the pump takes the
+/// arrival timestamp ([`Ingress::take_arrival`]) to stamp the call's
+/// `issued_at` — so a call that waited in the arrival queue (windows
+/// full, replica busy) is charged its queueing delay. Generation stops
+/// after the node's op budget, so the backlog is bounded by the
+/// workload size even when the offered load exceeds capacity.
+#[derive(Debug)]
+struct OpenLoop {
+    rng: StdRng,
+    /// Mean inter-arrival gap at this node, nanoseconds.
+    mean_gap_ns: f64,
+    /// The next (not yet due) arrival time.
+    next_at: SimTime,
+    /// Released arrivals waiting to be issued, in arrival order.
+    pending: std::collections::VecDeque<SimTime>,
+    /// Arrivals still to generate (the node's op budget).
+    remaining: u64,
+}
+
+impl OpenLoop {
+    /// Sample one exponential inter-arrival gap (≥ 1 ns so time always
+    /// advances).
+    fn gap(&mut self) -> SimDuration {
+        let u: f64 = self.rng.gen_range(0.0..1.0);
+        SimDuration((-self.mean_gap_ns * (1.0 - u).ln()).max(1.0) as u64)
+    }
 }
 
 /// Per-session completion accounting, maintained by the combiner's
@@ -169,6 +204,8 @@ pub struct Ingress {
     dry_streak: u64,
     /// Halted by failure injection: stop issuing.
     halted: bool,
+    /// Open-loop arrival process (`None` = classic closed loop).
+    open_loop: Option<OpenLoop>,
 }
 
 impl Ingress {
@@ -195,6 +232,24 @@ impl Ingress {
             })
             .collect();
         let total_window: usize = sessions.iter().map(|s| s.window).sum();
+        let open_loop = spec.offered_load.map(|rate| {
+            // The cluster-wide rate splits evenly across nodes; the
+            // budget caps generation at the node's §5 op share (global
+            // conflicting quota included — over-releasing merely
+            // leaves arrivals unconsumed once quotas are spent).
+            let budget = split.queries
+                + split.free.iter().sum::<u64>()
+                + split.conf_target.iter().sum::<u64>();
+            let mut ol = OpenLoop {
+                rng: StdRng::seed_from_u64(session_seed(spec.seed, node, u64::MAX)),
+                mean_gap_ns: 1e9 * n as f64 / rate,
+                next_at: SimTime::ZERO,
+                pending: std::collections::VecDeque::new(),
+                remaining: budget,
+            };
+            ol.next_at = SimTime::ZERO + ol.gap();
+            ol
+        });
         Ingress {
             node,
             mapper,
@@ -212,7 +267,32 @@ impl Ingress {
             next_seq: 0,
             dry_streak: 0,
             halted: false,
+            open_loop,
         }
+    }
+
+    /// Release every open-loop arrival due at `now` (no-op for closed
+    /// loops). The combiner calls this at the top of each pump.
+    pub fn release_arrivals(&mut self, now: SimTime) {
+        let Some(ol) = self.open_loop.as_mut() else { return };
+        while ol.remaining > 0 && ol.next_at <= now {
+            ol.pending.push_back(ol.next_at);
+            ol.remaining -= 1;
+            let gap = ol.gap();
+            ol.next_at += gap;
+        }
+    }
+
+    /// Take the oldest released arrival's timestamp (the pump calls
+    /// this once per planned call to stamp `issued_at`). `None` for
+    /// closed loops.
+    pub fn take_arrival(&mut self) -> Option<SimTime> {
+        self.open_loop.as_mut().and_then(|ol| ol.pending.pop_front())
+    }
+
+    /// Released arrivals currently waiting to be issued.
+    pub fn arrival_backlog(&self) -> usize {
+        self.open_loop.as_ref().map_or(0, |ol| ol.pending.len())
     }
 
     /// Number of session slots.
@@ -334,6 +414,12 @@ impl Ingress {
         ring_appended: &[u64],
     ) -> Option<SessionPlan<O>> {
         if self.halted {
+            return None;
+        }
+        // Open loop: only plan while a released arrival is waiting —
+        // the client population, not the window state, decides when
+        // work exists.
+        if self.open_loop.as_ref().is_some_and(|ol| ol.pending.is_empty()) {
             return None;
         }
         // Candidate update methods with remaining quota (node-level).
@@ -747,5 +833,49 @@ mod tests {
         assert_eq!(rts.iter().sum::<u64>(), 6_000);
         assert!((stats[a as usize].mean_rt_us() - 2.0).abs() < 1e-9);
         assert_eq!(stats[a as usize].completed(), 1);
+    }
+
+    #[test]
+    fn open_loop_gates_issue_on_released_arrivals() {
+        let acc = Account::new(10);
+        let coord = account_coord();
+        let w = WorkloadSpec::ops(100).with_update_ratio(1.0).with_offered_load(1_000_000.0);
+        let mut ing = Ingress::new(&w, &coord, GroupMapper::identity(&coord), 0, 1, 64);
+        let state = 1_000i128;
+        // No arrival has been released yet: the pump gets nothing even
+        // though quota and window are wide open.
+        assert!(ing.next(&acc, &state, &coord, &[true], &[0]).is_none());
+        assert_eq!(ing.arrival_backlog(), 0);
+        // Release everything due in the first 10ms (~10 at 1M ops/s/1 node).
+        ing.release_arrivals(SimTime(10_000_000));
+        let backlog = ing.arrival_backlog();
+        assert!(backlog > 0, "10ms at 1M ops/s released no arrivals");
+        let (_, p) = ing.next(&acc, &state, &coord, &[true], &[0]).expect("arrival pending");
+        assert!(matches!(p, Planned::Update(_)));
+        let at = ing.take_arrival().expect("arrival stamp");
+        assert!(at <= SimTime(10_000_000), "arrival stamped in the future");
+        assert_eq!(ing.arrival_backlog(), backlog - 1);
+    }
+
+    #[test]
+    fn open_loop_arrivals_are_deterministic_and_budget_capped() {
+        let coord = account_coord();
+        let w = WorkloadSpec::ops(40).with_update_ratio(1.0).with_offered_load(2_000_000.0);
+        let drain = || {
+            let mut ing = Ingress::new(&w, &coord, GroupMapper::identity(&coord), 0, 1, 64);
+            // Far future: every budgeted arrival is due.
+            ing.release_arrivals(SimTime(u64::MAX));
+            let mut ts = Vec::new();
+            while let Some(t) = ing.take_arrival() {
+                ts.push(t);
+            }
+            ts
+        };
+        let a = drain();
+        // Generation stops at the node's op budget — offered load far
+        // beyond capacity cannot grow the backlog without bound.
+        assert_eq!(a.len(), 40);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "arrivals out of order");
+        assert_eq!(a, drain(), "same seed, same Poisson arrival times");
     }
 }

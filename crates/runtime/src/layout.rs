@@ -118,9 +118,11 @@ impl Layout {
 
     fn backup_slot_size_for(cfg: &RuntimeConfig) -> usize {
         // kind (1) + group (1) + seq (8) + len (2) + a full ring or
-        // summary slot, whichever is larger.
+        // summary slot, whichever is larger; rounded to a multiple of
+        // 8 so backup-slot strides stay word-aligned for the threaded
+        // backend's atomic word storage.
         let inner = cfg.entry_size().max(cfg.summary_slot_size(8));
-        12 + inner
+        crate::config::round_up_8(12 + inner)
     }
 
     /// Offset of the summary slot for `(sum_group, source)`.

@@ -12,8 +12,10 @@
 //! * [`layout`] — the registered-memory map every replica shares;
 //! * [`transport`] — the [`Transport`] trait the whole runtime is
 //!   generic over: one-sided verbs, messaging, timers, permissions and
-//!   trace hooks, implemented by the simulator's `Ctx` and by the
-//!   in-process [`loopback`] backend;
+//!   trace hooks, implemented by the simulator's `Ctx`, by the
+//!   in-process [`loopback`] backend, and by the [`threaded`] backend
+//!   (one OS thread per replica over process-shared atomic memory,
+//!   real wall-clock timers);
 //! * [`replica`] — [`replica::HambandNode`], the per-node orchestrator
 //!   over the protocol modules: [`reduce`] / [`free`] / [`conf`] issue
 //!   paths (with [`commit`] advancement, [`election`] and takeover,
@@ -105,6 +107,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backends;
 pub mod baseline_msg;
 pub mod calls;
 pub mod chaos;
@@ -128,6 +131,7 @@ pub mod reduce;
 pub mod replica;
 pub mod rings;
 pub mod status;
+pub mod threaded;
 pub mod transport;
 pub mod views;
 
@@ -136,7 +140,7 @@ pub use chaos::{run_case, run_seed, shrink, shrink_case, CaseReport, ChaosOption
 pub use conf::{GroupEngine, LeaderState, Role};
 pub use config::RuntimeConfig;
 pub use driver::{Planned, QuotaSplit, WorkloadSpec};
-pub use harness::{NodeEndState, RunConfig, RunOutcome, Runner, System, TraceMode};
+pub use harness::{Backend, NodeEndState, RunConfig, RunOutcome, Runner, System, TraceMode};
 pub use ingress::{ClientSession, Ingress, SessionStats};
 pub use layout::Layout;
 pub use loopback::{LoopbackCluster, LoopbackCtx};
@@ -146,6 +150,7 @@ pub use metrics::{
 };
 pub use replica::HambandNode;
 pub use status::{GroupStatus, NodeStatus, RoleKind};
+pub use threaded::ThreadedCluster;
 pub use transport::Transport;
 
 // Trace vocabulary, re-exported so harness consumers need not depend on

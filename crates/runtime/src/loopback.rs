@@ -26,8 +26,8 @@ use hamband_core::ids::Pid;
 use hamband_core::object::WorkloadSupport;
 use hamband_core::wire::Wire;
 use rdma_sim::{
-    CompletionStatus, Event, LatencyModel, NodeId, RegionId, SimDuration, SimTime, TimerId,
-    TraceEvent, VerbKind, WrId,
+    AppFault, CompletionStatus, Event, LatencyModel, NodeId, RegionId, SimDuration, SimTime,
+    TimerId, TraceEvent, VerbKind, WrId,
 };
 
 use crate::config::RuntimeConfig;
@@ -248,7 +248,7 @@ impl Transport for LoopbackCtx<'_> {
         self.arm(delay, tag)
     }
 
-    fn local(&self, region: RegionId, offset: usize, len: usize) -> &[u8] {
+    fn local(&mut self, region: RegionId, offset: usize, len: usize) -> &[u8] {
         &self.net.mem[self.node.index()].regions[region.index()][offset..offset + len]
     }
 
@@ -329,13 +329,7 @@ where
         O::State: PartialEq,
     {
         let deadline = SimTime::ZERO + limit;
-        if !self.started {
-            self.started = true;
-            for i in 0..self.net.n {
-                let mut ctx = LoopbackCtx { net: &mut self.net, node: NodeId(i) };
-                self.nodes[i].start(&mut ctx);
-            }
-        }
+        self.ensure_started();
         loop {
             self.drain_events();
             if self.converged() {
@@ -347,6 +341,45 @@ where
             };
             if t.at > deadline {
                 return false;
+            }
+            self.net.clock = t.at;
+            self.net.inboxes[t.node].push_back(Event::Timer { id: t.id, tag: t.tag });
+        }
+    }
+
+    fn ensure_started(&mut self) {
+        if !self.started {
+            self.started = true;
+            for i in 0..self.net.n {
+                let mut ctx = LoopbackCtx { net: &mut self.net, node: NodeId(i) };
+                self.nodes[i].start(&mut ctx);
+            }
+        }
+    }
+
+    /// Deliver an application-level fault straight into node `i`'s
+    /// event queue — the loopback analogue of the simulator's fault
+    /// plan for the faults that need no fabric (heartbeat suspension,
+    /// the paper's §5 failure-injection method). Fabric faults (torn
+    /// writes, partitions, crashes) remain simulator-only.
+    pub fn inject_fault(&mut self, node: usize, kind: AppFault) {
+        self.net.inboxes[node].push_back(Event::Fault { kind });
+    }
+
+    /// Drive events and timers until virtual time reaches `until` (or
+    /// no timer remains armed). Unlike
+    /// [`run_to_convergence`](LoopbackCluster::run_to_convergence)
+    /// this makes no claim about workload completion — it is the
+    /// stepping primitive for fault/election scenarios that need to
+    /// observe the cluster mid-flight.
+    pub fn step_until(&mut self, until: SimTime) {
+        self.ensure_started();
+        loop {
+            self.drain_events();
+            let Some(Reverse(t)) = self.net.timers.pop() else { return };
+            if t.at > until {
+                self.net.timers.push(Reverse(t));
+                return;
             }
             self.net.clock = t.at;
             self.net.inboxes[t.node].push_back(Event::Timer { id: t.id, tag: t.tag });

@@ -514,6 +514,46 @@ mod tests {
         }
     }
 
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(128))]
+
+        /// Mergeability is the property the harness leans on when it
+        /// folds per-node histograms into one cluster distribution:
+        /// merging two histograms must be indistinguishable from
+        /// having recorded both sample streams into one — same count,
+        /// sum, exact max, and every quantile — for arbitrary samples
+        /// across the full `u64` range (both bucket regimes).
+        #[test]
+        fn merge_equals_concatenated_recording(
+            a in proptest::collection::vec(
+                proptest::prop_oneof![0u64..64, 0u64..1 << 20, 0u64..u64::MAX], 0..64),
+            b in proptest::collection::vec(
+                proptest::prop_oneof![0u64..64, 0u64..1 << 20, 0u64..u64::MAX], 0..64),
+        ) {
+            let mut ha = LatencyHistogram::default();
+            let mut hb = LatencyHistogram::default();
+            let mut hc = LatencyHistogram::default();
+            for &v in &a {
+                ha.record(v);
+                hc.record(v);
+            }
+            for &v in &b {
+                hb.record(v);
+                hc.record(v);
+            }
+            ha.merge(&hb);
+            proptest::prop_assert_eq!(ha.count(), hc.count());
+            proptest::prop_assert_eq!(ha.sum_ns(), hc.sum_ns());
+            proptest::prop_assert_eq!(ha.max_ns(), hc.max_ns());
+            for q in [0.0, 0.01, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+                proptest::prop_assert_eq!(ha.quantile_ns(q), hc.quantile_ns(q));
+            }
+            let s = ha.summarize();
+            let t = hc.summarize();
+            proptest::prop_assert_eq!(s, t);
+        }
+    }
+
     #[test]
     fn rt_accounting() {
         let mut m = NodeMetrics::default();

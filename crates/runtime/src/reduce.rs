@@ -106,7 +106,7 @@ where
         self.outstanding.insert(
             call_id,
             Outstanding {
-                issued_at: ctx.now(),
+                issued_at: self.pending_arrival.take().unwrap_or_else(|| ctx.now()),
                 method,
                 session,
                 phase: Phase::Reduce,

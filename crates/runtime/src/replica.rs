@@ -36,7 +36,7 @@ use hamband_core::ids::Pid;
 use hamband_core::object::{ObjectSpec, WorkloadSupport};
 use hamband_core::wire::Wire;
 use rdma_sim::{
-    App, AppFault, CompletionStatus, Ctx, Event, NodeId, RingKind, TraceEvent, WrId,
+    App, AppFault, CompletionStatus, Ctx, Event, NodeId, RingKind, SimTime, TraceEvent, WrId,
 };
 
 use crate::calls::{Outstanding, Route};
@@ -131,6 +131,11 @@ pub struct HambandNode<O: ObjectSpec> {
     pub(crate) conf_retries: Vec<(usize, NodeId, u64)>,
     pub(crate) retry_timer_armed: bool,
     pub(crate) halted: bool,
+    /// Open-loop arrival timestamp of the call being issued right now:
+    /// set by the pump before dispatching a planned update, taken by
+    /// the issue path as the call's `issued_at` so response time
+    /// includes arrival-queue wait. `None` under closed-loop load.
+    pub(crate) pending_arrival: Option<SimTime>,
 }
 
 impl<O> HambandNode<O>
@@ -221,6 +226,7 @@ where
             conf_retries: Vec::new(),
             retry_timer_armed: false,
             halted: false,
+            pending_arrival: None,
             spec,
             coord,
             cfg,

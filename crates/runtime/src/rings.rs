@@ -342,7 +342,7 @@ impl RingReader {
 
     /// Whether the next entry has fully landed (sequence and canary
     /// prefix check), without decoding the payload.
-    pub fn next_ready(&self, ctx: &impl Transport) -> bool {
+    pub fn next_ready(&self, ctx: &mut impl Transport) -> bool {
         let slot = ctx.local(self.region, self.slot_offset(self.next), self.slot_size);
         crate::codec::slot_ready(slot, self.next)
     }
@@ -352,7 +352,7 @@ impl RingReader {
     /// not concurrently being written, the receiver checks the canary").
     /// The cheap [`next_ready`](Self::next_ready) prefix check runs
     /// first so an empty or in-flight slot costs no payload decode.
-    pub fn peek<U: Wire>(&self, ctx: &impl Transport) -> Option<Entry<U>> {
+    pub fn peek<U: Wire>(&self, ctx: &mut impl Transport) -> Option<Entry<U>> {
         if !self.next_ready(ctx) {
             return None;
         }
@@ -361,7 +361,7 @@ impl RingReader {
     }
 
     /// Raw bytes of the slot holding `seq` (leader catch-up reads).
-    pub fn raw_slot<'c>(&self, ctx: &'c impl Transport, seq: u64) -> &'c [u8] {
+    pub fn raw_slot<'c>(&self, ctx: &'c mut impl Transport, seq: u64) -> &'c [u8] {
         ctx.local(self.region, self.slot_offset(seq), self.slot_size)
     }
 

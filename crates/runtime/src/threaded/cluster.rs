@@ -1,0 +1,273 @@
+//! One OS thread per replica: spawn, drive, converge, join.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hamband_core::coord::{CoordSpec, GroupMapper};
+use hamband_core::ids::Pid;
+use hamband_core::object::WorkloadSupport;
+use hamband_core::wire::Wire;
+use rdma_sim::{Event, NodeId, SimDuration, SimTime, Stats};
+
+use super::ctx::ThreadedCtx;
+use super::shared::SharedMem;
+use crate::config::RuntimeConfig;
+use crate::driver::WorkloadSpec;
+use crate::layout::Layout;
+use crate::replica::HambandNode;
+use crate::transport::Transport;
+
+/// How many cross-thread messages one event-loop iteration handles
+/// before re-checking timers — bounds iteration length so heartbeats
+/// and yields stay regular under message bursts.
+const MSG_BUDGET: usize = 64;
+
+/// Consecutive stable observations (all nodes done, applied counts
+/// equal) the convergence poller requires before initiating shutdown.
+const STABLE_POLLS: usize = 3;
+
+/// A whole Hamband cluster, one OS thread per replica, over
+/// process-shared atomic memory and real wall-clock timers.
+pub struct ThreadedCluster<O: WorkloadSupport> {
+    n: usize,
+    nodes: Vec<HambandNode<O>>,
+    ctxs: Vec<ThreadedCtx>,
+    receivers: Vec<Receiver<Event>>,
+    epoch: Instant,
+    started: bool,
+    completed_at: SimTime,
+}
+
+impl<O> ThreadedCluster<O>
+where
+    O: WorkloadSupport + Clone + Send,
+    O::Update: Wire + Send,
+    O::State: PartialEq + Send,
+{
+    /// Build an `n`-node cluster: allocate the standard region
+    /// [`Layout`] in shared memory and construct each replica with the
+    /// coordination spec's default leaders.
+    ///
+    /// Failure-detection timers are stretched to wall-clock scale
+    /// (heartbeat 2 ms, detector read 5 ms, suspicion after 200
+    /// unchanged reads ≈ 1 s of silence): the simulator's
+    /// microsecond-scale defaults would let ordinary OS scheduling
+    /// jitter — a preempted replica thread on a loaded box — trip the
+    /// detector and trigger spurious elections. The threaded backend
+    /// injects no faults, so nothing is lost by suspecting slowly.
+    pub fn new(
+        n: usize,
+        spec: &O,
+        coord: &CoordSpec,
+        cfg: RuntimeConfig,
+        workload: WorkloadSpec,
+    ) -> ThreadedCluster<O> {
+        let mut cfg = cfg;
+        cfg.heartbeat_interval = SimDuration::millis(2);
+        cfg.fd_interval = SimDuration::millis(5);
+        cfg.fd_suspect_after = 200;
+        let mut mem = SharedMem::new(n);
+        let layout = Layout::plan(n, coord, &cfg, |size| mem.add_region_all(size));
+        let mem = Arc::new(mem);
+        let leaders: Vec<Pid> = GroupMapper::new(coord, cfg.sync_shards).default_leaders(n);
+        let (senders, receivers): (Vec<_>, Vec<_>) = (0..n).map(|_| channel()).unzip();
+        let epoch = Instant::now();
+        let ctxs = (0..n)
+            .map(|i| ThreadedCtx::new(NodeId(i), n, Arc::clone(&mem), senders.clone(), epoch))
+            .collect();
+        let nodes = (0..n)
+            .map(|i| {
+                HambandNode::new(
+                    spec.clone(),
+                    coord.clone(),
+                    cfg.clone(),
+                    layout.clone(),
+                    NodeId(i),
+                    n,
+                    &leaders,
+                    workload.clone(),
+                )
+            })
+            .collect();
+        ThreadedCluster {
+            n,
+            nodes,
+            ctxs,
+            receivers,
+            epoch,
+            started: false,
+            completed_at: SimTime::ZERO,
+        }
+    }
+
+    /// Spawn one thread per replica and run until every replica
+    /// reports [`workload_done`](HambandNode::workload_done) and all
+    /// applied counts agree (observed stable across several polls), or
+    /// until `limit` of wall time passes. Threads are joined before
+    /// returning; the result is the *post-join* authoritative check —
+    /// all done, identical applied maps, identical state snapshots.
+    pub fn run_to_convergence(&mut self, limit: Duration) -> bool {
+        let first = !self.started;
+        self.started = true;
+        let n = self.n;
+        let shutdown = AtomicBool::new(false);
+        let done: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+        let applied: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        let start = Instant::now();
+        std::thread::scope(|s| {
+            for (i, ((node, ctx), rx)) in self
+                .nodes
+                .iter_mut()
+                .zip(self.ctxs.iter_mut())
+                .zip(self.receivers.iter_mut())
+                .enumerate()
+            {
+                let (shutdown, done, applied) = (&shutdown, &done[i], &applied[i]);
+                s.spawn(move || replica_thread(node, ctx, rx, first, shutdown, done, applied));
+            }
+            // Convergence poller (runs on the caller's thread).
+            let mut stable = 0usize;
+            while stable < STABLE_POLLS {
+                std::thread::sleep(Duration::from_millis(1));
+                if start.elapsed() >= limit {
+                    break;
+                }
+                let all_done = done.iter().all(|d| d.load(Ordering::Acquire));
+                let a0 = applied[0].load(Ordering::Acquire);
+                let agree = applied.iter().all(|a| a.load(Ordering::Acquire) == a0);
+                stable = if all_done && agree { stable + 1 } else { 0 };
+            }
+            self.completed_at = SimTime(self.epoch.elapsed().as_nanos() as u64);
+            shutdown.store(true, Ordering::Release);
+        });
+        self.converged()
+    }
+
+    fn converged(&self) -> bool {
+        let done = self.nodes.iter().all(|n| n.workload_done());
+        let s0 = self.nodes[0].state_snapshot();
+        let m0 = self.nodes[0].applied_map();
+        done && self
+            .nodes
+            .iter()
+            .all(|n| n.state_snapshot() == s0 && n.applied_map() == m0)
+    }
+
+    /// The replica that ran on thread `i` (post-run assertions).
+    pub fn node(&self, i: usize) -> &HambandNode<O> {
+        &self.nodes[i]
+    }
+
+    /// Wall-clock time (ns since the cluster epoch) at which the
+    /// convergence poller initiated shutdown.
+    pub fn completed_at(&self) -> SimTime {
+        self.completed_at
+    }
+
+    /// Fabric traffic counters, merged across the replica threads.
+    pub fn stats(&self) -> Stats {
+        let mut s = Stats::new(self.n);
+        for (i, ctx) in self.ctxs.iter().enumerate() {
+            let c = &ctx.counters;
+            s.writes += c.writes;
+            s.reads += c.reads;
+            s.cas += c.cas;
+            s.messages += c.messages;
+            s.one_sided_bytes += c.one_sided_bytes;
+            s.message_bytes += c.message_bytes;
+            s.ring_writes += c.ring_writes;
+            s.ring_slots += c.ring_slots;
+            s.per_node_ops[i] = c.writes + c.reads + c.cas + c.messages;
+        }
+        s
+    }
+
+    /// Number of replicas.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false: a cluster has at least one replica.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
+/// The per-replica event loop. Each iteration drains synchronous verb
+/// completions, a bounded batch of cross-thread messages, and every
+/// due timer, then publishes progress and yields the core — the yield
+/// is what keeps an n-thread cluster live on fewer-than-n cores.
+fn replica_thread<O>(
+    node: &mut HambandNode<O>,
+    ctx: &mut ThreadedCtx,
+    rx: &mut Receiver<Event>,
+    first: bool,
+    shutdown: &AtomicBool,
+    done: &AtomicBool,
+    applied: &AtomicU64,
+) where
+    O: WorkloadSupport,
+    O::Update: Wire,
+{
+    if first {
+        node.start(ctx);
+    }
+    loop {
+        while let Some(ev) = ctx.local_q.pop_front() {
+            node.handle_event(ctx, ev);
+        }
+        for _ in 0..MSG_BUDGET {
+            let Ok(ev) = rx.try_recv() else { break };
+            node.handle_event(ctx, ev);
+            while let Some(ev) = ctx.local_q.pop_front() {
+                node.handle_event(ctx, ev);
+            }
+        }
+        // Timers armed while firing land strictly later than `now`,
+        // so this inner loop terminates.
+        let now = ctx.now();
+        while let Some(ev) = ctx.pop_due_timer(now) {
+            node.handle_event(ctx, ev);
+            while let Some(ev) = ctx.local_q.pop_front() {
+                node.handle_event(ctx, ev);
+            }
+        }
+        done.store(node.workload_done(), Ordering::Release);
+        applied.store(node.applied_updates(), Ordering::Release);
+        if shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        std::thread::yield_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hamband_types::Counter;
+
+    /// The tentpole smoke test: a 3-node Counter cluster converges on
+    /// real OS threads over shared atomic memory.
+    #[test]
+    fn three_node_counter_converges_on_threads() {
+        let spec = Counter::default();
+        let coord = spec.coord_spec();
+        let workload = WorkloadSpec::ops(300).with_update_ratio(1.0).with_seed(7);
+        let mut cluster =
+            ThreadedCluster::new(3, &spec, &coord, RuntimeConfig::default(), workload);
+        assert!(
+            cluster.run_to_convergence(Duration::from_secs(30)),
+            "threaded cluster failed to converge: {}",
+            (0..3).map(|i| cluster.node(i).status().to_string()).collect::<Vec<_>>().join(" | "),
+        );
+        let total = cluster.node(0).applied_updates();
+        assert!(total > 0, "no updates applied");
+        for i in 1..3 {
+            assert_eq!(cluster.node(i).applied_updates(), total);
+        }
+        let stats = cluster.stats();
+        assert!(stats.writes > 0 && stats.reads > 0, "no fabric traffic recorded");
+    }
+}

@@ -25,11 +25,14 @@
 //! * **trace & accounting hooks** — [`emit`](Transport::emit),
 //!   [`consume`](Transport::consume), [`note_ring_write`](Transport::note_ring_write).
 //!
-//! Two implementations exist: [`rdma_sim::Ctx`] (the discrete-event
-//! simulator with latency and fault modelling) and the in-process
+//! Three implementations exist: [`rdma_sim::Ctx`] (the discrete-event
+//! simulator with latency and fault modelling), the in-process
 //! [`loopback`](crate::loopback) backend (direct memory + FIFO event
-//! queues, no simulator). A real-ibverbs backend would be a third
-//! implementor; nothing in the protocol modules names the simulator.
+//! queues, no simulator), and the [`threaded`](crate::threaded)
+//! backend (one OS thread per replica over process-shared atomic
+//! memory, real wall-clock timers). A real-ibverbs backend would be a
+//! fourth implementor; nothing in the protocol modules names the
+//! simulator.
 //!
 //! The *vocabulary* types ([`NodeId`], [`RegionId`], [`WrId`],
 //! [`Event`](rdma_sim::Event), [`TraceEvent`], [`SimTime`]) are shared
@@ -106,7 +109,12 @@ pub trait Transport {
     fn set_timer_isolated(&mut self, delay: SimDuration, tag: u64) -> TimerId;
 
     /// Read this node's own region memory (free: local access).
-    fn local(&self, region: RegionId, offset: usize, len: usize) -> &[u8];
+    ///
+    /// Takes `&mut self` so backends whose regions live in shared
+    /// memory (the threaded backend) can snapshot the atomically
+    /// published words into an owned scratch buffer and return a view
+    /// of it; in-process backends just return the region bytes.
+    fn local(&mut self, region: RegionId, offset: usize, len: usize) -> &[u8];
 
     /// Write this node's own region memory (free: local access).
     fn local_write(&mut self, region: RegionId, offset: usize, data: &[u8]);
@@ -171,7 +179,7 @@ impl Transport for Ctx<'_> {
     fn set_timer_isolated(&mut self, delay: SimDuration, tag: u64) -> TimerId {
         Ctx::set_timer_isolated(self, delay, tag)
     }
-    fn local(&self, region: RegionId, offset: usize, len: usize) -> &[u8] {
+    fn local(&mut self, region: RegionId, offset: usize, len: usize) -> &[u8] {
         Ctx::local(self, region, offset, len)
     }
     fn local_write(&mut self, region: RegionId, offset: usize, data: &[u8]) {

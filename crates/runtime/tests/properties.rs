@@ -6,7 +6,7 @@
 use hamband_core::counts::DepMap;
 use hamband_core::demo::{Account, AccountUpdate};
 use hamband_core::ids::{MethodId, Pid, Rid};
-use hamband_runtime::codec::{Entry, SummarySlot, CANARY};
+use hamband_runtime::codec::{Entry, SummarySlot, CANARY_TRAILER};
 use proptest::prelude::*;
 
 fn arb_deps() -> impl Strategy<Value = Vec<(usize, usize, u64)>> {
@@ -54,19 +54,23 @@ proptest! {
         prop_assert!(Entry::<AccountUpdate>::from_slot(&slot, seq.wrapping_sub(1)).is_none());
     }
 
-    /// A slot whose canary byte is anything but the canary value is
-    /// invisible, whatever else it contains — the §4 torn-write guard.
+    /// A slot whose canary trailer echoes anything but the expected
+    /// sequence is invisible, whatever else it contains — the §4
+    /// torn-write guard, plus the stale-epoch guard for reused ring
+    /// slots (the trailer of a wrapped-over entry echoes an older seq
+    /// and must not validate the new one).
     #[test]
     fn slot_without_canary_is_never_visible(
         seq in 1..1_000u64,
         update in arb_update(),
-        bad_canary in 0..255u8,
+        echo in 0..u64::MAX / 2,
     ) {
-        prop_assume!(bad_canary != CANARY);
         let entry = Entry { rid: Rid::new(Pid(0), 3), update, deps: DepMap::empty() };
         let mut slot = entry.to_slot(seq, 128);
-        let last = slot.len() - 1;
-        slot[last] = bad_canary;
+        let tail = slot.len() - CANARY_TRAILER;
+        // `0` models a torn trailer (zeroes); other values stale epochs.
+        prop_assume!(echo != seq);
+        slot[tail..].copy_from_slice(&echo.to_le_bytes());
         prop_assert!(Entry::<AccountUpdate>::from_slot(&slot, seq).is_none());
     }
 

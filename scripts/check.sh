@@ -65,6 +65,18 @@ scratch="$(mktemp -d)"
 tail -n 4 "$scratch/shards.log"
 rm -rf "$scratch"
 
+echo "== open-loop load sweep shape gate (threaded backend) =="
+# Wall-clock numbers are machine-specific, so the gate is shape-only
+# (the bin exits nonzero unless every point converges, sub-knee points
+# achieve >= 90% of offered, and latency distributions are finite);
+# the committed BENCH_load.json is regenerated at full scale by
+# `--bin load` with the default HAMBAND_LOAD_OPS.
+scratch="$(mktemp -d)"
+(cd "$scratch" && HAMBAND_LOAD_OPS=50000 "$OLDPWD/target/release/load" > load.log) \
+  || { cat "$scratch/load.log"; exit 1; }
+tail -n 8 "$scratch/load.log"
+rm -rf "$scratch"
+
 echo "== chaos smoke (16 seeds) =="
 ./target/release/chaos --seeds 16
 

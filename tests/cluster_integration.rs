@@ -13,8 +13,9 @@ use hamband::types::{
 
 fn hamband_converges<O>(spec: &O, coord: &CoordSpec, nodes: usize)
 where
-    O: WorkloadSupport + Clone,
-    O::Update: Wire,
+    O: WorkloadSupport + Clone + Send,
+    O::Update: Wire + Send,
+    O::State: Send,
 {
     let run = RunConfig::new(nodes, WorkloadSpec::ops(600).with_update_ratio(0.4).with_seed(0xc0de));
     let rep = Runner::new(System::Hamband, run).run(spec, coord).report;
@@ -24,8 +25,9 @@ where
 
 fn smr_converges<O>(spec: &O, nodes: usize)
 where
-    O: WorkloadSupport + Clone,
-    O::Update: Wire,
+    O: WorkloadSupport + Clone + Send,
+    O::Update: Wire + Send,
+    O::State: Send,
 {
     let run = RunConfig::new(nodes, WorkloadSpec::ops(600).with_update_ratio(0.4).with_seed(0xc0de));
     let rep = Runner::new(System::MuSmr, run)
@@ -36,8 +38,9 @@ where
 
 fn msg_converges<O>(spec: &O, coord: &CoordSpec, nodes: usize)
 where
-    O: WorkloadSupport + Clone,
-    O::Update: Wire,
+    O: WorkloadSupport + Clone + Send,
+    O::Update: Wire + Send,
+    O::State: Send,
 {
     let run = RunConfig::new(nodes, WorkloadSpec::ops(600).with_update_ratio(0.4).with_seed(0xc0de));
     let rep = Runner::new(System::Msg, run).run(spec, coord).report;
