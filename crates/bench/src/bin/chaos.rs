@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! chaos [--seeds N] [--start S] [--nodes N] [--ops N] [--max-faults N]
-//!       [--seed S] [--canary]
+//!       [--seed S] [--restarts] [--canary]
 //! ```
 //!
 //! * `--seeds N`     number of campaign cases (default 100)
@@ -14,6 +14,9 @@
 //! * `--nodes N`     cluster size (default 4)
 //! * `--ops N`       calls per case (default 300)
 //! * `--max-faults N` schedule length cap (default 6)
+//! * `--restarts`    pair every generated crash with a later restart
+//!   (half of them losing unfenced writes); such cases run with the
+//!   persist log enabled and exercise crash-restart recovery + rejoin
 //! * `--canary`      arm the deliberate checker bug: any schedule that
 //!   silences a node is flagged, and the campaign must both catch it
 //!   and shrink it to a repro of at most 3 entries. Exit code 0 then
@@ -96,6 +99,7 @@ fn main() {
     if let Some(n) = num_flag(&args, "--max-faults") {
         opts.max_faults = n as usize;
     }
+    opts.restarts = bool_flag(&args, "--restarts");
     opts.canary = bool_flag(&args, "--canary")
         || std::env::var("HAMBAND_CHAOS_CANARY").map(|v| v == "1").unwrap_or(false);
 
@@ -105,11 +109,12 @@ fn main() {
     };
 
     println!(
-        "chaos campaign: seeds {start}..{} | {} nodes, {} ops, <= {} faults{}",
+        "chaos campaign: seeds {start}..{} | {} nodes, {} ops, <= {} faults{}{}",
         start + count,
         opts.nodes,
         opts.ops,
         opts.max_faults,
+        if opts.restarts { " | restarts" } else { "" },
         if opts.canary { " | CANARY ARMED" } else { "" }
     );
 

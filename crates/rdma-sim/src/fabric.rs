@@ -36,6 +36,69 @@ pub(crate) struct Region {
     pub(crate) bytes: Vec<u8>,
     /// Per-source write permission (the owner itself is always allowed).
     pub(crate) write_allowed: Vec<bool>,
+    /// Durable shadow copy (`Some` iff the region was registered
+    /// durable). Remote one-sided writes and CAS swaps write through to
+    /// it on landing — an RDMA WRITE into persistent memory is durable
+    /// once placed — while *local* CPU stores reach it only at an
+    /// explicit [`Ctx::fence_region`]. A crash-restart that loses
+    /// unfenced writes reverts `bytes` to this copy.
+    pub(crate) shadow: Option<Vec<u8>>,
+    /// Local-store span not yet fenced to the shadow (durable regions
+    /// only): `(lo, hi)` byte offsets, half-open.
+    pub(crate) dirty: Option<(usize, usize)>,
+}
+
+impl Region {
+    pub(crate) fn new(size: usize, sources: usize, durable: bool) -> Region {
+        Region {
+            bytes: vec![0; size],
+            write_allowed: vec![true; sources],
+            shadow: durable.then(|| vec![0; size]),
+            dirty: None,
+        }
+    }
+
+    /// Write-through for a remotely landed range (durable-on-landing).
+    pub(crate) fn land_through(&mut self, offset: usize, len: usize) {
+        if let Some(shadow) = &mut self.shadow {
+            shadow[offset..offset + len].copy_from_slice(&self.bytes[offset..offset + len]);
+        }
+    }
+
+    /// Note an unfenced local store over `[offset, offset + len)`.
+    pub(crate) fn mark_dirty(&mut self, offset: usize, len: usize) {
+        if self.shadow.is_some() {
+            let (lo, hi) = self.dirty.unwrap_or((offset, offset + len));
+            self.dirty = Some((lo.min(offset), hi.max(offset + len)));
+        }
+    }
+
+    /// Make every local store so far durable (copy the dirty span to
+    /// the shadow). No-op for volatile regions or when nothing is
+    /// dirty.
+    pub(crate) fn fence(&mut self) {
+        if let (Some(shadow), Some((lo, hi))) = (&mut self.shadow, self.dirty.take()) {
+            shadow[lo..hi].copy_from_slice(&self.bytes[lo..hi]);
+        }
+    }
+
+    /// Apply crash-restart semantics: a volatile region loses all
+    /// content; a durable one either keeps everything (`!lose_unfenced`
+    /// — the shadow is resynchronized) or reverts to its last durable
+    /// image.
+    pub(crate) fn restart(&mut self, lose_unfenced: bool) {
+        match &mut self.shadow {
+            None => self.bytes.iter_mut().for_each(|b| *b = 0),
+            Some(shadow) => {
+                if lose_unfenced {
+                    self.bytes.copy_from_slice(shadow);
+                } else {
+                    shadow.copy_from_slice(&self.bytes);
+                }
+            }
+        }
+        self.dirty = None;
+    }
 }
 
 #[derive(Debug)]
@@ -63,6 +126,24 @@ pub(crate) struct NodeFabric {
     /// busy — modelling dedicated threads such as the paper's
     /// heartbeat thread on a multi-core node.
     pub(crate) isolated: HashSet<TimerId>,
+}
+
+impl NodeFabric {
+    /// Clear per-node fault modes and timer bookkeeping across a
+    /// crash-restart. `next_wr`/`next_timer` stay monotone so
+    /// post-restart ids never collide with stale in-flight ones.
+    pub(crate) fn reset_for_restart(&mut self, now: SimTime) {
+        self.crashed = false;
+        self.torn_writes = false;
+        self.delay_factor = 1;
+        self.delay_until = SimTime::ZERO;
+        self.duplicate_next_completion = false;
+        self.cancelled.clear();
+        self.isolated.clear();
+        // A fresh host CPU/NIC is idle.
+        self.cpu_free = now;
+        self.nic_free = now;
+    }
 }
 
 /// Internal queue actions.
@@ -606,13 +687,27 @@ impl Ctx<'_> {
 
     /// Write this node's own region memory (free: local access).
     ///
+    /// On a durable region the store is *volatile until fenced*: it
+    /// reaches the durable shadow only at the next
+    /// [`fence_region`](Ctx::fence_region) and is lost by a
+    /// crash-restart that drops unfenced writes.
+    ///
     /// # Panics
     ///
     /// Panics if the region or range is invalid.
     pub fn local_write(&mut self, region: RegionId, offset: usize, data: &[u8]) {
-        self.fabric.nodes[self.node.index()].regions[region.index()].bytes
-            [offset..offset + data.len()]
-            .copy_from_slice(data);
+        let r = &mut self.fabric.nodes[self.node.index()].regions[region.index()];
+        r.bytes[offset..offset + data.len()].copy_from_slice(data);
+        r.mark_dirty(offset, data.len());
+    }
+
+    /// Synchronously persist every unfenced local store to `region`'s
+    /// durable shadow (a flush + fence over the dirty span, like a
+    /// `clwb`+`sfence` sequence on persistent memory). No-op for
+    /// volatile regions. Remote one-sided writes need no fence — they
+    /// are durable once landed.
+    pub fn fence_region(&mut self, region: RegionId) {
+        self.fabric.nodes[self.node.index()].regions[region.index()].fence();
     }
 
     /// Grant or revoke write permission on a local region for a source
@@ -692,7 +787,7 @@ mod tests {
     #[test]
     fn access_checks() {
         let mut f = Fabric::new(2, LatencyModel::deterministic(), 0);
-        f.nodes[1].regions.push(Region { bytes: vec![0; 64], write_allowed: vec![true, true] });
+        f.nodes[1].regions.push(Region::new(64, 2, false));
         assert_eq!(
             f.check_access(NodeId(0), NodeId(1), RegionId(0), 0, 64, true),
             CompletionStatus::Success

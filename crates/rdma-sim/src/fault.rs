@@ -59,6 +59,15 @@ pub enum Fault {
     Heal,
     /// The next completion delivered to the node arrives twice.
     DuplicateCompletion(NodeId),
+    /// Restart a previously [`Fault::Crash`]ed node. Volatile regions
+    /// are zeroed; durable regions keep what landed remotely or was
+    /// fenced locally. If the flag is `true`, local writes made after
+    /// the last [`crate::Ctx::fence_region`] are lost (power-fail
+    /// semantics); if `false`, the cache line survived (orderly kill).
+    /// The application's `on_restart` hook runs for its recovery pass.
+    /// A `Restart` of a node that never crashed is a no-op, so plan
+    /// shrinkers may drop the crash independently.
+    Restart(NodeId, bool),
 }
 
 impl Fault {
@@ -70,7 +79,8 @@ impl Fault {
             | Fault::Crash(n)
             | Fault::TornWrites(n)
             | Fault::DelaySpike(n, _, _)
-            | Fault::DuplicateCompletion(n) => Some(*n),
+            | Fault::DuplicateCompletion(n)
+            | Fault::Restart(n, _) => Some(*n),
             Fault::Partition(_, _) | Fault::Heal => None,
         }
     }
@@ -100,6 +110,9 @@ impl Fault {
             Fault::DuplicateCompletion(n) => {
                 format!("Fault::DuplicateCompletion(NodeId({}))", n.0)
             }
+            Fault::Restart(n, lose) => {
+                format!("Fault::Restart(NodeId({}), {})", n.0, lose)
+            }
         }
     }
 }
@@ -128,6 +141,11 @@ pub struct FaultGenConfig {
     /// Nodes that lead synchronization groups; half of all targeted
     /// faults are biased toward these.
     pub leaders: Vec<NodeId>,
+    /// When `true`, every generated `Crash` is paired with a
+    /// [`Fault::Restart`] 10–60µs later (half of them losing unfenced
+    /// writes). Off by default so crash-stop campaigns and their golden
+    /// fingerprints are unchanged.
+    pub restarts: bool,
 }
 
 impl FaultGenConfig {
@@ -140,6 +158,7 @@ impl FaultGenConfig {
             max_faults: 6,
             silence_budget: nodes.saturating_sub(1) / 2,
             leaders: vec![NodeId(0)],
+            restarts: false,
         }
     }
 
@@ -152,6 +171,12 @@ impl FaultGenConfig {
     /// Override the primary-fault budget.
     pub fn with_max_faults(mut self, max_faults: usize) -> Self {
         self.max_faults = max_faults;
+        self
+    }
+
+    /// Enable crash-restart pairing: see [`FaultGenConfig::restarts`].
+    pub fn with_restarts(mut self, restarts: bool) -> Self {
+        self.restarts = restarts;
         self
     }
 }
@@ -243,6 +268,15 @@ impl FaultPlan {
                     let crash = rng.gen_bool(0.6);
                     if crash {
                         plan = plan.at(t, Fault::Crash(target));
+                        // Crash-restart mode: every crash is paired
+                        // with a restart shortly after (draws stay
+                        // inside the gate so default plans are
+                        // byte-identical to crash-stop ones).
+                        if config.restarts {
+                            let dt = SimDuration::micros(rng.gen_range(10..60));
+                            let lose = rng.gen_bool(0.5);
+                            plan = plan.at(t + dt, Fault::Restart(target, lose));
+                        }
                     } else {
                         plan = plan.at(t, Fault::SuspendHeartbeat(target));
                         if rng.gen_bool(0.5) {
@@ -384,6 +418,40 @@ mod tests {
             }
             assert!(silenced.len() <= 2, "seed {seed} silences a majority");
             assert_eq!(partitions, heals, "seed {seed} leaves a partition open");
+        }
+    }
+
+    #[test]
+    fn restarts_are_gated_and_paired() {
+        let base = FaultGenConfig::for_cluster(5, SimTime(120_000)).with_max_faults(8);
+        let with = base.clone().with_restarts(true);
+        for seed in 0..200 {
+            // Off by default: no Restart ever appears, and the plan is
+            // byte-identical to the pre-restart generator's output.
+            let a = FaultPlan::generate(seed, &base);
+            assert!(
+                a.entries().iter().all(|(_, f)| !matches!(f, Fault::Restart(..))),
+                "seed {seed} emitted a Restart without opting in"
+            );
+            // On: every Crash gets a later Restart of the same node,
+            // and every Restart follows a Crash.
+            let b = FaultPlan::generate(seed, &with);
+            let entries = b.entries();
+            for (t, f) in &entries {
+                match f {
+                    Fault::Crash(n) => assert!(
+                        entries.iter().any(
+                            |(tr, fr)| matches!(fr, Fault::Restart(m, _) if m == n) && tr > t
+                        ),
+                        "seed {seed}: crash of {n:?} never restarts"
+                    ),
+                    Fault::Restart(n, _) => assert!(
+                        entries.iter().any(|(tc, fc)| *fc == Fault::Crash(*n) && tc < t),
+                        "seed {seed}: restart of {n:?} without a prior crash"
+                    ),
+                    _ => {}
+                }
+            }
         }
     }
 

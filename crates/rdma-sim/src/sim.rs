@@ -24,6 +24,14 @@ pub trait App {
 
     /// Called for every delivered event.
     fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event);
+
+    /// Called once when the node restarts after a crash
+    /// ([`Fault::Restart`]). Volatile regions have been zeroed and
+    /// durable regions rolled back to their fenced contents (or
+    /// resynced, depending on the fault's `lose_unfenced` flag) before
+    /// this runs. The default does nothing — crash-stop applications
+    /// never see it.
+    fn on_restart(&mut self, _ctx: &mut Ctx<'_>) {}
 }
 
 /// A deterministic discrete-event simulation of an RDMA cluster running
@@ -115,11 +123,24 @@ impl<A: App> Simulator<A> {
     ///
     /// Panics if called after the simulation started.
     pub fn add_region(&mut self, node: NodeId, size: usize) -> RegionId {
+        self.add_region_inner(node, size, false)
+    }
+
+    /// Register a *durable* region on `node`: its contents survive a
+    /// [`Fault::Restart`]. Remote writes become durable as they land
+    /// (the NIC writes through to persistence, as on PMEM with DDIO
+    /// disabled); local writes are volatile until
+    /// [`Ctx::fence_region`].
+    pub fn add_region_durable(&mut self, node: NodeId, size: usize) -> RegionId {
+        self.add_region_inner(node, size, true)
+    }
+
+    fn add_region_inner(&mut self, node: NodeId, size: usize, durable: bool) -> RegionId {
         assert!(!self.started, "regions must be registered before start");
         let n = self.fabric.len();
         let regions = &mut self.fabric.nodes[node.index()].regions;
         let id = RegionId(regions.len());
-        regions.push(Region { bytes: vec![0; size], write_allowed: vec![true; n] });
+        regions.push(Region::new(size, n, durable));
         id
     }
 
@@ -128,6 +149,18 @@ impl<A: App> Simulator<A> {
     pub fn add_region_all(&mut self, size: usize) -> RegionId {
         let ids: Vec<RegionId> =
             (0..self.len()).map(|i| self.add_region(NodeId(i), size)).collect();
+        let first = ids[0];
+        assert!(ids.iter().all(|&i| i == first), "region layout diverged");
+        first
+    }
+
+    /// Register the same-sized durable region on every node; all nodes
+    /// get the same [`RegionId`]. See
+    /// [`add_region_durable`](Simulator::add_region_durable) for the
+    /// durability model.
+    pub fn add_region_all_durable(&mut self, size: usize) -> RegionId {
+        let ids: Vec<RegionId> =
+            (0..self.len()).map(|i| self.add_region_durable(NodeId(i), size)).collect();
         let first = ids[0];
         assert!(ids.iter().all(|&i| i == first), "region layout diverged");
         first
@@ -266,6 +299,7 @@ impl<A: App> Simulator<A> {
                         let split = bytes.len() - 1;
                         let r = &mut self.fabric.nodes[target.index()].regions[region.index()];
                         r.bytes[offset..offset + split].copy_from_slice(&bytes[..split]);
+                        r.land_through(offset, split);
                         let gap = SimDuration::nanos(400);
                         landed_at = self.fabric.now + gap;
                         self.fabric.push(
@@ -285,6 +319,9 @@ impl<A: App> Simulator<A> {
                     }
                     let r = &mut self.fabric.nodes[target.index()].regions[region.index()];
                     r.bytes[offset..offset + bytes.len()].copy_from_slice(&bytes);
+                    // Remote writes are durable on landing: the NIC
+                    // writes through to persistence.
+                    r.land_through(offset, bytes.len());
                 }
                 // Torn tail writes carry notify = false and must still
                 // complete the original request; plain writes complete
@@ -348,6 +385,7 @@ impl<A: App> Simulator<A> {
                     let prior = u64::from_le_bytes(word);
                     if prior == expected {
                         r.bytes[offset..offset + 8].copy_from_slice(&swap.to_le_bytes());
+                        r.land_through(offset, 8);
                     }
                     Some(Bytes::copy_from_slice(&prior.to_le_bytes()))
                 } else {
@@ -479,6 +517,23 @@ impl<A: App> Simulator<A> {
             }
             Fault::DuplicateCompletion(n) => {
                 self.fabric.nodes[n.index()].duplicate_next_completion = true;
+            }
+            Fault::Restart(n, lose_unfenced) => {
+                // Restart of a live node is a no-op: the matching crash
+                // may have been removed by plan shrinking.
+                if !self.fabric.nodes[n.index()].crashed {
+                    return;
+                }
+                let now = self.fabric.now;
+                let nf = &mut self.fabric.nodes[n.index()];
+                nf.reset_for_restart(now);
+                for r in nf.regions.iter_mut() {
+                    r.restart(lose_unfenced);
+                }
+                let mut app = self.apps[n.index()].take().expect("application installed");
+                let mut ctx = Ctx { fabric: &mut self.fabric, node: n };
+                app.on_restart(&mut ctx);
+                self.apps[n.index()] = Some(app);
             }
         }
     }

@@ -65,6 +65,17 @@ pub struct ChaosOptions {
     /// as a violation, which a correct campaign must catch and shrink
     /// to a single-entry repro.
     pub canary: bool,
+    /// Pair every generated `Crash` with a later [`Fault::Restart`]
+    /// (half of them losing unfenced writes). Cases whose plan contains
+    /// a restart run under [`DurabilityMode::Fenced`] so the restarted
+    /// node recovers from its persist log and rejoins
+    /// (see [`crate::rejoin`]); restart-free plans keep the default
+    /// [`DurabilityMode::Off`], so existing campaigns and their golden
+    /// trace fingerprints are untouched.
+    ///
+    /// [`DurabilityMode::Fenced`]: crate::persist::DurabilityMode::Fenced
+    /// [`DurabilityMode::Off`]: crate::persist::DurabilityMode::Off
+    pub restarts: bool,
 }
 
 impl Default for ChaosOptions {
@@ -79,6 +90,7 @@ impl Default for ChaosOptions {
             system: System::Hamband,
             sync_shards: crate::config::RuntimeConfig::default().sync_shards,
             canary: false,
+            restarts: false,
         }
     }
 }
@@ -138,6 +150,16 @@ where
         .with_trace(TraceMode::Collect)
         .with_max_time(opts.max_time);
     config.runtime.sync_shards = opts.sync_shards;
+    // Durability is decided by the *plan*, not the campaign option:
+    // a shrunk sub-schedule that dropped every restart runs exactly
+    // like a crash-stop case (byte-identical layout and traces), and
+    // restart-free campaigns never pay the persist-log cost.
+    config.runtime.durability = if plan.entries().iter().any(|(_, f)| matches!(f, Fault::Restart(..)))
+    {
+        crate::persist::DurabilityMode::Fenced
+    } else {
+        crate::persist::DurabilityMode::Off
+    };
     let (outcome, states) = Runner::new(opts.system, config).run_with_states(spec, coord);
 
     let mut violations = Vec::new();
@@ -236,19 +258,25 @@ where
         .collect();
     let gen = FaultGenConfig::for_cluster(opts.nodes, opts.horizon)
         .with_leaders(leaders)
-        .with_max_faults(opts.max_faults);
+        .with_max_faults(opts.max_faults)
+        .with_restarts(opts.restarts);
     let plan = FaultPlan::generate(seed, &gen);
     let violations = run_case(spec, coord, seed, &plan, opts);
     CaseReport { seed, plan, violations }
 }
 
-/// Whether every `Partition` in the plan is healed by a later `Heal`.
+/// Whether every `Partition` in the plan is healed by a later `Heal`,
+/// and every [`Fault::Restart`] follows a `Crash` of the same node.
 ///
 /// The shrinker must not strip a `Heal` while keeping its `Partition`:
 /// an eternally partitioned cluster fails convergence by construction,
 /// and "minimizing" into that artifact would mask the original bug.
+/// Symmetrically it must not strip a `Crash` while keeping its
+/// `Restart`: restarting a node that never crashed is a no-op, so the
+/// "shrunk" plan would silently stop exercising recovery at all.
 pub fn plan_well_formed(plan: &FaultPlan) -> bool {
     let mut open = 0usize;
+    let mut crashed: Vec<NodeId> = Vec::new();
     for (_, f) in plan.entries() {
         match f {
             Fault::Partition(_, _) => open += 1,
@@ -257,6 +285,14 @@ pub fn plan_well_formed(plan: &FaultPlan) -> bool {
                     return false;
                 }
                 open -= 1;
+            }
+            Fault::Crash(n) if !crashed.contains(&n) => crashed.push(n),
+            Fault::Restart(n, _) => {
+                // Requires an earlier, still-unconsumed crash of `n`.
+                let Some(i) = crashed.iter().position(|&c| c == n) else {
+                    return false;
+                };
+                crashed.swap_remove(i);
             }
             _ => {}
         }
@@ -382,5 +418,85 @@ mod tests {
         let plan = plan_of(&[(10, Fault::Crash(NodeId(1))), (20, Fault::TornWrites(NodeId(0)))]);
         let shrunk = shrink(&plan, |_| true);
         assert!(shrunk.is_empty(), "a failure independent of faults shrinks to no faults");
+    }
+
+    #[test]
+    fn well_formedness_requires_crash_before_restart() {
+        // A restart of a node that never crashed is a no-op schedule.
+        assert!(!plan_well_formed(&plan_of(&[(10, Fault::Restart(NodeId(1), true))])));
+        // Crash alone (crash-stop) stays well-formed.
+        assert!(plan_well_formed(&plan_of(&[(10, Fault::Crash(NodeId(1)))])));
+        // Paired crash + restart is well-formed; a second restart of the
+        // same node without a second crash is not.
+        assert!(plan_well_formed(&plan_of(&[
+            (10, Fault::Crash(NodeId(1))),
+            (40, Fault::Restart(NodeId(1), false)),
+        ])));
+        assert!(!plan_well_formed(&plan_of(&[
+            (10, Fault::Crash(NodeId(1))),
+            (40, Fault::Restart(NodeId(1), false)),
+            (60, Fault::Restart(NodeId(1), true)),
+        ])));
+        // The crash must be of the *same* node.
+        assert!(!plan_well_formed(&plan_of(&[
+            (10, Fault::Crash(NodeId(2))),
+            (40, Fault::Restart(NodeId(1), true)),
+        ])));
+    }
+
+    #[test]
+    fn shrink_keeps_crash_restart_pairing() {
+        let plan = plan_of(&[
+            (10, Fault::TornWrites(NodeId(0))),
+            (20, Fault::Crash(NodeId(2))),
+            (30, Fault::DuplicateCompletion(NodeId(1))),
+            (50, Fault::Restart(NodeId(2), true)),
+        ]);
+        // "Fails" iff a restart is present — the minimal failing
+        // well-formed schedule must keep the crash that precedes it.
+        let shrunk =
+            shrink(&plan, |p| p.entries().iter().any(|(_, f)| matches!(f, Fault::Restart(..))));
+        assert_eq!(shrunk.len(), 2);
+        assert!(plan_well_formed(&shrunk));
+        assert_eq!(shrunk.entries()[0], (SimTime(20), Fault::Crash(NodeId(2))));
+        assert_eq!(shrunk.entries()[1], (SimTime(50), Fault::Restart(NodeId(2), true)));
+    }
+
+    #[test]
+    fn restart_losing_all_unfenced_writes_converges() {
+        // The acceptance scenario: node 2 crashes mid-workload and
+        // restarts having lost every write after its last fence. The
+        // recovery pass must rebuild hard state from the persist log
+        // alone and the cluster must still converge with clean
+        // invariants.
+        use hamband_types::Counter;
+        let spec = Counter::default();
+        let coord = spec.coord_spec();
+        let opts = ChaosOptions::default();
+        let plan = plan_of(&[
+            (40_000, Fault::Crash(NodeId(2))),
+            (40_030, Fault::Restart(NodeId(2), true)),
+        ]);
+        let violations = run_case(&spec, &coord, 11, &plan, &opts);
+        assert!(violations.is_empty(), "restart case failed: {violations:?}");
+    }
+
+    #[test]
+    fn restart_campaign_smoke() {
+        // A handful of generated crash+restart schedules end-to-end
+        // (the 100-seed campaigns run in CI via the chaos binary).
+        use hamband_types::Counter;
+        let spec = Counter::default();
+        let coord = spec.coord_spec();
+        let opts = ChaosOptions { restarts: true, ..ChaosOptions::default() };
+        for seed in 0..6u64 {
+            let report = run_seed(&spec, &coord, seed, &opts);
+            assert!(
+                report.passed(),
+                "seed {seed} failed under plan {}: {:?}",
+                report.plan.to_literal(),
+                report.violations,
+            );
+        }
     }
 }

@@ -401,6 +401,10 @@ where
         let ring_off = self.layout.conf_ring_base()
             + ((seq - 1) as usize % self.layout.conf_cap()) * self.layout.entry_size();
         ctx.local_write(self.layout.conf[g], ring_off, &slot);
+        // Persist-before-propose: the leader's log copy is the catch-up
+        // source for successors, so the slot must survive a restart
+        // before any follower can hold it.
+        ctx.fence_region(self.layout.conf[g]);
         let leader = self.engines[g].leader_mut().expect("still leading");
         for w in leader.writers.iter_mut().flatten() {
             let s = w.append(ctx, &entry);
@@ -477,6 +481,16 @@ where
                     self.metrics.remote_applied += 1;
                 }
                 self.metrics.last_apply = ctx.now();
+                // Durability seam: log+fence the applied entry before
+                // the head publication (same discipline as the free
+                // path).
+                if self.log.is_some() {
+                    let slot = self.engines[g].reader.raw_slot(ctx, next).to_vec();
+                    self.log_and_fence(
+                        ctx,
+                        &crate::persist::LogRecord::ConfSlot { group: g as u32, slot },
+                    );
+                }
                 // The entry's issuer is the leader that appended it.
                 self.engines[g].reader.advance(ctx, NodeId(entry.rid.issuer.index()));
             }

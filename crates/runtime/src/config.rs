@@ -2,6 +2,8 @@
 
 use rdma_sim::SimDuration;
 
+use crate::persist::DurabilityMode;
+
 /// Tuning for a Hamband cluster (buffer geometry, protocol timers,
 //  workload pacing).
 #[derive(Debug, Clone)]
@@ -47,6 +49,14 @@ pub struct RuntimeConfig {
     /// serialize (Lemma 1 per shard) while cross-key calls proceed in
     /// parallel. `1` reproduces the paper's one-log-per-group layout.
     pub sync_shards: usize,
+    /// Whether replicas keep durable hard state for crash-restart
+    /// (see [`crate::persist`]). `Off` is byte-identical to the
+    /// crash-stop runtime; `Fenced` allocates a persist log per node
+    /// and fences hard state at the seam points.
+    pub durability: DurabilityMode,
+    /// Size in bytes of each node's persist log region (only allocated
+    /// under [`DurabilityMode::Fenced`]).
+    pub persist_log_bytes: usize,
 }
 
 /// Default `max_batch`, overridable via the `HAMBAND_MAX_BATCH`
@@ -85,6 +95,8 @@ impl Default for RuntimeConfig {
             window: 8,
             max_batch: default_max_batch(),
             sync_shards: default_sync_shards(),
+            durability: DurabilityMode::from_env(),
+            persist_log_bytes: 1 << 20,
         }
     }
 }
@@ -130,6 +142,19 @@ impl RuntimeConfig {
     pub fn with_sync_shards(mut self, shards: usize) -> Self {
         assert!(shards >= 1, "sync_shards must be at least 1");
         self.sync_shards = shards;
+        self
+    }
+
+    /// Keep durable hard state (or not) for crash-restart.
+    pub fn with_durability(mut self, mode: DurabilityMode) -> Self {
+        self.durability = mode;
+        self
+    }
+
+    /// Use a persist log of this many bytes per node.
+    pub fn with_persist_log_bytes(mut self, bytes: usize) -> Self {
+        assert!(bytes > crate::persist::HEADER_BYTES, "persist log must hold its header");
+        self.persist_log_bytes = bytes;
         self
     }
 

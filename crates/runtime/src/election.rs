@@ -58,6 +58,9 @@ where
         let own_tail = self.landed_tail(ctx, g);
         let own_commit = self.known_commit(ctx, g);
         let epoch = self.engines[g].begin_election(self.me, own_tail, own_commit);
+        // The candidacy's epoch is hard state: persist it before any
+        // peer can act on the request.
+        self.log_group_hard(ctx, g);
         let msg = ControlMsg::LeaderRequest { group: g as u32, epoch };
         for q in 0..self.n {
             if q != self.me.index() && !self.fd.is_suspected(NodeId(q)) {
@@ -106,6 +109,10 @@ where
                         ctx.set_write_permission(self.layout.conf[g], NodeId(q), q == from.index());
                     }
                     self.engines[g].promise(epoch, Pid(from.index()));
+                    self.join_epoch[g] = self.join_epoch[g].max(epoch);
+                    // The promise is a vote: persist it before the ack
+                    // leaves this node, so a restart cannot un-promise.
+                    self.log_group_hard(ctx, g);
                     if self.engines[g].is_leader() {
                         // We were the old leader and just got replaced.
                         self.depose(ctx, g);
@@ -130,11 +137,51 @@ where
                     self.on_suspect(ctx, from);
                 }
             }
+            ControlMsg::JoinRequest => {
+                // A restarted peer asks for the current leadership map:
+                // reply with our promise and leader view per group. The
+                // joiner's `join_epoch` gate keeps stale acks harmless,
+                // so no consistency coordination is needed here.
+                for g in 0..self.engines.len() {
+                    let ack = ControlMsg::JoinAck {
+                        group: g as u32,
+                        epoch: self.engines[g].promised,
+                        leader: self.engines[g].leader_view.index() as u32,
+                    };
+                    ctx.send(from, ack.to_bytes().into());
+                }
+            }
+            ControlMsg::JoinAck { group, epoch, leader } => {
+                let g = group as usize;
+                if g < self.engines.len() && epoch >= self.join_epoch[g] {
+                    self.join_epoch[g] = epoch;
+                    let leader = leader as usize;
+                    // Adopt the freshest view seen so far. The promise
+                    // only ever rises: a replayed pre-crash promise may
+                    // exceed the current winning epoch (a candidacy that
+                    // died with the crash) and must not be lowered.
+                    self.engines[g].promised = self.engines[g].promised.max(epoch);
+                    self.engines[g].epoch = self.engines[g].epoch.max(epoch);
+                    self.engines[g].leader_view = Pid(leader);
+                    self.log_group_hard(ctx, g);
+                    if leader != self.me.index() {
+                        for q in 0..self.n {
+                            ctx.set_write_permission(
+                                self.layout.conf[g],
+                                NodeId(q),
+                                q == leader,
+                            );
+                        }
+                    }
+                }
+            }
             ControlMsg::LeaderAnnounce { group, epoch, leader } => {
                 let g = group as usize;
                 if epoch >= self.engines[g].promised {
                     self.engines[g].promised = epoch;
                     self.engines[g].leader_view = Pid(leader as usize);
+                    self.join_epoch[g] = self.join_epoch[g].max(epoch);
+                    self.log_group_hard(ctx, g);
                     if leader as usize != self.me.index() {
                         for q in 0..self.n {
                             ctx.set_write_permission(
@@ -160,6 +207,9 @@ where
         let Some(won) = self.engines[g].try_win(majority, Pid(self.me.index())) else {
             return;
         };
+        // Winning adopts the tally's commit and makes the epoch ours:
+        // persist before taking over.
+        self.log_group_hard(ctx, g);
         let own_tail = self.landed_tail(ctx, g);
         if own_tail < won.max_tail && won.max_tail_holder != self.me {
             // Catch up: read the missing suffix from the best follower.
@@ -243,6 +293,8 @@ where
             let off = self.layout.conf_ring_base()
                 + ((from_seq - 1) as usize % self.layout.conf_cap()) * self.layout.entry_size();
             ctx.local_write(self.layout.conf[g], off, bytes);
+            // The caught-up slot is part of the group's hard log copy.
+            ctx.fence_region(self.layout.conf[g]);
         }
         // Are we fully caught up now?
         if matches!(self.engines[g].role, Role::TakingOver { .. })

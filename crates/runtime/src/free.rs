@@ -98,6 +98,16 @@ where
             let slot = entry.to_slot(seq, self.layout.entry_size());
             self.write_backup(ctx, call_id, crate::codec::BACKUP_FREE, 0xff, seq, &slot)
         });
+        // Durability seam: the issuer's own entry is hard state (it was
+        // applied to σ above) — log and fence it before the appends can
+        // reach any peer.
+        if self.log.is_some() {
+            if let Some(seq) = seq_assigned {
+                let slot = entry.to_slot(seq, self.layout.entry_size());
+                let src = self.me.index() as u32;
+                self.log_and_fence(ctx, &crate::persist::LogRecord::FreeSlot { src, slot });
+            }
+        }
         if let Some(seq) = seq_assigned {
             self.free_call_by_seq.insert(seq, call_id);
         }
@@ -142,6 +152,20 @@ where
                 self.applied.increment(entry.rid.issuer, method);
                 self.metrics.remote_applied += 1;
                 self.metrics.last_apply = ctx.now();
+                // Durability seam: log+fence the applied entry *before*
+                // publishing the head — the durable frontier must never
+                // trail what the writer is told it may overwrite.
+                if self.log.is_some() {
+                    let slot = {
+                        let reader = self.free_readers[src].as_ref().expect("reader");
+                        let seq = reader.next_seq();
+                        reader.raw_slot(ctx, seq).to_vec()
+                    };
+                    self.log_and_fence(
+                        ctx,
+                        &crate::persist::LogRecord::FreeSlot { src: src as u32, slot },
+                    );
+                }
                 self.free_readers[src].as_mut().expect("reader").advance(ctx, NodeId(src));
             }
         }

@@ -12,11 +12,24 @@
 //! | `heads` | head counters of every ring (F per source, then L per group) | owner (read remotely by writers) |
 //! | `backup` | reliable-broadcast backup slots | owner (read remotely on suspicion) |
 //! | `conf(g)` | commit cell + the `L` ring of sync group `g` | the group leader (write-permission-controlled) |
+//! | `persist_log` | the node's durable write-ahead record (see [`crate::persist`]) | owner (local, fenced) |
+//!
+//! Each region also declares its **durability** (the second argument of
+//! the [`Layout::plan`] allocator): ring slots, summary slots, the
+//! conflicting commit cells, and the persist log are *hard* state a
+//! restarted node reads back; heartbeat counters, head counters, and
+//! the backup slots are *soft* — reconstructible (heads are republished
+//! from the replayed persist log; backups only protect in-flight calls
+//! a restarted node no longer owns). Under
+//! [`DurabilityMode::Off`](crate::persist::DurabilityMode) everything
+//! is allocated volatile and no persist log exists, which keeps the
+//! crash-stop runtime byte-identical.
 
 use hamband_core::coord::CoordSpec;
 use rdma_sim::{App, NodeId, RegionId, Simulator};
 
 use crate::config::RuntimeConfig;
+use crate::persist::DurabilityMode;
 
 /// Computed region ids and offsets, identical on every node.
 #[derive(Debug, Clone)]
@@ -36,6 +49,9 @@ pub struct Layout {
     /// Conflicting ring region per *mapped* group (each synchronization
     /// group contributes [`RuntimeConfig::sync_shards`] entries).
     pub conf: Vec<RegionId>,
+    /// The node's persist log (present only under
+    /// [`DurabilityMode::Fenced`]).
+    pub persist_log: Option<RegionId>,
     /// Byte offset of each summarization group's slot block within
     /// `summaries` (the block holds one slot per source node).
     sum_group_base: Vec<usize>,
@@ -60,22 +76,34 @@ impl Layout {
         coord: &CoordSpec,
         cfg: &RuntimeConfig,
     ) -> Layout {
-        Self::plan(sim.len(), coord, cfg, |size| sim.add_region_all(size))
+        Self::plan(sim.len(), coord, cfg, |size, durable| {
+            if durable {
+                sim.add_region_all_durable(size)
+            } else {
+                sim.add_region_all(size)
+            }
+        })
     }
 
     /// Compute the layout for an `n`-node cluster, allocating each
     /// region through `alloc` (called once per region, in a fixed
-    /// order, with the region's byte size). [`Layout::install`] passes
-    /// the simulator's registrar; the loopback backend passes its own
-    /// in-process allocator. Every backend must allocate the same
+    /// order, with the region's byte size and whether it holds hard —
+    /// restart-surviving — state). [`Layout::install`] passes the
+    /// simulator's registrar; the loopback backend passes its own
+    /// in-process allocator (and may ignore the durability flag — it
+    /// never sees restart faults). Every backend must allocate the same
     /// regions in the same order so remote offsets agree.
     pub fn plan(
         n: usize,
         coord: &CoordSpec,
         cfg: &RuntimeConfig,
-        mut alloc: impl FnMut(usize) -> RegionId,
+        mut alloc: impl FnMut(usize, bool) -> RegionId,
     ) -> Layout {
-        let heartbeat = alloc(8);
+        // Durable-region shadowing costs memory and fence bookkeeping;
+        // under `Off` (crash-stop, the default) everything stays
+        // volatile and behavior is identical to the pre-seam runtime.
+        let hard = cfg.durability == DurabilityMode::Fenced;
+        let heartbeat = alloc(8, false);
 
         let mut sum_group_base = Vec::new();
         let mut sum_slot_size = Vec::new();
@@ -86,17 +114,21 @@ impl Layout {
             sum_slot_size.push(slot);
             off += slot * n;
         }
-        let summaries = alloc(off.max(8));
+        let summaries = alloc(off.max(8), hard);
 
         let entry_size = cfg.entry_size();
-        let free_rings = alloc(n * cfg.free_ring_cap * entry_size);
+        let free_rings = alloc(n * cfg.free_ring_cap * entry_size, hard);
         // One conf ring (and head slot) per *mapped* group: each sync
         // group contributes `sync_shards` independent logs.
         let mapped = coord.sync_groups().len() * cfg.sync_shards.max(1);
-        let heads = alloc((n + mapped).max(1) * 8);
+        let heads = alloc((n + mapped).max(1) * 8, false);
         let backup_slot_size = Self::backup_slot_size_for(cfg);
-        let backup = alloc(cfg.backup_slots * backup_slot_size);
-        let conf = (0..mapped).map(|_| alloc(8 + cfg.conf_ring_cap * entry_size)).collect();
+        let backup = alloc(cfg.backup_slots * backup_slot_size, false);
+        let conf: Vec<RegionId> =
+            (0..mapped).map(|_| alloc(8 + cfg.conf_ring_cap * entry_size, hard)).collect();
+        // The persist log goes last so its presence never shifts the
+        // region ids the crash-stop layout assigns.
+        let persist_log = hard.then(|| alloc(cfg.persist_log_bytes, true));
 
         Layout {
             nodes: n,
@@ -106,6 +138,7 @@ impl Layout {
             heads,
             backup,
             conf,
+            persist_log,
             sum_group_base,
             sum_slot_size,
             entry_size,

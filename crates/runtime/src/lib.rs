@@ -25,6 +25,11 @@
 //!   [`conf::GroupEngine`] per synchronization group (permission-based
 //!   leader exclusion, majority commit, leader change with ring
 //!   catch-up);
+//! * [`persist`] — the durability seam: which state is *hard* (survives
+//!   a crash-restart: ring slots, summary slots, consensus epoch/vote/
+//!   commit) vs *soft*, the versioned persist-log format with explicit
+//!   fence points, and — in [`rejoin`] — the idempotent recovery pass a
+//!   restarted node runs before rejoining the cluster;
 //! * [`baseline_msg`] — the message-passing op-based CRDT baseline;
 //! * [`chaos`] — deterministic chaos campaigns: randomized fault
 //!   schedules checked for convergence, integrity, and trace
@@ -126,8 +131,10 @@ pub mod loopback;
 pub mod membership;
 pub mod messages;
 pub mod metrics;
+pub mod persist;
 pub mod recovery;
 pub mod reduce;
+pub mod rejoin;
 pub mod replica;
 pub mod rings;
 pub mod status;
@@ -148,6 +155,7 @@ pub use membership::Membership;
 pub use metrics::{
     FairnessSummary, LatencyHistogram, LatencySummary, NodeMetrics, RunReport,
 };
+pub use persist::{DurabilityMode, LogRecord, NodeLog};
 pub use replica::HambandNode;
 pub use status::{GroupStatus, NodeStatus, RoleKind};
 pub use threaded::ThreadedCluster;

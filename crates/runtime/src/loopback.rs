@@ -300,7 +300,9 @@ where
         workload: WorkloadSpec,
     ) -> LoopbackCluster<O> {
         let mut net = LoopbackNet::new(n);
-        let layout = Layout::plan(n, coord, &cfg, |size| net.add_region_all(size));
+        // The loopback backend has no restart faults, so the durable
+        // flag carries no meaning here: every region is plain memory.
+        let layout = Layout::plan(n, coord, &cfg, |size, _durable| net.add_region_all(size));
         let leaders: Vec<Pid> =
             GroupMapper::new(coord, cfg.sync_shards).default_leaders(n);
         let nodes = (0..n)

@@ -46,6 +46,23 @@ pub enum ControlMsg {
     /// a crashed node: sticky suspicion, quota adoption, and a leader
     /// change for any group it still leads.
     Retired,
+    /// A crash-restarted node asks every peer which leader it currently
+    /// recognizes, per mapped group (the rejoin handshake; see
+    /// [`crate::rejoin`]). Receivers reply with one
+    /// [`ControlMsg::JoinAck`] per group.
+    JoinRequest,
+    /// Reply to a [`ControlMsg::JoinRequest`]: the sender's current
+    /// promise and leader view for one mapped group. The joiner adopts
+    /// the freshest ack per group (it re-seeds its permission grants
+    /// from it) and ignores staler ones.
+    JoinAck {
+        /// Mapped group index.
+        group: u32,
+        /// The sender's promised epoch for the group.
+        epoch: u64,
+        /// The leader the sender currently recognizes.
+        leader: u32,
+    },
 }
 
 impl Wire for ControlMsg {
@@ -71,6 +88,15 @@ impl Wire for ControlMsg {
             }
             ControlMsg::Retired => {
                 w.u8(3);
+            }
+            ControlMsg::JoinRequest => {
+                w.u8(4);
+            }
+            ControlMsg::JoinAck { group, epoch, leader } => {
+                w.u8(5);
+                w.varint(u64::from(group));
+                w.varint(epoch);
+                w.varint(u64::from(leader));
             }
         }
     }
@@ -99,6 +125,12 @@ impl Wire for ControlMsg {
                 leader: narrow(r.varint()?)?,
             }),
             3 => Ok(ControlMsg::Retired),
+            4 => Ok(ControlMsg::JoinRequest),
+            5 => Ok(ControlMsg::JoinAck {
+                group: narrow(r.varint()?)?,
+                epoch: r.varint()?,
+                leader: narrow(r.varint()?)?,
+            }),
             _ => Err(DecodeError),
         }
     }
@@ -115,6 +147,8 @@ mod tests {
             ControlMsg::LeaderAck { group: 0, epoch: 7, tail: 123, commit: 120 },
             ControlMsg::LeaderAnnounce { group: 2, epoch: 8, leader: 3 },
             ControlMsg::Retired,
+            ControlMsg::JoinRequest,
+            ControlMsg::JoinAck { group: 3, epoch: 9, leader: 1 },
         ];
         for m in msgs {
             assert_eq!(ControlMsg::from_bytes(&m.to_bytes()).unwrap(), m);

@@ -68,7 +68,7 @@ where
         // 2. Workload adoption: the next alive node picks up the
         //    suspect's remaining conflict-free quota.
         let adopter = members.next_alive_after(suspect);
-        if adopter == self.me && !self.adopted[suspect.index()] {
+        if adopter == self.me && !self.adopted[suspect.index()] && !self.workload_retired {
             self.adopted[suspect.index()] = true;
             let their = QuotaSplit::for_node(&self.workload, &self.coord, suspect.index(), self.n);
             let remaining: Vec<u64> = (0..self.coord.method_count())
@@ -108,6 +108,7 @@ where
             let lv = NodeId(self.engines[g].leader_view.index());
             if (lv == suspect || self.fd.is_suspected(lv))
                 && !self.halted
+                && !self.workload_retired
                 && !matches!(self.engines[g].role, crate::conf::Role::Candidate { .. })
                 && members.lowest_alive(Some(lv)) == self.me
             {
@@ -170,5 +171,10 @@ where
                 }
             }
         }
+        // The recovered slots were placed in our own copies with local
+        // writes; fence them so a subsequent restart of *this* node does
+        // not lose the re-executed broadcasts.
+        ctx.fence_region(self.layout.free_rings);
+        ctx.fence_region(self.layout.summaries);
     }
 }

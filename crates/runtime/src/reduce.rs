@@ -87,6 +87,10 @@ where
         let backup_slot = self.write_backup(ctx, call_id, crate::codec::BACKUP_SUMMARY, g as u8, version, &slot);
         let offset = self.layout.summary_offset(g, self.me);
         ctx.local_write(self.layout.summaries, offset, &slot);
+        // Durability seam: the own summary slot is this node's only
+        // record of its reducible calls — fence it before the remote
+        // copies can land.
+        ctx.fence_region(self.layout.summaries);
         // Write-combining: post only where the (group, peer) channel is
         // idle; otherwise the call waits for a later write to carry its
         // (or a newer) version — the slot is last-writer-wins, so a

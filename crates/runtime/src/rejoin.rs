@@ -1,0 +1,340 @@
+//! Crash-restart rejoin: the idempotent recovery pass a restarted
+//! replica runs before re-entering the cluster.
+//!
+//! A restarted node's volatile regions are zeroed and its durable
+//! regions hold exactly what was remotely written plus what it fenced
+//! locally (see [`crate::persist`]). Recovery rebuilds the soft state
+//! from scratch and then replays the persist log over it, in log
+//! order — which is the original apply order, so every entry's
+//! dependency map is satisfied when it is re-applied. The pass is
+//! idempotent: running it twice from the same durable image yields the
+//! same state, because it only folds logged entries into a freshly
+//! reset σ.
+//!
+//! After replay the node:
+//!
+//! * republishes its ring-reader heads at the replayed frontiers (so
+//!   peers' writers never reuse a slot this node has applied),
+//! * re-posts its own free-ring window and summary slot to every peer
+//!   (closing the bounded per-peer gap of appends that were minted but
+//!   not yet posted when it crashed — slot re-writes are idempotent),
+//! * rebuilds the summary caches from the durable slot copies,
+//! * re-arms the timer chains (the pre-crash chains died inside the
+//!   crash window), and
+//! * announces [`ControlMsg::Retired`] followed by a
+//!   [`ControlMsg::JoinRequest`]: peers treat its workload as
+//!   crash-stop (quota adoption, elections for groups it led) and
+//!   reply per mapped group with the leadership they currently
+//!   recognize, which re-seeds this node's permission grants.
+//!
+//! The node rejoins as a full protocol participant — it polls, votes,
+//! serves reads, and performs delegate recovery duties — but never
+//! issues workload again and never runs for leadership
+//! (`workload_retired`): its pre-crash client sessions are gone, and a
+//! retired leader would wedge convergence because peers keep its
+//! suspicion sticky.
+
+use std::collections::VecDeque;
+
+use hamband_core::coord::GroupMapper;
+use hamband_core::counts::CountMap;
+use hamband_core::ids::{MethodId, Pid};
+use hamband_core::object::WorkloadSupport;
+use hamband_core::wire::Wire;
+use rdma_sim::{NodeId, RingKind};
+
+use crate::codec::{Entry, SummarySlot};
+use crate::conf::GroupEngine;
+use crate::heartbeat::{FailureDetector, Heartbeat};
+use crate::ingress::Ingress;
+use crate::messages::ControlMsg;
+use crate::persist::LogRecord;
+use crate::reduce::CachedSummary;
+use crate::replica::{HambandNode, TAG_FD, TAG_HEARTBEAT, TAG_POLL};
+use crate::rings::RingReader;
+use crate::transport::Transport;
+
+impl<O> HambandNode<O>
+where
+    O: WorkloadSupport,
+    O::Update: Wire,
+{
+    /// Append a [`LogRecord::GroupHard`] snapshot of group `g`'s hard
+    /// consensus state (epoch, promise, commit) and fence it. Called at
+    /// every point where that state changes *before* its consequences
+    /// leave the node — a vote must not be forgotten once acted on.
+    pub(crate) fn log_group_hard<T: Transport>(&mut self, ctx: &mut T, g: usize) {
+        if self.log.is_none() {
+            return;
+        }
+        let e = &self.engines[g];
+        let rec = LogRecord::GroupHard {
+            group: g as u32,
+            epoch: e.epoch,
+            promised: e.promised,
+            commit: e.commit,
+        };
+        self.log_and_fence(ctx, &rec);
+    }
+
+    /// Append `rec` to the persist log and fence it immediately; a
+    /// no-op under [`DurabilityMode::Off`](crate::persist::DurabilityMode::Off).
+    pub(crate) fn log_and_fence<T: Transport>(&mut self, ctx: &mut T, rec: &LogRecord) {
+        if let Some(log) = self.log.as_mut() {
+            log.append(ctx, rec);
+            log.fence(ctx);
+        }
+    }
+
+    /// The recovery pass. Runs on the restart event, after the fabric
+    /// has restored the node's regions (durable contents kept or rolled
+    /// back to the last fence; volatile contents zeroed).
+    pub(crate) fn restart_recover<T: Transport>(&mut self, ctx: &mut T) {
+        if self.log.is_none() {
+            // Crash-stop configuration: nothing durable survived, so a
+            // "restarted" node can only stay silent — exactly the
+            // behavior the crash-stop campaigns already verify.
+            self.halted = true;
+            self.ingress.halt();
+            return;
+        }
+        self.reset_soft_state();
+
+        // Replay the persist log in order. Log order is the original
+        // apply order, so dependency maps are satisfied as we go.
+        let records = self.log.as_mut().expect("checked above").replay(ctx);
+        let mut free_frontier = vec![0u64; self.n];
+        let mut conf_frontier = vec![0u64; self.engines.len()];
+        // Own free-ring entries (seq ascending — the re-post window).
+        let mut own_free: Vec<(u64, Vec<u8>)> = Vec::new();
+        for rec in records {
+            match rec {
+                LogRecord::FreeSlot { src, slot } => {
+                    let src = src as usize;
+                    if src >= self.n {
+                        continue;
+                    }
+                    let Some(seq) = slot_seq(&slot) else { continue };
+                    let Some(entry) = Entry::<O::Update>::from_slot(&slot, seq) else {
+                        continue;
+                    };
+                    let method = self.spec.method_of(&entry.update);
+                    self.spec.apply_mut(&mut self.sigma, &entry.update);
+                    self.applied.increment(entry.rid.issuer, method);
+                    free_frontier[src] = free_frontier[src].max(seq);
+                    if src == self.me.index() {
+                        own_free.push((seq, slot));
+                    }
+                }
+                LogRecord::ConfSlot { group, slot } => {
+                    let g = group as usize;
+                    if g >= self.engines.len() {
+                        continue;
+                    }
+                    let Some(seq) = slot_seq(&slot) else { continue };
+                    let Some(entry) = Entry::<O::Update>::from_slot(&slot, seq) else {
+                        continue;
+                    };
+                    let method = self.spec.method_of(&entry.update);
+                    self.spec.apply_mut(&mut self.sigma, &entry.update);
+                    self.applied.increment(entry.rid.issuer, method);
+                    conf_frontier[g] = conf_frontier[g].max(seq);
+                }
+                LogRecord::GroupHard { group, epoch, promised, commit } => {
+                    let g = group as usize;
+                    if let Some(e) = self.engines.get_mut(g) {
+                        e.epoch = e.epoch.max(epoch);
+                        e.promised = e.promised.max(promised);
+                        e.commit = e.commit.max(commit);
+                    }
+                }
+            }
+        }
+
+        // Republish ring-reader heads at the replayed frontiers: the
+        // persist discipline logs+fences every entry *before* the head
+        // is published, so the durable frontier is always at or past
+        // what peers' writers believe we acked — they never reuse a
+        // slot above it.
+        for (src, &frontier) in free_frontier.iter().enumerate() {
+            if src == self.me.index() {
+                continue;
+            }
+            self.free_readers[src].as_mut().expect("reader for peer").adopt_head(ctx, frontier);
+        }
+        let own_tail = own_free.last().map_or(0, |&(s, _)| s);
+        for w in self.free_writers.iter_mut().flatten() {
+            w.adopt_tail(own_tail);
+        }
+        for (g, &frontier) in conf_frontier.iter().enumerate() {
+            // The commit cell is remote-written (durable as it lands),
+            // so it may be ahead of the last logged GroupHard. Committed
+            // entries past the replayed frontier are re-applied from the
+            // ring copy by the ordinary poll once the reader reaches
+            // them.
+            let cell = {
+                let b = ctx.local(self.layout.conf[g], self.layout.conf_commit_offset(), 8);
+                u64::from_le_bytes(b.try_into().expect("8 bytes"))
+            };
+            let e = &mut self.engines[g];
+            e.commit = e.commit.max(cell);
+            e.reader.adopt_head(ctx, frontier);
+        }
+
+        // Rebuild the summary caches from the durable slot copies
+        // (remote slots landed durably; the own slot was fenced at every
+        // issue). Re-post the own slot to every peer: a crash between
+        // the local fence and the remote writes may have left peers one
+        // version behind, and summary slots are last-writer-wins.
+        for g in 0..self.sum_cache.len() {
+            let group_methods: Vec<MethodId> = self.coord.sum_groups()[g].clone();
+            for src in 0..self.n {
+                let off = self.layout.summary_offset(g, NodeId(src));
+                let size = self.layout.summary_size(g);
+                let parsed = {
+                    let bytes = ctx.local(self.layout.summaries, off, size);
+                    SummarySlot::<O::Update>::from_slot(bytes, group_methods.len())
+                };
+                let Some(slot) = parsed else { continue };
+                for (i, &m) in group_methods.iter().enumerate() {
+                    let old = self.applied.get(Pid(src), m);
+                    self.applied.set(Pid(src), m, old.max(slot.counts[i]));
+                }
+                if src == self.me.index() && slot.version > 0 {
+                    let image = ctx.local(self.layout.summaries, off, size).to_vec();
+                    for q in 0..self.n {
+                        if q != self.me.index() {
+                            ctx.post_write(NodeId(q), self.layout.summaries, off, &image);
+                        }
+                    }
+                }
+                self.sum_cache[g][src] =
+                    CachedSummary { version: slot.version, counts: slot.counts, summary: slot.summary };
+            }
+        }
+
+        // Re-post the tail window of the own free ring to every peer:
+        // appends minted before the crash may not have been posted to
+        // every peer (the unposted gap is a contiguous suffix bounded by
+        // the backup-slot cap, far below the ring capacity), and slot
+        // re-writes are idempotent. Completions arrive with no claiming
+        // writer and fall through the dispatch harmlessly.
+        let window_lo = own_tail.saturating_sub(self.layout.free_cap() as u64);
+        for (seq, slot) in own_free.iter().filter(|&&(s, _)| s > window_lo) {
+            let off = self.layout.free_ring_base(self.me)
+                + ((seq - 1) as usize % self.layout.free_cap()) * self.layout.entry_size();
+            for q in 0..self.n {
+                if q != self.me.index() {
+                    ctx.post_write(NodeId(q), self.layout.free_rings, off, slot);
+                }
+            }
+        }
+
+        // Views: σ is rebuilt; let the materialized view refresh lazily
+        // from σ + the rebuilt caches on the next pump.
+        self.mat_dirty = true;
+
+        // The pre-crash timer chains died inside the crash window
+        // (their events were dropped while the node was down), so fresh
+        // chains re-arm without doubling.
+        ctx.set_timer(self.cfg.poll_interval, TAG_POLL);
+        ctx.set_timer_isolated(self.cfg.heartbeat_interval, TAG_HEARTBEAT);
+        ctx.set_timer_isolated(self.cfg.fd_interval, TAG_FD);
+        self.hb.beat(ctx);
+
+        // Membership handshake: retire the pre-crash workload first
+        // (peers adopt the remaining quota and elect replacements for
+        // any group this node led), then ask every peer which leader it
+        // currently recognizes per mapped group.
+        for q in 0..self.n {
+            if q != self.me.index() {
+                ctx.send(NodeId(q), ControlMsg::Retired.to_bytes().into());
+                ctx.send(NodeId(q), ControlMsg::JoinRequest.to_bytes().into());
+            }
+        }
+    }
+
+    /// Reset every piece of *soft* (reconstructible) state to its
+    /// initial value, exactly as [`HambandNode::new`] builds it — the
+    /// replay pass then folds the durable hard state over this blank
+    /// slate.
+    fn reset_soft_state(&mut self) {
+        self.sigma = self.spec.initial();
+        self.mat = self.sigma.clone();
+        self.mat_dirty = false;
+        self.spec_mat = None;
+        self.applied = CountMap::new(self.n, self.coord.method_count());
+        let sum_group_count = self.coord.sum_groups().len();
+        self.sum_cache = self
+            .coord
+            .sum_groups()
+            .iter()
+            .map(|g| {
+                (0..self.n)
+                    .map(|_| CachedSummary { version: 0, counts: vec![0; g.len()], summary: None })
+                    .collect()
+            })
+            .collect();
+        self.sum_inflight = (0..sum_group_count).map(|_| vec![None; self.n]).collect();
+        self.sum_waiters =
+            (0..sum_group_count).map(|_| vec![VecDeque::new(); self.n]).collect();
+        self.sum_slot_buf = vec![Vec::new(); sum_group_count];
+        self.free_writers.clear();
+        self.free_readers.clear();
+        self.setup_free_endpoints();
+        let leaders = self.initial_leaders.clone();
+        self.engines = leaders
+            .iter()
+            .enumerate()
+            .map(|(g, &l)| {
+                GroupEngine::new(
+                    l,
+                    RingReader::new(
+                        RingKind::Conf,
+                        self.layout.conf[g],
+                        self.layout.conf_ring_base(),
+                        self.layout.conf_cap(),
+                        self.layout.entry_size(),
+                        self.layout.heads,
+                        self.layout.conf_head_offset(g),
+                    ),
+                )
+            })
+            .collect();
+        self.hb = Heartbeat::new(self.layout.heartbeat);
+        self.fd = FailureDetector::new(self.me, self.n, self.layout.heartbeat, self.cfg.fd_suspect_after)
+            .with_min_sample_gap(self.cfg.heartbeat_interval);
+        self.adopted = vec![false; self.n];
+        let mapper = GroupMapper::new(&self.coord, self.cfg.sync_shards);
+        self.ingress = Ingress::new(
+            &self.workload,
+            &self.coord,
+            mapper,
+            self.me.index(),
+            self.n,
+            self.cfg.backup_slots,
+        );
+        // The pre-crash client sessions are gone: the rejoined node
+        // participates in the protocol but issues no further workload.
+        self.ingress.halt();
+        self.workload_retired = true;
+        self.speculative_store.clear();
+        self.outstanding.clear();
+        self.free_call_by_seq.clear();
+        self.wr_routes.clear();
+        self.conf_retries.clear();
+        self.retry_timer_armed = false;
+        self.halted = false;
+        self.pending_arrival = None;
+        self.join_epoch = vec![0; self.engines.len()];
+        // `metrics`, `next_call_id`, `next_rid_seq` deliberately
+        // survive: measurements span the restart, and request ids must
+        // never be reused even though no further calls are minted.
+    }
+}
+
+/// The ring sequence number a slot claims (its first eight bytes);
+/// `None` for a slot too short to carry one.
+fn slot_seq(slot: &[u8]) -> Option<u64> {
+    Some(u64::from_le_bytes(slot.get(0..8)?.try_into().ok()?))
+}

@@ -48,6 +48,7 @@ use crate::ingress::Ingress;
 use crate::layout::Layout;
 use crate::messages::ControlMsg;
 use crate::metrics::NodeMetrics;
+use crate::persist::NodeLog;
 use crate::reduce::CachedSummary;
 use crate::rings::{RingReader, RingWriter};
 use crate::transport::Transport;
@@ -131,6 +132,27 @@ pub struct HambandNode<O: ObjectSpec> {
     pub(crate) conf_retries: Vec<(usize, NodeId, u64)>,
     pub(crate) retry_timer_armed: bool,
     pub(crate) halted: bool,
+    /// The node's persist log (durability seam; `None` under
+    /// [`DurabilityMode::Off`](crate::persist::DurabilityMode)).
+    pub(crate) log: Option<NodeLog>,
+    /// The initial per-mapped-group leader assignment, kept so a
+    /// restart can rebuild the engines from scratch before replaying
+    /// hard state over them.
+    pub(crate) initial_leaders: Vec<Pid>,
+    /// Set by crash-restart rejoin: the node participates fully in the
+    /// protocol (polling, voting, delegate duties) but never issues
+    /// workload again and never runs for leadership — its pre-crash
+    /// client sessions are gone and peers already treat it as
+    /// `Retired` for quota purposes.
+    pub(crate) workload_retired: bool,
+    /// Per mapped group: the highest epoch this node has adopted a
+    /// leader at through the rejoin handshake (`JoinAck`) or a regular
+    /// promise/announcement. A `JoinAck` is accepted only at this epoch
+    /// or above, so a stale late ack can never flip permission grants
+    /// away from a fresher leader — while the initial zero still lets
+    /// the first ack in even when the replayed promise exceeds the
+    /// current winning epoch (a dead pre-crash candidacy).
+    pub(crate) join_epoch: Vec<u64>,
     /// Open-loop arrival timestamp of the call being issued right now:
     /// set by the pump before dispatching a planned update, taken by
     /// the issue path as the call's `issued_at` so response time
@@ -226,6 +248,10 @@ where
             conf_retries: Vec::new(),
             retry_timer_armed: false,
             halted: false,
+            log: layout.persist_log.map(|r| NodeLog::new(r, cfg.persist_log_bytes)),
+            initial_leaders: leaders.to_vec(),
+            workload_retired: false,
+            join_epoch: vec![0; leaders.len()],
             pending_arrival: None,
             spec,
             coord,
@@ -250,6 +276,9 @@ where
     /// arm the timers, and start pumping. Called once by the event
     /// loop's start hook.
     pub fn start<T: Transport>(&mut self, ctx: &mut T) {
+        if let Some(log) = self.log.as_mut() {
+            log.init(ctx);
+        }
         self.setup_free_endpoints();
         self.setup_conf_groups(ctx);
         ctx.set_timer(self.cfg.poll_interval, TAG_POLL);
@@ -410,5 +439,9 @@ where
 
     fn on_event(&mut self, ctx: &mut Ctx<'_>, event: Event) {
         self.handle_event(ctx, event);
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx<'_>) {
+        self.restart_recover(ctx);
     }
 }

@@ -122,6 +122,13 @@ pub trait Transport {
     /// Grant or revoke write permission on a local region for a source
     /// node (the QP permission mechanism of Mu; local, instantaneous).
     fn set_write_permission(&mut self, region: RegionId, source: NodeId, allowed: bool);
+
+    /// Make this node's *local* stores to a durable region survive a
+    /// crash-restart (see [`crate::persist`]). Remote one-sided WRITEs
+    /// are durable as they land; local CPU stores are not until fenced.
+    /// Backends without a durability model (loopback, threaded — they
+    /// never see restart faults) inherit the no-op default.
+    fn fence_region(&mut self, _region: RegionId) {}
 }
 
 /// The simulator backend: [`rdma_sim::Ctx`] already exposes exactly
@@ -187,6 +194,9 @@ impl Transport for Ctx<'_> {
     }
     fn set_write_permission(&mut self, region: RegionId, source: NodeId, allowed: bool) {
         Ctx::set_write_permission(self, region, source, allowed)
+    }
+    fn fence_region(&mut self, region: RegionId) {
+        Ctx::fence_region(self, region)
     }
 }
 

@@ -83,6 +83,9 @@ echo "== chaos smoke (16 seeds) =="
 echo "== chaos smoke, key-sharded (16 seeds, HAMBAND_SYNC_SHARDS=4) =="
 HAMBAND_SYNC_SHARDS=4 ./target/release/chaos --seeds 16
 
+echo "== chaos smoke, crash-restart (50 seeds, persist log + rejoin) =="
+./target/release/chaos --seeds 50 --restarts
+
 echo "== chaos canary self-test =="
 ./target/release/chaos --seeds 16 --canary
 
